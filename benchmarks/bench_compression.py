@@ -1,0 +1,63 @@
+"""Extension: deployment footprint via post-training int8 quantization.
+
+The paper positions VITAL as deployable on "memory-constrained and
+computationally limited embedded and IoT platforms" and cites model
+compression (CHISEL [25]) as the enabling technique.  This bench trains
+the reduced-scale VITAL, quantizes its weights to int8, and reports the
+size reduction and the localization-accuracy cost — the trade CHISEL
+reports is 'compression without compromising performance'.
+"""
+
+import numpy as np
+
+from conftest import PROTOCOL, banner
+from repro import nn
+from repro.eval import prepare_building_data
+from repro.nn.quantization import compression_report, model_size_bytes, quantize_model
+from repro.vit import VitalConfig, VitalLocalizer, VitalModel
+from repro.viz import ascii_table
+
+
+def test_int8_quantization_of_vital(buildings, benchmark):
+    train, test = prepare_building_data(buildings[0], PROTOCOL)
+
+    def run():
+        vital = VitalLocalizer(VitalConfig.fast(24), seed=0).fit(train)
+        float_errors = vital.errors_m(test)
+        quantize_model(vital.model, bits=8)
+        int8_errors = vital.errors_m(test)
+        return vital, float_errors, int8_errors
+
+    vital, float_errors, int8_errors = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner("Extension — int8 post-training quantization of VITAL")
+    print(compression_report(vital.model, bits=8))
+    print(ascii_table(
+        [
+            ["float32", float_errors.mean(), float_errors.max(),
+             model_size_bytes(vital.model, 32) / 1024],
+            ["int8", int8_errors.mean(), int8_errors.max(),
+             model_size_bytes(vital.model, 8) / 1024],
+        ],
+        ["precision", "mean error (m)", "max error (m)", "size (KiB)"],
+    ))
+    degradation = int8_errors.mean() - float_errors.mean()
+    print(f"\naccuracy cost of 4x compression: {degradation:+.2f} m mean error")
+    assert degradation < 0.3, "int8 weights must not meaningfully hurt localization"
+
+
+def test_paper_scale_footprint_after_quantization(benchmark):
+    model = benchmark.pedantic(
+        lambda: VitalModel(
+            VitalConfig.paper(), image_size=206, channels=3, num_classes=85,
+            rng=np.random.default_rng(0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    banner("Extension — paper-scale model footprint")
+    print(compression_report(model, bits=8))
+    kib_int8 = model_size_bytes(model, 8) / 1024
+    print(f"int8 footprint {kib_int8:.0f} KiB — comfortably within "
+          "smartphone/IoT budgets (the paper's ~50 ms / 234k-param claim)")
+    assert kib_int8 < 1024, "paper-scale int8 model fits in <1 MiB"

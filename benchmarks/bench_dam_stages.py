@@ -1,0 +1,80 @@
+"""Ablation: contribution of the individual DAM stages.
+
+DESIGN.md §5 calls out the stage ordering (normalize → replicate →
+dropout → noise) for ablation.  This bench trains VITAL with each stage
+configuration on one building and reports the mean error per arm:
+full DAM, dropout-only (no noise in-fill), noise-only (global noise, no
+dropout), and no augmentation, plus the normalization-scheme comparison.
+"""
+
+import numpy as np
+
+from conftest import PROTOCOL, banner
+from repro.dam import DamConfig
+from repro.eval import prepare_building_data
+from repro.nn import TrainConfig
+from repro.vit import VitalConfig, VitalLocalizer
+from repro.viz import ascii_bar
+
+EPOCHS = 60
+IMAGE = 24
+
+ARMS = {
+    "full DAM": DamConfig(dropout_rate=0.10, noise_sigma=0.05, image_size=IMAGE),
+    "dropout only": DamConfig(dropout_rate=0.10, noise_sigma=0.0, image_size=IMAGE),
+    "noise only": DamConfig(dropout_rate=0.0, global_noise_sigma=0.05, image_size=IMAGE),
+    "no augmentation": DamConfig(dropout_rate=0.0, noise_sigma=0.0, image_size=IMAGE),
+}
+
+
+def _run_arm(train, test, dam_config, seed=0):
+    config = VitalConfig.fast(IMAGE).with_updates(
+        dam=dam_config,
+        train=TrainConfig(epochs=EPOCHS, batch_size=32, lr=1.5e-3),
+    )
+    localizer = VitalLocalizer(config, seed=seed).fit(train)
+    return localizer.errors_m(test)
+
+
+def test_dam_stage_ablation(buildings, benchmark):
+    train, test = prepare_building_data(buildings[0], PROTOCOL)
+
+    def run_all():
+        return {name: _run_arm(train, test, cfg) for name, cfg in ARMS.items()}
+
+    errors = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    banner("Ablation — DAM stage contributions (VITAL, Building 1)")
+    means = {name: float(e.mean()) for name, e in errors.items()}
+    p90s = {name: float(np.percentile(e, 90)) for name, e in errors.items()}
+    print(ascii_bar(sorted(means.items(), key=lambda kv: kv[1]), title="mean error (m)"))
+    print()
+    for name in ARMS:
+        print(f"{name:16s} mean={means[name]:.2f}  p90={p90s[name]:.2f}  "
+              f"max={errors[name].max():.2f}")
+
+    # Full DAM must beat no augmentation, and the stochastic stages must
+    # shrink the tail (max / p90) — their stated purpose.
+    assert means["full DAM"] <= means["no augmentation"] + 0.15
+    assert p90s["full DAM"] <= p90s["no augmentation"] + 0.25
+
+
+def test_normalization_scheme_ablation(buildings, benchmark):
+    """Min-max (calibration-free) vs z-score vs raw dBm input."""
+    train, test = prepare_building_data(buildings[0], PROTOCOL)
+    schemes = ("minmax", "standard", "none")
+
+    def run_all():
+        out = {}
+        for scheme in schemes:
+            cfg = DamConfig(
+                normalization=scheme, dropout_rate=0.10, noise_sigma=0.05, image_size=IMAGE
+            )
+            out[scheme] = float(_run_arm(train, test, cfg).mean())
+        return out
+
+    means = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    banner("Ablation — DAM normalization scheme (VITAL, Building 1)")
+    print(ascii_bar(sorted(means.items(), key=lambda kv: kv[1]), title="mean error (m)"))
+    # Normalized inputs must beat raw dBm (the paper's stage-1 rationale).
+    assert min(means["minmax"], means["standard"]) <= means["none"] + 0.1

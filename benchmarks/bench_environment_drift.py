@@ -1,0 +1,71 @@
+"""Extension: robustness to environment drift between phases.
+
+The paper's introduction flags "dynamic environments" as a core difficulty
+of RSSI fingerprinting.  This bench trains VITAL and plain KNN on the
+clean offline survey (base devices), then evaluates both on online scans
+captured by the *unseen extended devices* after the environment has
+drifted (every AP's effective power shifted by N(0, σ) dB — retuned or
+replaced APs, moved furniture).
+
+Finding (not in the paper, recorded in EXPERIMENTS.md): in this
+reproduction VITAL degrades *faster* under AP-power drift than plain
+gallery KNN — the learned image representation keys on absolute signal
+levels, while distance-ranked gallery matching absorbs per-AP shifts.
+DAM covers missing APs and device skew, not coordinated power drift; a
+re-survey or SSD-style differencing front end would be the fix.  The
+bench asserts the honest shape: both methods lose accuracy as drift
+grows, VITAL wins at zero drift, and VITAL's degradation exceeds KNN's.
+"""
+
+import numpy as np
+
+from conftest import PROTOCOL, banner
+from repro.data import EXTENDED_DEVICES, collect_fingerprints
+from repro.eval import prepare_building_data
+from repro.eval.frameworks import make_framework
+from repro.viz import ascii_table
+
+DRIFT_SIGMAS = (0.0, 2.0, 4.0)
+
+
+def test_drift_degradation_profile(buildings, benchmark):
+    building = buildings[0]
+    train, _test = prepare_building_data(building, PROTOCOL)
+
+    def run():
+        vital = make_framework("VITAL", seed=0).fit(train)
+        knn = make_framework("KNN", seed=0).fit(train)
+        rows = []
+        for sigma in DRIFT_SIGMAS:
+            building.apply_environment_drift(sigma, seed=11)
+            drifted = collect_fingerprints(
+                building, EXTENDED_DEVICES, PROTOCOL.survey_config().__class__(
+                    samples_per_visit=PROTOCOL.samples_per_visit,
+                    n_visits=1,
+                    seed=99,  # fresh online-phase noise draws
+                )
+            )
+            rows.append([
+                sigma,
+                float(vital.errors_m(drifted).mean()),
+                float(knn.errors_m(drifted).mean()),
+            ])
+        building.apply_environment_drift(0.0)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner("Extension — accuracy under environment drift (train clean, test drifted)")
+    print(ascii_table(rows, ["drift σ (dB)", "VITAL mean (m)", "KNN mean (m)"]))
+
+    clean_vital, drift_vital = rows[0][1], rows[-1][1]
+    clean_knn, drift_knn = rows[0][2], rows[-1][2]
+    print(f"\ndegradation at σ={DRIFT_SIGMAS[-1]} dB: "
+          f"VITAL {drift_vital - clean_vital:+.2f} m, KNN {drift_knn - clean_knn:+.2f} m")
+
+    # The honest shape: VITAL wins the no-drift deployment (the paper's
+    # setting), degrades monotonically with drift, and is *more* drift-
+    # sensitive than gallery KNN — a limitation the paper does not probe.
+    assert rows[0][1] <= rows[0][2] + 0.2, "VITAL leads at zero drift"
+    assert drift_vital > clean_vital, "drift must cost VITAL accuracy"
+    assert (drift_vital - clean_vital) > (drift_knn - clean_knn) - 0.2

@@ -1,0 +1,78 @@
+"""Figure 1: RSSI of ten APs observed by four smartphones at one location.
+
+Reproduces the paper's Section III analysis: per-device mean RSSI series
+over ten APs, the AP-visibility variation between devices, the similar-
+pattern device pairs (HTC/S7 and IPHONE/PIXEL), and the missing-AP
+example (an AP visible to the sensitive HTC radio only).
+"""
+
+import numpy as np
+
+from conftest import banner
+from repro.data import collect_single_location, get_device, make_building_3
+from repro.radio.device import NOT_VISIBLE_DBM
+from repro.viz import ascii_series, ascii_table
+
+DEVICES = ["HTC", "S7", "IPHONE", "PIXEL"]
+N_APS = 10
+N_SAMPLES = 10  # the paper plots means over 10 samples
+
+
+def _collect(building, rp_index=40):
+    location = building.reference_points()[rp_index]
+    devices = [get_device(name) for name in DEVICES]
+    return collect_single_location(building, location, devices, n_samples=N_SAMPLES, seed=0)
+
+
+def test_fig01_rssi_across_devices(benchmark):
+    building = make_building_3(n_aps=N_APS)
+    bursts = benchmark.pedantic(_collect, args=(building,), rounds=1, iterations=1)
+
+    banner("Figure 1 — RSSI of 10 APs seen by 4 smartphones at one location")
+    means = {name: bursts[name].mean(axis=0) for name in DEVICES}
+    print(ascii_series(means, title="mean RSSI per AP (dBm)",
+                       x_labels=[f"A{i}" for i in range(N_APS)]))
+    rows = [[name] + [round(v, 1) for v in means[name]] for name in DEVICES]
+    print()
+    print(ascii_table(rows, ["device"] + [f"AP{i}" for i in range(N_APS)], decimals=1))
+
+    # Observation 1: devices deviate from each other at the same spot.
+    visible_rows = np.stack([np.where(m > NOT_VISIBLE_DBM, m, np.nan) for m in means.values()])
+    spread = np.nanmax(visible_rows, axis=0) - np.nanmin(visible_rows, axis=0)
+    print(f"\nper-AP inter-device spread: mean {np.nanmean(spread):.1f} dB, "
+          f"max {np.nanmax(spread):.1f} dB")
+    assert np.nanmean(spread) > 2.0, "device heterogeneity should be clearly visible"
+
+    # Observation 2: HTC/S7 and IPHONE/PIXEL pair up more closely than
+    # cross-pair combinations (the paper's 'similar patterns' remark).
+    def dist(a, b):
+        mask = (means[a] > NOT_VISIBLE_DBM) & (means[b] > NOT_VISIBLE_DBM)
+        return np.abs(means[a][mask] - means[b][mask]).mean()
+
+    print(f"|HTC-S7|={dist('HTC','S7'):.1f} dB, |IPHONE-PIXEL|={dist('IPHONE','PIXEL'):.1f} dB, "
+          f"|HTC-IPHONE|={dist('HTC','IPHONE'):.1f} dB")
+
+    # Observation 4: missing APs — the sensitive HTC sees APs others miss.
+    visible = {name: int((means[name] > NOT_VISIBLE_DBM).sum()) for name in DEVICES}
+    print(f"visible APs per device: {visible}")
+    assert visible["HTC"] == max(visible.values()), "HTC has the most sensitive radio"
+    assert min(visible.values()) < visible["HTC"], "some device must miss APs the HTC sees"
+
+
+def test_fig01_missing_ap_anecdote(benchmark):
+    """The paper's MAC-id anecdote: at least one AP is visible to HTC but
+    invisible (−100 dBm) to some other phone at the same location."""
+    building = make_building_3(n_aps=N_APS)
+    bursts = benchmark.pedantic(_collect, args=(building,), rounds=1, iterations=1)
+    htc = bursts["HTC"].mean(axis=0)
+    others = {k: v.mean(axis=0) for k, v in bursts.items() if k != "HTC"}
+    anecdotes = []
+    for idx, ap in enumerate(building.access_points):
+        if htc[idx] > NOT_VISIBLE_DBM:
+            blind = [name for name, series in others.items() if series[idx] <= NOT_VISIBLE_DBM]
+            if blind:
+                anecdotes.append((ap.mac, htc[idx], blind))
+    banner("Figure 1 — missing-AP anecdote")
+    for mac, level, blind in anecdotes:
+        print(f"AP {mac}: HTC sees {level:.0f} dBm; invisible to {', '.join(blind)}")
+    assert anecdotes, "expected at least one HTC-only AP (the paper's missing-AP case)"

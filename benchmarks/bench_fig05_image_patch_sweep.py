@@ -1,0 +1,67 @@
+"""Figure 5: mean error vs (RSSI image size × patch size) surface.
+
+The paper sweeps image sizes up to 206×206 and patch sizes up to ~28,
+finding: (a) very small patches overfit and very large patches underfit,
+(b) image size matters less than patch size, and (c) (image, patch)
+combinations that leave partial boundary patches discard features and
+lose accuracy.  This bench sweeps a scaled grid with the same structure
+and checks observation (c) explicitly.
+"""
+
+import numpy as np
+
+from conftest import PROTOCOL, banner
+from repro.eval import prepare_building_data, sweep_image_patch
+from repro.viz import ascii_heatmap
+
+IMAGE_SIZES = [12, 18, 24]
+PATCH_SIZES = [2, 3, 4, 6, 8]
+EPOCHS = 40
+
+
+def test_fig05_image_patch_surface(buildings, benchmark):
+    train, test = prepare_building_data(buildings[0], PROTOCOL)
+    result = benchmark.pedantic(
+        sweep_image_patch,
+        args=(train, test, IMAGE_SIZES, PATCH_SIZES),
+        kwargs={"epochs": EPOCHS, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    banner("Figure 5 — mean error (m) over image size × patch size")
+    print(ascii_heatmap(
+        result.mean_error,
+        [f"S={s}" for s in IMAGE_SIZES],
+        [f"P={p}" for p in PATCH_SIZES],
+        title=f"{buildings[0].name}, {EPOCHS} epochs",
+    ))
+    best_image, best_patch, best_error = result.best()
+    print(f"\nbest: image={best_image}, patch={best_patch} -> {best_error:.2f} m "
+          "(paper best: image=206, patch=20, i.e. ~S/10)")
+    partial = sorted(k for k, v in result.notes.items() if v == "partial patches discarded")
+    print(f"grid points with partial patches: {partial}")
+
+    assert np.isfinite(result.mean_error).sum() >= 12, "sweep must cover the grid"
+    assert best_error < np.nanmax(result.mean_error), "sweep must discriminate"
+
+
+def test_fig05_partial_patches_hurt(buildings, benchmark):
+    """Observation (c): with the same patch size, an image size that tiles
+    exactly beats one that discards boundary features (averaged over two
+    patch sizes to damp run-to-run noise)."""
+    train, test = prepare_building_data(buildings[0], PROTOCOL)
+    result = benchmark.pedantic(
+        sweep_image_patch,
+        args=(train, test, [20, 24], [5, 6]),
+        kwargs={"epochs": EPOCHS, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    banner("Figure 5 — partial-patch penalty")
+    # image 20: P=5 exact, P=6 partial (discards 2 boundary pixels/side);
+    # image 24: P=6 exact, P=5 partial.
+    exact = np.nanmean([result.mean_error[0, 0], result.mean_error[1, 1]])
+    partial = np.nanmean([result.mean_error[0, 1], result.mean_error[1, 0]])
+    print(f"exact-tiling mean {exact:.2f} m vs partial-patch mean {partial:.2f} m")
+    assert exact <= partial + 0.35, "discarding boundary features should not help"

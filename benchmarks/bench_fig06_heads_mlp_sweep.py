@@ -1,0 +1,49 @@
+"""Figure 6: mean error heatmap over MSA head count × fine-tuning MLP depth.
+
+The paper sweeps heads 1-8 and MLP layer counts, picking 5 heads and 2
+layers (128 units + the RP-sized output layer): too few MLP layers
+underfit, too many overfit, and high head counts overfit.  Our projection
+width (60) admits head counts {1, 2, 3, 5, 6}; indivisible counts are
+reported as skipped, matching the divisibility constraint any real
+implementation faces.
+"""
+
+import numpy as np
+
+from conftest import PROTOCOL, banner
+from repro.eval import prepare_building_data, sweep_heads_mlp
+from repro.viz import ascii_heatmap
+
+HEAD_COUNTS = [1, 2, 3, 5, 6]
+MLP_LAYERS = [1, 2, 3]
+EPOCHS = 40
+
+
+def test_fig06_heads_mlp_heatmap(buildings, benchmark):
+    train, test = prepare_building_data(buildings[0], PROTOCOL)
+    result = benchmark.pedantic(
+        sweep_heads_mlp,
+        args=(train, test, HEAD_COUNTS, MLP_LAYERS),
+        kwargs={"epochs": EPOCHS, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    banner("Figure 6 — mean error (m) over MSA heads × fine-tuning MLP layers")
+    print(ascii_heatmap(
+        result.mean_error,
+        [f"h={h}" for h in HEAD_COUNTS],
+        [f"L={l}" for l in MLP_LAYERS],
+        title=f"{buildings[0].name}, {EPOCHS} epochs (paper picks h=5, L=2)",
+    ))
+    best_heads, best_layers, best_error = result.best()
+    print(f"\nbest: heads={best_heads}, layers={best_layers} -> {best_error:.2f} m")
+
+    assert np.isfinite(result.mean_error).all(), "every grid point valid for dim=60"
+    assert best_error <= np.nanmean(result.mean_error), "best beats the average cell"
+
+    # The paper's chosen configuration (h=5, L=2) must be competitive:
+    # within 0.5 m of the grid optimum in this scaled-down sweep.
+    picked = result.mean_error[HEAD_COUNTS.index(5), MLP_LAYERS.index(2)]
+    print(f"paper's pick (h=5, L=2): {picked:.2f} m vs grid best {best_error:.2f} m")
+    assert picked <= best_error + 0.5

@@ -1,0 +1,60 @@
+"""Figure 7: mean localization error per framework × building × device.
+
+Reproduces the paper's color-coded comparison grid: for every framework
+and every building, the mean error per base smartphone, plus the
+framework × building aggregate heatmap.  Shape assertions: VITAL is the
+best framework overall, WiDeep the worst — as in the paper.
+"""
+
+import numpy as np
+
+from conftest import PAPER_BASE, banner
+from repro.eval.frameworks import FRAMEWORK_NAMES
+from repro.viz import ascii_heatmap
+
+
+def test_fig07_framework_building_device_grid(comparison_cache, buildings, benchmark):
+    result = benchmark.pedantic(
+        comparison_cache.get, kwargs={"extended": False}, rounds=1, iterations=1
+    )
+
+    banner("Figure 7 — mean error per framework × building × device (base)")
+    for building in buildings:
+        print(building.describe())
+
+    frameworks, names, grid = result.mean_error_grid()
+    print()
+    print(ascii_heatmap(grid, frameworks, [n.replace("Building ", "B") for n in names],
+                        title="mean error (m): framework × building"))
+
+    for framework in frameworks:
+        devices, cols, device_grid = result.device_grid(framework)
+        print()
+        print(ascii_heatmap(
+            device_grid, devices, [c.replace("Building ", "B") for c in cols],
+            title=f"{framework}: per-device mean error (m)"))
+
+    overall = {f: result.overall_stats(f).mean for f in frameworks}
+    print("\nmeasured vs paper (overall mean, m):")
+    for f in frameworks:
+        print(f"  {f:7s} measured={overall[f]:.2f}   paper={PAPER_BASE[f]['mean']:.2f}")
+
+    # Shape assertions (who wins / who loses).
+    assert overall["VITAL"] == min(overall.values()), "VITAL must be the best framework"
+    assert overall["WiDeep"] == max(overall.values()), "WiDeep must be the worst framework"
+    # Every framework beats WiDeep on the pooled test set, as in Fig. 7/8.
+    for f in frameworks:
+        if f != "WiDeep":
+            assert overall[f] < overall["WiDeep"]
+
+
+def test_fig07_vital_wins_majority_of_cells(comparison_cache, benchmark):
+    """VITAL has the lowest mean error in most (building) columns."""
+    result = benchmark.pedantic(
+        comparison_cache.get, kwargs={"extended": False}, rounds=1, iterations=1
+    )
+    frameworks, names, grid = result.mean_error_grid()
+    vital_row = frameworks.index("VITAL")
+    wins = sum(grid[vital_row, j] == grid[:, j].min() for j in range(grid.shape[1]))
+    print(f"\nVITAL wins {wins}/{grid.shape[1]} buildings outright")
+    assert wins >= grid.shape[1] // 2

@@ -1,0 +1,47 @@
+"""Figure 8: min/mean/max error across all buildings, base devices.
+
+The paper's box plot: VITAL 1.18 m mean / 3.0 m max, then ANVIL (1.9),
+SHERPA (2.0), CNNLoc (2.98), WiDeep (3.73 mean / 8.2 max).  We assert the
+shape: VITAL has the least mean AND the least max error; improvements
+over the prior-work frameworks are positive and substantial.
+"""
+
+from conftest import PAPER_BASE, banner
+from repro.eval.metrics import improvement_pct
+from repro.viz import ascii_table, ascii_whisker
+
+
+def test_fig08_base_device_boxplot(comparison_cache, benchmark):
+    result = benchmark.pedantic(
+        comparison_cache.get, kwargs={"extended": False}, rounds=1, iterations=1
+    )
+    frameworks = result.frameworks()
+    stats = {f: result.overall_stats(f) for f in frameworks}
+
+    banner("Figure 8 — min/mean/max error across buildings (base devices)")
+    print(ascii_whisker(
+        [(f, stats[f].min, stats[f].mean, stats[f].max) for f in frameworks],
+        title="measured",
+    ))
+    print()
+    rows = [
+        [f, stats[f].mean, PAPER_BASE[f]["mean"], stats[f].max, PAPER_BASE[f]["max"]]
+        for f in frameworks
+    ]
+    print(ascii_table(
+        rows,
+        ["framework", "mean (ours)", "mean (paper)", "max (ours)", "max (paper)"],
+    ))
+
+    vital = stats["VITAL"]
+    others = {f: s for f, s in stats.items() if f != "VITAL"}
+    best_prior = min(others.values(), key=lambda s: s.mean)
+    worst_prior = max(others.values(), key=lambda s: s.mean)
+    low = improvement_pct(best_prior.mean, vital.mean)
+    high = improvement_pct(worst_prior.mean, vital.mean)
+    print(f"\nVITAL improvement over prior work: {low:.0f}% … {high:.0f}% "
+          f"(paper: 41% … 68%)")
+
+    assert vital.mean == min(s.mean for s in stats.values())
+    assert vital.max == min(s.max for s in stats.values())
+    assert low > 0 and high > 30, "VITAL must improve substantially over the worst prior work"

@@ -1,0 +1,52 @@
+"""Ablation: group training (device pooling) vs per-device training.
+
+§V closes with VITAL's calibration-free recipe: "group training combines
+RSSI fingerprint data from different smartphones for RPs ... the model
+learns the vagaries of RSSI visibility across different smartphones."
+This bench quantifies that choice: a group-trained model against a model
+trained on one device's records only, both tested on the full multi-
+device test set.
+"""
+
+import numpy as np
+
+from conftest import PROTOCOL, banner
+from repro.eval import prepare_building_data
+from repro.nn import TrainConfig
+from repro.vit import VitalConfig, VitalLocalizer
+from repro.viz import ascii_table
+
+EPOCHS = 80
+IMAGE = 24
+
+
+def test_group_training_beats_single_device(buildings, benchmark):
+    train, test = prepare_building_data(buildings[0], PROTOCOL)
+    config = VitalConfig.fast(IMAGE).with_updates(
+        train=TrainConfig(epochs=EPOCHS, batch_size=32, lr=1.5e-3)
+    )
+
+    def run_all():
+        group = VitalLocalizer(config, seed=0).fit(train)
+        rows = {"group (all 6 devices)": group.errors_m(test).mean()}
+        for device in ("HTC", "BLU"):
+            solo_train = train.filter_devices(device)
+            solo = VitalLocalizer(config, seed=0).fit(solo_train)
+            rows[f"single device ({device})"] = solo.errors_m(test).mean()
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    banner("Ablation — group training vs per-device training (VITAL)")
+    print(ascii_table(
+        [[name, value] for name, value in rows.items()],
+        ["training pool", "mean error on multi-device test (m)"],
+    ))
+
+    group_error = rows["group (all 6 devices)"]
+    solo_errors = [v for k, v in rows.items() if k.startswith("single")]
+    print(f"\ngroup {group_error:.2f} m vs best single-device {min(solo_errors):.2f} m")
+    assert group_error < min(solo_errors), (
+        "group training is the calibration-free mechanism; it must beat "
+        "any single-device pool on heterogeneous test traffic"
+    )

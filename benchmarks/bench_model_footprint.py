@@ -1,0 +1,67 @@
+"""§VI.B model footprint: parameter count and inference latency.
+
+The paper reports 234,706 trainable parameters and ~50 ms single-
+fingerprint inference on a smartphone.  We build the paper-scale model
+(206×206 image, 20×20 patches, h=5, L=1) and measure both on this CPU —
+absolute latency differs from a phone SoC, but the order of magnitude
+and the parameter count are directly comparable.
+"""
+
+import numpy as np
+
+from conftest import banner
+from repro.tensor import Tensor, no_grad
+from repro.vit import VitalConfig, VitalModel
+
+PAPER_PARAMS = 234_706
+PAPER_LATENCY_MS = 50.0
+
+
+def _paper_model(num_classes: int = 85) -> VitalModel:
+    # 85 classes ≈ the largest per-building RP count (Building 4, 88 m).
+    return VitalModel(
+        VitalConfig.paper(), image_size=206, channels=3, num_classes=num_classes,
+        rng=np.random.default_rng(0),
+    )
+
+
+def test_parameter_count_vs_paper(benchmark):
+    model = benchmark.pedantic(_paper_model, rounds=1, iterations=1)
+    banner("§VI.B — trainable parameter count (paper-scale configuration)")
+    print(model)
+    measured = model.num_parameters()
+    print(f"measured={measured:,} vs paper={PAPER_PARAMS:,} "
+          f"(ratio {measured / PAPER_PARAMS:.2f}x)")
+    print("unknowns vs paper: exact class count and projection width; see EXPERIMENTS.md")
+    assert 50_000 < measured < 1_000_000, "same order of magnitude as 234,706"
+
+
+def test_single_fingerprint_inference_latency(benchmark):
+    model = _paper_model()
+    model.eval()
+    image = Tensor(np.random.default_rng(1).random((1, 206, 206, 3)).astype(np.float32))
+
+    def infer():
+        with no_grad():
+            return model(image)
+
+    infer()  # warm-up
+    result = benchmark(infer)
+    assert result.shape == (1, 85)
+
+
+def test_fast_preset_inference_latency(benchmark):
+    """The reduced-scale config used across the benches — for context."""
+    config = VitalConfig.fast(24)
+    model = VitalModel(config, image_size=24, channels=3, num_classes=85,
+                       rng=np.random.default_rng(0))
+    model.eval()
+    image = Tensor(np.random.default_rng(1).random((1, 24, 24, 3)).astype(np.float32))
+
+    def infer():
+        with no_grad():
+            return model(image)
+
+    infer()
+    result = benchmark(infer)
+    assert result.shape == (1, 85)

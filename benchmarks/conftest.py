@@ -1,0 +1,80 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Heavy experiment results (the framework × building comparison matrices)
+are computed once per pytest session and shared between benchmark files —
+Fig. 7 and Fig. 8 are two views of the same run, exactly as in the paper.
+
+Every benchmark prints the measured numbers next to the paper's published
+numbers so the report in ``bench_output.txt`` doubles as the
+paper-vs-measured record summarized in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.buildings import benchmark_buildings
+from repro.eval import EvalProtocol, run_comparison
+from repro.eval.frameworks import FRAMEWORK_NAMES
+
+#: AP scaling used across the benchmark suite: ~24/29/22/26 APs per
+#: building keeps the full matrix tractable on a CPU/NumPy substrate.
+AP_SCALE = 24 / 28.0
+
+#: The shared evaluation protocol (seeded, 80/20 stratified split).
+PROTOCOL = EvalProtocol(seed=0)
+
+#: Paper-reported overall numbers (meters) used in printed comparisons.
+PAPER_BASE = {
+    "VITAL": {"mean": 1.18, "max": 3.00},
+    "ANVIL": {"mean": 1.90, "max": 3.56},
+    "SHERPA": {"mean": 2.00, "max": 6.22},
+    "CNNLoc": {"mean": 2.98, "max": 4.58},
+    "WiDeep": {"mean": 3.73, "max": 8.20},
+}
+PAPER_EXTENDED = {
+    "VITAL": {"mean": 1.38, "max": 3.03},
+    "SHERPA": {"mean": 1.70, "max": 3.18},
+    "ANVIL": {"mean": 2.51, "max": 4.00},
+    "CNNLoc": {"mean": 2.94, "max": 3.92},
+    "WiDeep": {"mean": 5.90, "max": 8.20},
+}
+
+
+@pytest.fixture(scope="session")
+def buildings():
+    """The four Fig.-4 buildings at benchmark AP scale."""
+    return benchmark_buildings(ap_scale=AP_SCALE)
+
+
+class _ComparisonCache:
+    """Lazily computed, session-shared comparison results."""
+
+    def __init__(self, buildings):
+        self._buildings = buildings
+        self._results = {}
+
+    def get(self, extended: bool = False, with_dam=None, frameworks=None):
+        names = tuple(frameworks or FRAMEWORK_NAMES)
+        key = (extended, with_dam, names)
+        if key not in self._results:
+            self._results[key] = run_comparison(
+                list(names),
+                buildings=self._buildings,
+                protocol=PROTOCOL,
+                extended=extended,
+                with_dam=with_dam,
+            )
+        return self._results[key]
+
+
+@pytest.fixture(scope="session")
+def comparison_cache(buildings):
+    return _ComparisonCache(buildings)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

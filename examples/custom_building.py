@@ -1,0 +1,94 @@
+"""Bring your own building and your own phone.
+
+The benchmark buildings and device tables are presets; everything is
+constructible from the public API.  This walkthrough:
+
+1. defines a custom 30×12 m office with a U-shaped survey path,
+2. defines a custom smartphone transceiver profile,
+3. surveys, trains VITAL, and evaluates — including on the custom phone
+   the model never saw in training (the Fig. 10 protocol),
+4. exports the survey to CSV for use outside this library.
+
+Run:  python examples/custom_building.py
+"""
+
+import numpy as np
+
+from repro.data import (
+    BASE_DEVICES,
+    SurveyConfig,
+    collect_fingerprints,
+    export_csv,
+    make_custom_building,
+    train_test_split,
+)
+from repro.eval import error_stats
+from repro.radio import DeviceProfile
+from repro.radio.geometry import Point
+from repro.vit import VitalConfig, VitalLocalizer
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. A custom environment: brick office, 46 m U-shaped survey path.
+    # ------------------------------------------------------------------
+    office = make_custom_building(
+        name="Brick Office",
+        width_m=30.0,
+        height_m=12.0,
+        n_aps=16,
+        path_vertices=[Point(2, 2), Point(28, 2), Point(28, 10), Point(8, 10)],
+        material="brick",
+        exponent=3.1,
+        shadowing_sigma_db=3.5,
+        seed=42,
+    )
+    print(f"built: {office.describe()}")
+
+    # ------------------------------------------------------------------
+    # 2. A custom phone: hot transceiver, mediocre sensitivity.
+    # ------------------------------------------------------------------
+    my_phone = DeviceProfile(
+        name="MYPHONE",
+        manufacturer="Acme",
+        model="One",
+        release_year=2024,
+        gain_offset_db=5.5,
+        response_slope=0.87,
+        per_ap_skew_db=2.4,
+        noise_sigma_db=1.1,
+        sensitivity_floor_dbm=-89.0,
+    )
+    print(f"custom device: {my_phone.describe()}\n")
+
+    # ------------------------------------------------------------------
+    # 3. Survey with the six stock phones, train, evaluate.
+    # ------------------------------------------------------------------
+    survey = SurveyConfig(samples_per_visit=5, n_visits=1, seed=7)
+    dataset = collect_fingerprints(office, BASE_DEVICES, survey)
+    train, test = train_test_split(dataset, 0.2, seed=7)
+    print(f"survey: {dataset.summary()}")
+
+    vital = VitalLocalizer(VitalConfig.fast(16, epochs=60), seed=7)
+    vital.fit(train)
+    print(f"stock-device test error: {error_stats(vital.errors_m(test)).row()}")
+
+    # The custom phone was never in the training pool — Fig. 10 protocol.
+    unseen = collect_fingerprints(office, [my_phone], survey)
+    unseen_errors = vital.errors_m(unseen)
+    print(f"custom-device error:     {error_stats(unseen_errors).row()}")
+    within_2m = float((unseen_errors <= 2.0).mean())
+    print(f"custom phone localized within 2 m: {within_2m:.0%}\n")
+
+    # ------------------------------------------------------------------
+    # 4. Export the survey for external tooling.
+    # ------------------------------------------------------------------
+    path = export_csv(dataset, "/tmp/brick_office_survey.csv")
+    with open(path) as handle:
+        lines = handle.readlines()
+    print(f"exported {len(lines) - 1} records to {path}")
+    print(f"CSV columns: {lines[0].strip()[:72]}...")
+
+
+if __name__ == "__main__":
+    main()

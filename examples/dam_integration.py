@@ -1,0 +1,98 @@
+"""Integrating DAM into third-party localization frameworks (Fig. 9).
+
+The paper's Data Augmentation Module is framework-agnostic: §V.A notes it
+"can be integrated into any ML framework".  This example bolts DAM onto
+two prior-work frameworks (SHERPA and KNN) and onto VITAL itself, and
+shows the before/after mean error as the paper's slope graph.
+
+It also demonstrates using the DAM API directly — normalizing a raw
+fingerprint batch, applying the stochastic dropout/in-fill stages, and
+replicating to an RSSI image — for readers wiring DAM into their own
+models.
+
+Run:  python examples/dam_integration.py
+"""
+
+import numpy as np
+
+from repro.baselines import KnnLocalizer, SherpaLocalizer
+from repro.dam import DamConfig, DataAugmentationModule
+from repro.data import (
+    BASE_DEVICES,
+    SurveyConfig,
+    collect_fingerprints,
+    make_building_1,
+    train_test_split,
+)
+from repro.viz import ascii_slope
+from repro.vit import VitalConfig, VitalLocalizer
+
+DAM_FOR_BASELINES = DamConfig(dropout_rate=0.10, noise_sigma=0.05)
+
+
+def dam_api_walkthrough(train):
+    print("=" * 72)
+    print("1. The DAM API on raw fingerprints")
+    print("=" * 72)
+    dam = DataAugmentationModule(DamConfig(dropout_rate=0.2, noise_sigma=0.05, image_size=16))
+    dam.fit(train.features)
+
+    raw_batch = train.features[:4]  # (4, n_aps, 3) dBm
+    normalized = dam.transform(raw_batch)
+    print(f"stage 1 normalize: dBm {raw_batch.min():.0f}…{raw_batch.max():.0f} "
+          f"-> unit range {normalized.min():.2f}…{normalized.max():.2f}")
+
+    rng = np.random.default_rng(0)
+    augmented = dam.augment(normalized, rng)
+    dropped = (augmented != normalized).any(axis=2).sum()
+    print(f"stages 3-4 dropout+infill: {dropped} AP readings knocked out "
+          f"and re-filled near the missing value {dam.normalizer.missing_value:.2f}")
+
+    images = dam.to_images(augmented)
+    print(f"stage 2 replicate: batch {augmented.shape} -> RSSI images {images.shape}\n")
+
+
+def fig9_slope(train, test):
+    print("=" * 72)
+    print("2. Fig. 9 in miniature: every framework with and without DAM")
+    print("=" * 72)
+    arms = {
+        "VITAL": (
+            lambda: VitalLocalizer(VitalConfig.fast(24), seed=0,
+                                   use_dam_augmentation=False),
+            lambda: VitalLocalizer(VitalConfig.fast(24), seed=0,
+                                   use_dam_augmentation=True),
+        ),
+        "SHERPA": (
+            lambda: SherpaLocalizer(seed=0),
+            lambda: SherpaLocalizer(dam_config=DAM_FOR_BASELINES, seed=0),
+        ),
+        "KNN": (
+            lambda: KnnLocalizer(seed=0),
+            lambda: KnnLocalizer(dam_config=DAM_FOR_BASELINES, seed=0),
+        ),
+    }
+    entries = []
+    for name, (without_factory, with_factory) in arms.items():
+        without = float(without_factory().fit(train).errors_m(test).mean())
+        with_dam = float(with_factory().fit(train).errors_m(test).mean())
+        entries.append((name, without, with_dam))
+    print(ascii_slope(entries, left_label="w/o DAM", right_label="w/ DAM",
+                      title="mean error (m), Building 1"))
+    print("\n(the paper reports DAM helping VITAL, ANVIL, SHERPA and CNNLoc, "
+          "while WiDeep overfits and regresses; DAM's gains concentrate in "
+          "noisy environments and in the tail errors — augmentation needs "
+          "the full training budget to pay off)")
+
+
+def main():
+    building = make_building_1(n_aps=24)
+    print(f"environment: {building.describe()}\n")
+    dataset = collect_fingerprints(building, BASE_DEVICES, SurveyConfig(n_visits=1, seed=0))
+    train, test = train_test_split(dataset, 0.2, seed=0)
+    dam_api_walkthrough(train)
+    fig9_slope(train, test)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Device-heterogeneity analysis — the paper's Section III, interactive.
+
+Shows *why* naive fingerprinting breaks across phones:
+
+1. capture RSSI bursts from all nine smartphones at one location and
+   render the per-device mean series (the paper's Fig. 1),
+2. quantify the four observations: inter-device deviation, similar
+   pattern pairs, non-fixed skews, missing APs,
+3. demonstrate the consequence: a plain KNN trained on one device
+   degrades on every other device, while VITAL degrades gracefully.
+
+Run:  python examples/heterogeneity_analysis.py
+"""
+
+import numpy as np
+
+from repro.data import (
+    ALL_DEVICES,
+    BASE_DEVICES,
+    SurveyConfig,
+    collect_fingerprints,
+    collect_single_location,
+    make_building_3,
+    train_test_split,
+)
+from repro.baselines import KnnLocalizer
+from repro.radio.device import NOT_VISIBLE_DBM
+from repro.viz import ascii_series, ascii_table
+from repro.vit import VitalConfig, VitalLocalizer
+
+
+def fig1_analysis(building):
+    location = building.reference_points()[40]
+    bursts = collect_single_location(building, location, ALL_DEVICES, n_samples=10, seed=0)
+    means = {name: burst.mean(axis=0) for name, burst in bursts.items()}
+
+    print("=" * 72)
+    print("1. RSSI fingerprints of the same location, nine different phones")
+    print("=" * 72)
+    subset = {k: means[k] for k in ("HTC", "S7", "IPHONE", "PIXEL")}
+    print(ascii_series(subset, title="mean RSSI per AP (dBm), 4 of 9 devices",
+                       x_labels=[f"A{i}" for i in range(building.n_aps)]))
+
+    print("\nper-device profile vs what it observes:")
+    rows = []
+    for device in ALL_DEVICES:
+        series = means[device.name]
+        visible = int((series > NOT_VISIBLE_DBM).sum())
+        strongest = float(series.max())
+        rows.append([device.name, device.gain_offset_db, device.response_slope,
+                     device.sensitivity_floor_dbm, visible, strongest])
+    print(ascii_table(
+        rows,
+        ["device", "offset dB", "slope", "floor dBm", "visible APs", "strongest dBm"],
+    ))
+
+    spread = []
+    stack = np.stack([np.where(m > NOT_VISIBLE_DBM, m, np.nan) for m in means.values()])
+    spread = np.nanmax(stack, axis=0) - np.nanmin(stack, axis=0)
+    print(f"\nobservation 1 — deviation: same-spot RSSI differs by "
+          f"{np.nanmean(spread):.1f} dB on average across devices (max {np.nanmax(spread):.1f} dB)")
+
+    def dist(a, b):
+        mask = (means[a] > NOT_VISIBLE_DBM) & (means[b] > NOT_VISIBLE_DBM)
+        return float(np.abs(means[a][mask] - means[b][mask]).mean())
+
+    print(f"observation 2 — similar pairs: |HTC−S7| = {dist('HTC', 'S7'):.1f} dB and "
+          f"|IPHONE−PIXEL| = {dist('IPHONE', 'PIXEL'):.1f} dB, vs "
+          f"|BLU−MOTO| = {dist('BLU', 'MOTO'):.1f} dB")
+
+    skews = [ALL_DEVICES[1].ap_skew(ap.mac) for ap in building.access_points[:5]]
+    print(f"observation 3 — non-fixed skews: HTC per-AP skew varies "
+          f"{min(skews):+.1f} … {max(skews):+.1f} dB across APs")
+
+    blind_count = sum(
+        1
+        for idx in range(building.n_aps)
+        if means["HTC"][idx] > NOT_VISIBLE_DBM
+        and any(means[d.name][idx] <= NOT_VISIBLE_DBM for d in ALL_DEVICES)
+    )
+    print(f"observation 4 — missing APs: {blind_count} AP(s) visible to HTC "
+          f"but invisible to at least one other phone\n")
+
+
+def consequence_for_localization(building):
+    print("=" * 72)
+    print("2. The consequence: single-device training does not transfer")
+    print("=" * 72)
+    dataset = collect_fingerprints(building, BASE_DEVICES, SurveyConfig(n_visits=1, seed=0))
+    train, test = train_test_split(dataset, 0.2, seed=0)
+
+    # Train a naive KNN on HTC data only; test per device.
+    knn = KnnLocalizer(seed=0).fit(train.filter_devices("HTC"))
+    vital = VitalLocalizer(VitalConfig.fast(24, epochs=60), seed=0).fit(train)
+
+    rows = []
+    for device in sorted(set(test.devices.tolist())):
+        subset = test.subset(np.where(test.devices == device)[0])
+        knn_err = float(knn.errors_m(subset).mean())
+        vital_err = float(vital.errors_m(subset).mean())
+        rows.append([device, knn_err, vital_err])
+    print(ascii_table(
+        rows,
+        ["test device", "KNN (HTC-only training)", "VITAL (group training)"],
+        title="mean localization error (m) per device",
+    ))
+    knn_spread = max(r[1] for r in rows) - min(r[1] for r in rows)
+    vital_spread = max(r[2] for r in rows) - min(r[2] for r in rows)
+    print(f"\ncross-device error spread: KNN {knn_spread:.2f} m vs VITAL {vital_spread:.2f} m")
+    print("group training + DAM gives VITAL near-uniform accuracy across radios.")
+
+
+def main():
+    building = make_building_3(n_aps=24)
+    print(f"environment: {building.describe()}\n")
+    fig1_analysis(building)
+    consequence_for_localization(building)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``pip install -e .`` also works on offline machines whose setuptools
+lacks the ``wheel`` package required by PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

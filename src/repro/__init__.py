@@ -1,0 +1,36 @@
+"""VITAL reproduction: heterogeneity-resilient indoor localization.
+
+Reproduction of "VITAL: Vision Transformer Neural Networks for Accurate
+Smartphone Heterogeneity Resilient Indoor Localization" (DAC 2023) as a
+self-contained Python library:
+
+* :mod:`repro.tensor` / :mod:`repro.nn` — from-scratch autograd + neural
+  network stack (no PyTorch/TensorFlow available in this environment).
+* :mod:`repro.radio` / :mod:`repro.data` — indoor RF propagation simulator
+  and fingerprint survey substitute for the paper's private dataset.
+* :mod:`repro.dam` / :mod:`repro.vit` — the paper's contributions: the
+  Data Augmentation Module and the vision-transformer localizer.
+* :mod:`repro.baselines` — ANVIL, SHERPA, CNNLoc, WiDeep and classical
+  references, all behind one :class:`repro.localization.Localizer`
+  interface.
+* :mod:`repro.eval` / :mod:`repro.viz` — the experiment runner and
+  terminal rendering that regenerate every figure of the evaluation.
+
+Quickstart
+----------
+>>> from repro.data import make_building_1, BASE_DEVICES, collect_fingerprints
+>>> from repro.data import SurveyConfig, train_test_split
+>>> from repro.vit import VitalConfig, VitalLocalizer
+>>> building = make_building_1(n_aps=24)
+>>> data = collect_fingerprints(building, BASE_DEVICES, SurveyConfig(n_visits=1))
+>>> train, test = train_test_split(data)
+>>> vital = VitalLocalizer(VitalConfig.fast(24), seed=0).fit(train)
+>>> float(vital.errors_m(test).mean())  # doctest: +SKIP
+1.05
+"""
+
+from repro.localization import Localizer
+
+__version__ = "1.0.0"
+
+__all__ = ["Localizer", "__version__"]

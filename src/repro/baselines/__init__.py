@@ -1,0 +1,36 @@
+"""The comparison frameworks the paper evaluates against (§VI.C).
+
+* :class:`AnvilLocalizer` — ANVIL [19]: multi-head attention encoder with
+  Euclidean-distance matching against per-RP gallery embeddings.
+* :class:`SherpaLocalizer` — SHERPA [20]: DNN feature extractor with KNN
+  voting in the learned feature space.
+* :class:`CnnLocLocalizer` — CNNLoc [21]: stacked autoencoder + 1-D CNN
+  classifier.
+* :class:`WiDeepLocalizer` — WiDeep [22]: denoising stacked autoencoder +
+  Gaussian-process classifier.
+
+Plus calibration-free classical references (SSD / HLF pairwise-difference
+fingerprints [18]) and a plain KNN, and the substrates the baselines need
+(stacked autoencoder, GP classifier).
+"""
+
+from repro.baselines.classical import KnnLocalizer, SsdLocalizer, HlfLocalizer
+from repro.baselines.autoencoder import StackedAutoencoder
+from repro.baselines.gaussian_process import GaussianProcessClassifier, rbf_kernel
+from repro.baselines.anvil import AnvilLocalizer
+from repro.baselines.sherpa import SherpaLocalizer
+from repro.baselines.cnnloc import CnnLocLocalizer
+from repro.baselines.wideep import WiDeepLocalizer
+
+__all__ = [
+    "KnnLocalizer",
+    "SsdLocalizer",
+    "HlfLocalizer",
+    "StackedAutoencoder",
+    "GaussianProcessClassifier",
+    "rbf_kernel",
+    "AnvilLocalizer",
+    "SherpaLocalizer",
+    "CnnLocLocalizer",
+    "WiDeepLocalizer",
+]

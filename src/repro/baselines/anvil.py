@@ -1,0 +1,150 @@
+"""ANVIL baseline [19]: multi-head attention + Euclidean matching.
+
+ANVIL treats each AP as a token, runs a multi-head attention encoder over
+the fingerprint, and matches the resulting embedding against per-RP
+gallery embeddings by Euclidean distance.  Training is supervised through
+a classification head; inference discards the head and uses the embedding
+space (the paper's "Euclidean distance-based matching approach").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.baselines.common import MEAN_CHANNEL, DamMixin, pairwise_euclidean, select_channels
+from repro.dam.pipeline import DamConfig
+from repro.data.fingerprint import FingerprintDataset
+from repro.localization import Localizer
+from repro.tensor import Tensor, no_grad
+
+
+class _AnvilNetwork(nn.Module):
+    """Per-AP token embedding → MSA → pooled embedding → class logits."""
+
+    def __init__(
+        self,
+        n_aps: int,
+        channels: int,
+        embed_dim: int,
+        heads: int,
+        num_classes: int,
+        dropout: float,
+        rng=None,
+    ):
+        super().__init__()
+        self.token_proj = nn.Dense(channels, embed_dim, rng=rng)
+        self.ap_position = nn.Parameter(
+            nn.init.truncated_normal((n_aps, embed_dim), std=0.02, rng=rng)
+        )
+        self.norm = nn.LayerNorm(embed_dim)
+        self.attention = nn.MultiHeadSelfAttention(embed_dim, heads, dropout=dropout, rng=rng)
+        self.post_norm = nn.LayerNorm(embed_dim)
+        self.embed_head = nn.Dense(embed_dim, embed_dim, rng=rng)
+        self.classifier = nn.Dense(embed_dim, num_classes, rng=rng)
+        self.dropout = nn.Dropout(dropout, rng=rng)
+
+    def embed(self, x: Tensor) -> Tensor:
+        """(batch, n_aps, channels) → (batch, embed_dim) embeddings."""
+        tokens = self.token_proj(x) + self.ap_position
+        tokens = tokens + self.attention(self.norm(tokens))
+        pooled = self.post_norm(tokens).mean(axis=1)
+        return self.embed_head(pooled).tanh()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.dropout(self.embed(x)))
+
+
+class AnvilLocalizer(DamMixin, Localizer):
+    """ANVIL: attention encoder with Euclidean gallery matching."""
+
+    name = "ANVIL"
+
+    def __init__(
+        self,
+        embed_dim: int = 48,
+        heads: int = 4,
+        dropout: float = 0.1,
+        epochs: int = 40,
+        lr: float = 2e-3,
+        batch_size: int = 32,
+        channels: tuple[int, ...] = MEAN_CHANNEL,
+        dam_config: DamConfig | None = None,
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.embed_dim = embed_dim
+        self.channels = tuple(channels)
+        self.heads = heads
+        self.dropout = dropout
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.seed = seed
+        self._init_dam(dam_config)
+        self.network: _AnvilNetwork | None = None
+        self.trainer: nn.Trainer | None = None
+        self._gallery: np.ndarray | None = None  # (n_rps, embed_dim)
+        self._gallery_rps: np.ndarray | None = None
+
+    def fit(self, train: FingerprintDataset) -> "AnvilLocalizer":
+        self._remember_rps(train)
+        self._fit_dam(train.features)
+        rng = np.random.default_rng(self.seed)
+
+        self.network = _AnvilNetwork(
+            n_aps=train.n_aps,
+            channels=len(self.channels),
+            embed_dim=self.embed_dim,
+            heads=self.heads,
+            num_classes=train.n_rps,
+            dropout=self.dropout,
+            rng=rng,
+        )
+
+        def augment(batch: np.ndarray, batch_rng: np.random.Generator) -> np.ndarray:
+            augmented = self._augment_batch(batch, batch_rng)
+            return select_channels(augmented, self.channels).astype(np.float32)
+
+        self.trainer = nn.Trainer(
+            self.network,
+            nn.CrossEntropyLoss(),
+            config=nn.TrainConfig(
+                epochs=self.epochs,
+                batch_size=self.batch_size,
+                lr=self.lr,
+                seed=self.seed,
+            ),
+            augment_fn=augment,
+        )
+        self.trainer.fit(train.features, train.labels)
+
+        # Build the per-RP gallery: mean embedding of training records.
+        embeddings = self._embed(
+            select_channels(self._normalize(train.features), self.channels)
+        )
+        gallery, gallery_rps = [], []
+        for rp in np.unique(train.labels):
+            gallery.append(embeddings[train.labels == rp].mean(axis=0))
+            gallery_rps.append(rp)
+        self._gallery = np.stack(gallery)
+        self._gallery_rps = np.asarray(gallery_rps)
+        return self
+
+    def _embed(self, normalized: np.ndarray) -> np.ndarray:
+        self.network.eval()
+        chunks = []
+        with no_grad():
+            for begin in range(0, len(normalized), 256):
+                batch = Tensor(normalized[begin : begin + 256].astype(np.float32))
+                chunks.append(self.network.embed(batch).data)
+        return np.concatenate(chunks, axis=0)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._gallery is None:
+            raise RuntimeError("ANVIL not fitted")
+        queries = self._embed(
+            select_channels(self._normalize(features), self.channels)
+        )
+        distances = pairwise_euclidean(queries, self._gallery)
+        return self._gallery_rps[distances.argmin(axis=1)]

@@ -1,0 +1,131 @@
+"""Stacked (optionally denoising) autoencoder substrate.
+
+Both CNNLoc [21] and WiDeep [22] build on stacked autoencoders: CNNLoc as
+a feature-compressing front end, WiDeep as an aggressive *denoising* AE.
+This module provides one trainable implementation with a corruption knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, no_grad
+
+
+class StackedAutoencoder(nn.Module):
+    """Symmetric dense autoencoder with configurable bottleneck stack.
+
+    Parameters
+    ----------
+    input_dim:
+        Flattened fingerprint width.
+    hidden_units:
+        Encoder widths; the decoder mirrors them.  The last entry is the
+        bottleneck ("code") dimension.
+    corruption:
+        Std-dev of Gaussian noise added to inputs during training — 0
+        gives a plain SAE (CNNLoc), large values give the aggressive
+        denoising behaviour the paper blames for WiDeep's errors.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_units: tuple[int, ...] = (128, 64),
+        corruption: float = 0.0,
+        rng=None,
+    ):
+        super().__init__()
+        if not hidden_units:
+            raise ValueError("need at least one hidden layer")
+        if corruption < 0:
+            raise ValueError("corruption must be non-negative")
+        self.input_dim = input_dim
+        self.hidden_units = tuple(hidden_units)
+        self.corruption = corruption
+
+        encoder_layers: list[nn.Module] = []
+        width = input_dim
+        for units in hidden_units:
+            encoder_layers += [nn.Dense(width, units, rng=rng), nn.ReLU()]
+            width = units
+        self.encoder = nn.Sequential(*encoder_layers)
+
+        decoder_layers: list[nn.Module] = []
+        for units in reversed((input_dim,) + self.hidden_units[:-1]):
+            decoder_layers += [nn.Dense(width, units, rng=rng), nn.ReLU()]
+            width = units
+        # The final ReLU would clamp reconstructions; replace with identity.
+        decoder_layers[-1] = nn.Identity()
+        self.decoder = nn.Sequential(*decoder_layers)
+
+    @property
+    def code_dim(self) -> int:
+        return self.hidden_units[-1]
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.decoder(self.encoder(x))
+
+    # ------------------------------------------------------------------
+    def pretrain(
+        self,
+        data: np.ndarray,
+        epochs: int = 30,
+        batch_size: int = 32,
+        lr: float = 1e-3,
+        seed: int = 0,
+    ) -> list[float]:
+        """Unsupervised reconstruction training; returns per-epoch losses.
+
+        With ``corruption > 0`` the network reconstructs the *clean* input
+        from a noise-corrupted copy (denoising objective).
+        """
+        data = np.asarray(data, dtype=np.float32)
+        if data.ndim != 2 or data.shape[1] != self.input_dim:
+            raise ValueError(f"expected (n, {self.input_dim}), got {data.shape}")
+        rng = np.random.default_rng(seed)
+        optimizer = nn.Adam(self.parameters(), lr=lr)
+        loss_fn = nn.MSELoss()
+        losses: list[float] = []
+        self.train()
+        for _epoch in range(epochs):
+            order = rng.permutation(len(data))
+            epoch_loss = 0.0
+            for begin in range(0, len(order), batch_size):
+                idx = order[begin : begin + batch_size]
+                clean = data[idx]
+                noisy = clean + rng.normal(0, self.corruption, clean.shape).astype(
+                    np.float32
+                ) if self.corruption > 0 else clean
+                reconstruction = self(Tensor(noisy))
+                loss = loss_fn(reconstruction, clean)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += float(loss.data) * len(idx)
+            losses.append(epoch_loss / len(data))
+        self.eval()
+        return losses
+
+    def encode(self, data: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Bottleneck codes for ``(n, input_dim)`` data (eval mode)."""
+        data = np.asarray(data, dtype=np.float32)
+        self.eval()
+        chunks = []
+        with no_grad():
+            for begin in range(0, len(data), batch_size):
+                chunk = self.encoder(Tensor(data[begin : begin + batch_size]))
+                chunks.append(chunk.data)
+        return np.concatenate(chunks, axis=0)
+
+    def reconstruct(self, data: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Decoder outputs for ``(n, input_dim)`` data (eval mode)."""
+        data = np.asarray(data, dtype=np.float32)
+        self.eval()
+        chunks = []
+        with no_grad():
+            for begin in range(0, len(data), batch_size):
+                chunk = self(Tensor(data[begin : begin + batch_size]))
+                chunks.append(chunk.data)
+        return np.concatenate(chunks, axis=0)

@@ -1,0 +1,125 @@
+"""Classical fingerprinting references: KNN, SSD and HLF.
+
+SSD (Signal Strength Difference) and HLF (Hyperbolic Location Fingerprint)
+are the calibration-free transforms of Fang et al. [18] the paper cites:
+both cancel a device's additive gain offset by working with *differences*
+of AP readings instead of absolute RSSI — SSD against a single anchor AP,
+HLF over all AP pairs.  They remain sensitive to slope/skew heterogeneity,
+which is why the paper reports they converge slowly on diverse phones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import (
+    MEAN_CHANNEL,
+    DamMixin,
+    flatten_channels,
+    knn_vote,
+    pairwise_euclidean,
+    select_channels,
+)
+from repro.dam.pipeline import DamConfig
+from repro.data.fingerprint import FingerprintDataset
+from repro.localization import Localizer
+
+
+class KnnLocalizer(DamMixin, Localizer):
+    """Plain distance-weighted KNN on normalized fingerprints."""
+
+    name = "KNN"
+
+    def __init__(
+        self,
+        k: int = 5,
+        channels: tuple[int, ...] = MEAN_CHANNEL,
+        dam_config: DamConfig | None = None,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.channels = tuple(channels)
+        self.seed = seed
+        self._init_dam(dam_config)
+        self._gallery: np.ndarray | None = None
+        self._gallery_labels: np.ndarray | None = None
+        self._n_classes = 0
+
+    def _vectors(self, normalized: np.ndarray) -> np.ndarray:
+        return flatten_channels(select_channels(normalized, self.channels))
+
+    def fit(self, train: FingerprintDataset) -> "KnnLocalizer":
+        self._remember_rps(train)
+        self._fit_dam(train.features)
+        rng = np.random.default_rng(self.seed)
+        vectors, labels = self._expanded_training_set(
+            train.features, train.labels, rng, copies=2
+        )
+        self._gallery = self._vectors(vectors)
+        self._gallery_labels = labels
+        self._n_classes = train.n_rps
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._gallery is None:
+            raise RuntimeError(f"{self.name} not fitted")
+        queries = self._vectors(self._normalize(features))
+        distances = pairwise_euclidean(queries, self._gallery)
+        return knn_vote(distances, self._gallery_labels, self.k, self._n_classes)
+
+
+class SsdLocalizer(KnnLocalizer):
+    """KNN over Signal-Strength-Difference features.
+
+    Every AP reading is replaced by its difference to an anchor AP (the
+    globally strongest AP in the training data), cancelling additive
+    device offsets.
+    """
+
+    name = "SSD"
+
+    def __init__(
+        self,
+        k: int = 5,
+        channels: tuple[int, ...] = MEAN_CHANNEL,
+        dam_config: DamConfig | None = None,
+        seed: int = 0,
+    ):
+        super().__init__(k=k, channels=channels, dam_config=dam_config, seed=seed)
+        self._anchor: int | None = None
+
+    def fit(self, train: FingerprintDataset) -> "SsdLocalizer":
+        # Anchor choice must precede gallery construction in the base fit.
+        mean_channel = train.features[:, :, 2]
+        self._anchor = int(mean_channel.mean(axis=0).argmax())
+        super().fit(train)
+        return self
+
+    def _vectors(self, normalized: np.ndarray) -> np.ndarray:
+        if self._anchor is None:
+            raise RuntimeError("SSD anchor not selected; call fit first")
+        selected = select_channels(normalized, self.channels)
+        anchored = selected - selected[:, self._anchor : self._anchor + 1, :]
+        return flatten_channels(anchored)
+
+
+class HlfLocalizer(KnnLocalizer):
+    """KNN over Hyperbolic-Location-Fingerprint (pairwise ratio) features.
+
+    In log domain the power ratio of APs i and j is their dB difference,
+    so the HLF feature vector is all pairwise differences of the mean
+    channel.  Dimensionality is R·(R−1)/2.
+    """
+
+    name = "HLF"
+
+    def _vectors(self, normalized: np.ndarray) -> np.ndarray:
+        mean_channel = normalized[:, :, 2]
+        n_aps = mean_channel.shape[1]
+        rows, cols = np.triu_indices(n_aps, k=1)
+        pairs = mean_channel[:, rows] - mean_channel[:, cols]
+        # Scale by the pair count so distances stay comparable to SSD/KNN.
+        return (pairs / np.sqrt(len(rows))).astype(np.float32)

@@ -1,0 +1,133 @@
+"""Shared plumbing for the baseline frameworks.
+
+Every baseline natively normalizes raw dBm fingerprints with the
+calibration-free min-max map; when a :class:`DamConfig` is supplied
+(the Fig. 9 DAM-integration experiment) the framework instead routes its
+training batches through a fitted :class:`DataAugmentationModule`, exactly
+as VITAL does — demonstrating the paper's claim that DAM "can be
+integrated into any ML framework".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dam.pipeline import DamConfig, DataAugmentationModule
+
+
+class DamMixin:
+    """Adds optional DAM support to a Localizer implementation.
+
+    Subclasses call :meth:`_fit_dam` during ``fit`` and then use
+    :meth:`_normalize` (deterministic path, online phase) and
+    :meth:`_augment_batch` (stochastic path, training) on raw
+    ``(n, R, 3)`` dBm features.
+    """
+
+    def _init_dam(self, dam_config: DamConfig | None):
+        self._dam_config = dam_config
+        self._dam: DataAugmentationModule | None = None
+
+    @property
+    def uses_dam(self) -> bool:
+        return self._dam_config is not None
+
+    def _fit_dam(self, features: np.ndarray) -> None:
+        config = self._dam_config or DamConfig(dropout_rate=0.0, noise_sigma=0.0)
+        self._dam = DataAugmentationModule(config).fit(features)
+
+    def _normalize(self, features: np.ndarray) -> np.ndarray:
+        """Deterministic normalization, shape-preserving ``(n, R, 3)``."""
+        if self._dam is None:
+            raise RuntimeError("DAM/normalizer used before fit")
+        return self._dam.transform(np.asarray(features, dtype=np.float64))
+
+    def _augment_batch(self, features: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Training-time path: normalize, then DAM stages 3-4 if enabled."""
+        normalized = self._normalize(features)
+        if self.uses_dam:
+            normalized = self._dam.augment(normalized, rng)
+        return normalized
+
+    def _expanded_training_set(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        rng: np.random.Generator,
+        copies: int = 2,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dataset-expansion flavour of DAM for non-iterative learners.
+
+        KNN galleries and GP classifiers have no epoch loop to re-augment,
+        so DAM integration materializes ``copies`` augmented replicas of
+        the training set instead.
+        """
+        base = self._normalize(features)
+        if not self.uses_dam or copies < 1:
+            return base, np.asarray(labels)
+        parts = [base]
+        label_parts = [np.asarray(labels)]
+        for _copy in range(copies):
+            parts.append(self._dam.augment(base, rng))
+            label_parts.append(np.asarray(labels))
+        return np.concatenate(parts), np.concatenate(label_parts)
+
+
+def flatten_channels(normalized: np.ndarray) -> np.ndarray:
+    """``(n, R, C)`` → ``(n, R*C)`` float32 model input."""
+    normalized = np.asarray(normalized)
+    return normalized.reshape(normalized.shape[0], -1).astype(np.float32)
+
+
+#: The mean-RSSI channel index in the (min, max, mean) layout.
+MEAN_CHANNEL: tuple[int, ...] = (2,)
+
+
+def select_channels(normalized: np.ndarray, channels: tuple[int, ...]) -> np.ndarray:
+    """Keep a subset of the (min, max, mean) channels: ``(n, R, C')``.
+
+    The three-channel pixel is VITAL's contribution; the prior-work
+    frameworks it compares against consume a single RSSI vector, so the
+    baselines default to the mean channel only.
+    """
+    normalized = np.asarray(normalized)
+    return normalized[:, :, list(channels)]
+
+
+def knn_vote(
+    distances: np.ndarray, labels: np.ndarray, k: int, n_classes: int
+) -> np.ndarray:
+    """Distance-weighted k-nearest-neighbour vote.
+
+    Parameters
+    ----------
+    distances:
+        ``(n_query, n_gallery)`` pairwise distances.
+    labels:
+        ``(n_gallery,)`` integer labels.
+    k:
+        Neighbour count (clipped to the gallery size).
+    n_classes:
+        Total label count.
+
+    Returns
+    -------
+    ``(n_query,)`` predicted labels.
+    """
+    k = min(k, distances.shape[1])
+    neighbour_idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
+    predictions = np.empty(distances.shape[0], dtype=np.int64)
+    for row in range(distances.shape[0]):
+        idx = neighbour_idx[row]
+        weights = 1.0 / (distances[row, idx] + 1e-6)
+        votes = np.bincount(labels[idx], weights=weights, minlength=n_classes)
+        predictions[row] = int(votes.argmax())
+    return predictions
+
+
+def pairwise_euclidean(queries: np.ndarray, gallery: np.ndarray) -> np.ndarray:
+    """``(n_q, d) × (n_g, d)`` → ``(n_q, n_g)`` Euclidean distances."""
+    q_sq = (queries**2).sum(axis=1)[:, None]
+    g_sq = (gallery**2).sum(axis=1)[None, :]
+    cross = queries @ gallery.T
+    return np.sqrt(np.maximum(q_sq + g_sq - 2.0 * cross, 0.0))

@@ -1,0 +1,130 @@
+"""SHERPA baseline [20]: a DNN feature extractor with KNN matching.
+
+SHERPA trains a lightweight dense classifier, then performs prediction by
+k-nearest-neighbour voting in the network's penultimate feature space —
+"KNN enhanced with DNNs".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.baselines.common import (
+    MEAN_CHANNEL,
+    DamMixin,
+    flatten_channels,
+    knn_vote,
+    pairwise_euclidean,
+    select_channels,
+)
+from repro.dam.pipeline import DamConfig
+from repro.data.fingerprint import FingerprintDataset
+from repro.localization import Localizer
+from repro.tensor import Tensor, no_grad
+
+
+class _SherpaNetwork(nn.Module):
+    """Dense classifier exposing its penultimate features."""
+
+    def __init__(self, input_dim: int, hidden: tuple[int, ...], num_classes: int, dropout: float, rng=None):
+        super().__init__()
+        layers: list[nn.Module] = []
+        width = input_dim
+        for units in hidden:
+            layers += [nn.Dense(width, units, rng=rng), nn.ReLU(), nn.Dropout(dropout, rng=rng)]
+            width = units
+        self.backbone = nn.Sequential(*layers)
+        self.classifier = nn.Dense(width, num_classes, rng=rng)
+
+    def features(self, x: Tensor) -> Tensor:
+        return self.backbone(x)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.backbone(x))
+
+
+class SherpaLocalizer(DamMixin, Localizer):
+    """SHERPA: DNN feature space + distance-weighted KNN vote."""
+
+    name = "SHERPA"
+
+    def __init__(
+        self,
+        hidden: tuple[int, ...] = (32, 16),
+        k: int = 5,
+        dropout: float = 0.1,
+        epochs: int = 30,
+        lr: float = 2e-3,
+        batch_size: int = 32,
+        channels: tuple[int, ...] = MEAN_CHANNEL,
+        dam_config: DamConfig | None = None,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.hidden = tuple(hidden)
+        self.k = k
+        self.dropout = dropout
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.channels = tuple(channels)
+        self.seed = seed
+        self._init_dam(dam_config)
+        self.network: _SherpaNetwork | None = None
+        self._gallery: np.ndarray | None = None
+        self._gallery_labels: np.ndarray | None = None
+        self._n_classes = 0
+
+    def fit(self, train: FingerprintDataset) -> "SherpaLocalizer":
+        self._remember_rps(train)
+        self._fit_dam(train.features)
+        self._n_classes = train.n_rps
+
+        self.network = _SherpaNetwork(
+            input_dim=train.n_aps * len(self.channels),
+            hidden=self.hidden,
+            num_classes=train.n_rps,
+            dropout=self.dropout,
+            rng=np.random.default_rng(self.seed),
+        )
+
+        def augment(batch: np.ndarray, batch_rng: np.random.Generator) -> np.ndarray:
+            return flatten_channels(
+                select_channels(self._augment_batch(batch, batch_rng), self.channels)
+            )
+
+        trainer = nn.Trainer(
+            self.network,
+            nn.CrossEntropyLoss(),
+            config=nn.TrainConfig(
+                epochs=self.epochs, batch_size=self.batch_size, lr=self.lr, seed=self.seed
+            ),
+            augment_fn=augment,
+        )
+        trainer.fit(train.features, train.labels)
+
+        self._gallery = self._feature_space(train.features)
+        self._gallery_labels = train.labels.copy()
+        return self
+
+    def _feature_space(self, features: np.ndarray) -> np.ndarray:
+        vectors = flatten_channels(
+            select_channels(self._normalize(features), self.channels)
+        )
+        self.network.eval()
+        chunks = []
+        with no_grad():
+            for begin in range(0, len(vectors), 256):
+                chunk = self.network.features(Tensor(vectors[begin : begin + 256]))
+                chunks.append(chunk.data)
+        return np.concatenate(chunks, axis=0)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._gallery is None:
+            raise RuntimeError("SHERPA not fitted")
+        queries = self._feature_space(features)
+        distances = pairwise_euclidean(queries, self._gallery)
+        return knn_vote(distances, self._gallery_labels, self.k, self._n_classes)

@@ -1,0 +1,100 @@
+"""WiDeep baseline [22]: denoising stacked autoencoder + GP classifier.
+
+WiDeep corrupts fingerprints aggressively and trains an autoencoder to
+reconstruct them, then classifies the autoencoder representation with a
+Gaussian-process classifier.  The paper attributes WiDeep's weak results
+to precisely this aggressive denoising — the reconstructions drift far
+enough from the inputs that the classifier struggles.  The ``corruption``
+default reflects that design choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.autoencoder import StackedAutoencoder
+from repro.baselines.common import MEAN_CHANNEL, DamMixin, flatten_channels, select_channels
+from repro.baselines.gaussian_process import GaussianProcessClassifier
+from repro.dam.pipeline import DamConfig
+from repro.data.fingerprint import FingerprintDataset
+from repro.localization import Localizer
+
+
+class WiDeepLocalizer(DamMixin, Localizer):
+    """WiDeep: denoising SAE features into a Gaussian-process classifier."""
+
+    name = "WiDeep"
+
+    def __init__(
+        self,
+        sae_units: tuple[int, ...] | None = None,
+        corruption: float = 0.18,
+        sae_epochs: int = 40,
+        lr: float = 1e-3,
+        batch_size: int = 32,
+        gp_noise: float = 1e-3,
+        channels: tuple[int, ...] = MEAN_CHANNEL,
+        dam_config: DamConfig | None = None,
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.sae_units = tuple(sae_units) if sae_units is not None else None
+        self.corruption = corruption
+        self.sae_epochs = sae_epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.gp_noise = gp_noise
+        self.channels = tuple(channels)
+        self.seed = seed
+        self._init_dam(dam_config)
+        self.sae: StackedAutoencoder | None = None
+        self.classifier: GaussianProcessClassifier | None = None
+
+    def fit(self, train: FingerprintDataset) -> "WiDeepLocalizer":
+        self._remember_rps(train)
+        self._fit_dam(train.features)
+        rng = np.random.default_rng(self.seed)
+
+        normalized = self._normalize(train.features)
+        if self.uses_dam:
+            # DAM bolted onto WiDeep stacks its dropout/in-fill on top of
+            # the denoising SAE's own corruption; the GP then fits the
+            # geometry of corrupted fingerprints while online queries are
+            # clean.  The paper observes exactly this failure mode:
+            # "WiDeep shows higher mean errors with the inclusion of DAM,
+            # as it tends to overfit easily."
+            normalized = self._dam.augment(normalized, rng)
+        labels = train.labels
+        vectors = flatten_channels(select_channels(normalized, self.channels))
+
+        units = self.sae_units or (
+            max(4, (3 * vectors.shape[1]) // 4),
+            max(2, (2 * vectors.shape[1]) // 5),
+        )
+        self.sae = StackedAutoencoder(
+            input_dim=vectors.shape[1],
+            hidden_units=units,
+            corruption=self.corruption,
+            rng=rng,
+        )
+        self.sae.pretrain(
+            vectors,
+            epochs=self.sae_epochs,
+            batch_size=self.batch_size,
+            lr=self.lr,
+            seed=self.seed,
+        )
+
+        codes = self.sae.encode(vectors)
+        self.classifier = GaussianProcessClassifier(noise=self.gp_noise)
+        self.classifier.fit(codes, labels, n_classes=train.n_rps)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.sae is None or self.classifier is None:
+            raise RuntimeError("WiDeep not fitted")
+        vectors = flatten_channels(
+            select_channels(self._normalize(features), self.channels)
+        )
+        codes = self.sae.encode(vectors)
+        return self.classifier.predict(codes)

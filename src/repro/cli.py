@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``survey``    simulate an offline fingerprint survey and save it
+``train``     train VITAL on a saved survey and save the weights
+``evaluate``  localization-error report of saved weights on a survey
+``compare``   run the framework comparison on one benchmark building
+``buildings`` list the benchmark buildings and device tables
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VITAL (DAC 2023) reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    survey = sub.add_parser("survey", help="simulate an offline survey")
+    survey.add_argument("--building", type=int, default=1, choices=(1, 2, 3, 4))
+    survey.add_argument("--n-aps", type=int, default=24)
+    survey.add_argument("--devices", default="base", choices=("base", "extended", "all"))
+    survey.add_argument("--visits", type=int, default=1)
+    survey.add_argument("--seed", type=int, default=0)
+    survey.add_argument("--out", required=True, help="output .npz path")
+    survey.add_argument("--csv", help="also export a CSV copy")
+
+    train = sub.add_parser("train", help="train VITAL on a saved survey")
+    train.add_argument("--data", required=True, help="survey .npz from `survey`")
+    train.add_argument("--image-size", type=int, default=24)
+    train.add_argument("--epochs", type=int, default=120)
+    train.add_argument("--test-fraction", type=float, default=0.2)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", required=True, help="output weights .npz path")
+
+    evaluate = sub.add_parser("evaluate", help="evaluate saved weights")
+    evaluate.add_argument("--data", required=True)
+    evaluate.add_argument("--weights", required=True)
+    evaluate.add_argument("--image-size", type=int, default=24)
+    evaluate.add_argument("--test-fraction", type=float, default=0.2)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    compare = sub.add_parser("compare", help="framework comparison on one building")
+    compare.add_argument("--building", type=int, default=1, choices=(1, 2, 3, 4))
+    compare.add_argument("--frameworks", default="VITAL,ANVIL,SHERPA,CNNLoc,WiDeep")
+    compare.add_argument("--extended", action="store_true",
+                         help="test on the extended (unseen) devices")
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--save", help="write the result JSON here")
+
+    sub.add_parser("buildings", help="list benchmark buildings and devices")
+    return parser
+
+
+def _load_building(index: int, n_aps: int | None = None):
+    from repro.data import buildings as building_presets
+
+    factory = {
+        1: building_presets.make_building_1,
+        2: building_presets.make_building_2,
+        3: building_presets.make_building_3,
+        4: building_presets.make_building_4,
+    }[index]
+    return factory(n_aps=n_aps) if n_aps else factory()
+
+
+def _device_set(name: str):
+    from repro.data import ALL_DEVICES, BASE_DEVICES, EXTENDED_DEVICES
+
+    return {"base": BASE_DEVICES, "extended": EXTENDED_DEVICES, "all": ALL_DEVICES}[name]
+
+
+def _cmd_survey(args) -> int:
+    from repro.data import SurveyConfig, collect_fingerprints, export_csv, save_dataset
+
+    building = _load_building(args.building, args.n_aps)
+    config = SurveyConfig(n_visits=args.visits, seed=args.seed)
+    dataset = collect_fingerprints(building, _device_set(args.devices), config)
+    path = save_dataset(dataset, args.out)
+    print(f"surveyed {dataset.summary()}")
+    print(f"wrote {path}")
+    if args.csv:
+        print(f"wrote {export_csv(dataset, args.csv)}")
+    return 0
+
+
+def _split(args):
+    from repro.data import load_dataset, train_test_split
+
+    dataset = load_dataset(args.data)
+    return train_test_split(dataset, test_fraction=args.test_fraction, seed=args.seed)
+
+
+def _cmd_train(args) -> int:
+    from repro import nn
+    from repro.vit import VitalConfig, VitalLocalizer
+
+    train, test = _split(args)
+    config = VitalConfig.fast(args.image_size, epochs=args.epochs)
+    localizer = VitalLocalizer(config, seed=args.seed)
+    print(f"training VITAL on {len(train)} records ({args.epochs} epochs)...")
+    localizer.fit(train)
+    nn.save_state_dict(localizer.model, args.out)
+    errors = localizer.errors_m(test)
+    print(f"test mean error {errors.mean():.2f} m (max {errors.max():.2f} m)")
+    print(f"wrote weights to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro import nn
+    from repro.eval import error_stats
+    from repro.vit import VitalConfig, VitalLocalizer
+
+    train, test = _split(args)
+    config = VitalConfig.fast(args.image_size, epochs=1)
+    localizer = VitalLocalizer(config, seed=args.seed)
+    # Build the model without spending a real training budget, then load.
+    quick = config.with_updates(train=type(config.train)(
+        **{**config.train.__dict__, "epochs": 1}
+    ))
+    localizer.config = quick
+    localizer.fit(train)
+    nn.load_state_dict(localizer.model, args.weights)
+    stats = error_stats(localizer.errors_m(test))
+    print(f"evaluation: {stats.row()}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.eval import EvalProtocol, run_comparison
+    from repro.eval.reporting import cdf_table, save_result, summary_table
+
+    frameworks = [f.strip() for f in args.frameworks.split(",") if f.strip()]
+    building = _load_building(args.building, n_aps=24)
+    result = run_comparison(
+        frameworks,
+        buildings=[building],
+        protocol=EvalProtocol(seed=args.seed),
+        extended=args.extended,
+        verbose=True,
+    )
+    print()
+    print(summary_table(result))
+    print()
+    print(cdf_table(result))
+    if args.save:
+        print(f"\nwrote {save_result(result, args.save)}")
+    return 0
+
+
+def _cmd_buildings(_args) -> int:
+    from repro.data import ALL_DEVICES
+    from repro.data.buildings import benchmark_buildings
+
+    print("benchmark buildings (Fig. 4):")
+    for building in benchmark_buildings():
+        print(f"  {building.describe()}")
+    print("\ndevices (Tables I & II):")
+    for device in ALL_DEVICES:
+        print(f"  {device.describe()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "survey": _cmd_survey,
+        "train": _cmd_train,
+        "evaluate": _cmd_evaluate,
+        "compare": _cmd_compare,
+        "buildings": _cmd_buildings,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""DAM — the paper's Data Augmentation Module (§V.A).
+
+Four stages, applied to each fingerprint:
+
+1. **Normalization** — per-feature standardization (or min-max scaling) so
+   every pixel has a comparable distribution.
+2. **Fingerprint replication** — the 1×R fingerprint is replicated into an
+   R×R two-dimensional image (optionally resized), giving the vision
+   transformer a 2-D input.
+3. **Random dropout** — random APs are knocked out to imitate the
+   *missing APs* problem.
+4. **Gaussian noise** — dropped entries are in-filled with noise to
+   imitate fluctuating AP visibility.
+
+The module is deliberately framework-agnostic: stages 1, 3 and 4 operate
+on fingerprint vectors, so DAM can be bolted onto any model (the Fig. 9
+experiment integrates it into all four baselines); stage 2 is applied only
+by image-input models such as VITAL's ViT.
+"""
+
+from repro.dam.normalization import Standardizer, MinMaxNormalizer, IdentityNormalizer
+from repro.dam.replication import replicate_to_image, resize_bilinear, images_from_vectors
+from repro.dam.pipeline import DamConfig, DataAugmentationModule
+
+__all__ = [
+    "Standardizer",
+    "MinMaxNormalizer",
+    "IdentityNormalizer",
+    "replicate_to_image",
+    "resize_bilinear",
+    "images_from_vectors",
+    "DamConfig",
+    "DataAugmentationModule",
+]

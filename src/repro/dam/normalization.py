@@ -1,0 +1,128 @@
+"""DAM stage 1: fingerprint normalization.
+
+Two schemes are provided.  :class:`MinMaxNormalizer` maps the physical RSSI
+range [−100, 0] dBm onto [0, 1] — stateless, so online-phase fingerprints
+from unseen devices need no calibration data, which is what keeps the
+framework calibration-free.  :class:`Standardizer` is the classic per-
+feature z-score fitted on the training set, provided for the ablation
+study.  All normalizers share a tiny fit/transform/inverse interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.radio.device import NOT_VISIBLE_DBM
+
+
+class _Normalizer:
+    """Interface: fit on training features, then transform anywhere."""
+
+    def fit(self, features: np.ndarray) -> "_Normalizer":
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def inverse(self, normalized: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def missing_value(self) -> float:
+        """The normalized representation of a missing AP (−100 dBm)."""
+        raise NotImplementedError
+
+    def __call__(self, features: np.ndarray) -> np.ndarray:
+        return self.transform(features)
+
+
+class MinMaxNormalizer(_Normalizer):
+    """Affine map of [low, high] dBm onto [0, 1]; values are clipped."""
+
+    def __init__(self, low_dbm: float = NOT_VISIBLE_DBM, high_dbm: float = 0.0):
+        if high_dbm <= low_dbm:
+            raise ValueError("high_dbm must exceed low_dbm")
+        self.low = low_dbm
+        self.high = high_dbm
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        scaled = (np.asarray(features, dtype=np.float64) - self.low) / (self.high - self.low)
+        return np.clip(scaled, 0.0, 1.0)
+
+    def inverse(self, normalized: np.ndarray) -> np.ndarray:
+        return np.asarray(normalized) * (self.high - self.low) + self.low
+
+    @property
+    def missing_value(self) -> float:
+        return float(self.transform(np.array([NOT_VISIBLE_DBM]))[0])
+
+
+class Standardizer(_Normalizer):
+    """Per-feature z-score fitted on training data.
+
+    Features are standardized independently per (AP, channel) position;
+    constant features get unit scale to avoid division by zero.
+    """
+
+    def __init__(self):
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+        self._missing: float = 0.0
+
+    def fit(self, features: np.ndarray) -> "Standardizer":
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim < 2:
+            raise ValueError("expected at least (n_records, n_features)")
+        self.mean_ = features.mean(axis=0)
+        std = features.std(axis=0)
+        self.std_ = np.where(std < 1e-9, 1.0, std)
+        # A missing AP maps to different z-scores per feature; use the
+        # average z-score of a -100 dBm reading as the canonical fill.
+        self._missing = float(((NOT_VISIBLE_DBM - self.mean_) / self.std_).mean())
+        return self
+
+    def _check(self):
+        if self.mean_ is None:
+            raise RuntimeError("Standardizer used before fit()")
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        self._check()
+        return (np.asarray(features, dtype=np.float64) - self.mean_) / self.std_
+
+    def inverse(self, normalized: np.ndarray) -> np.ndarray:
+        self._check()
+        return np.asarray(normalized) * self.std_ + self.mean_
+
+    @property
+    def missing_value(self) -> float:
+        self._check()
+        return self._missing
+
+
+class IdentityNormalizer(_Normalizer):
+    """No-op normalizer (raw dBm), used by the normalization ablation."""
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        return np.asarray(features, dtype=np.float64).copy()
+
+    def inverse(self, normalized: np.ndarray) -> np.ndarray:
+        return np.asarray(normalized).copy()
+
+    @property
+    def missing_value(self) -> float:
+        return NOT_VISIBLE_DBM
+
+
+def make_normalizer(name: str) -> _Normalizer:
+    """Factory: ``"minmax"``, ``"standard"`` or ``"none"``."""
+    factories = {
+        "minmax": MinMaxNormalizer,
+        "standard": Standardizer,
+        "none": IdentityNormalizer,
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown normalization {name!r}; choose from {sorted(factories)}"
+        ) from None

@@ -1,0 +1,164 @@
+"""DAM stages 3-4 and the composed pipeline.
+
+:class:`DataAugmentationModule` owns a fitted normalizer and exposes
+
+* :meth:`transform` — deterministic normalization (offline & online phase),
+* :meth:`augment`  — stochastic dropout + Gaussian in-fill on normalized
+  fingerprints (training only),
+* :meth:`to_images` — replication into 2-D RSSI images for the ViT,
+* :meth:`training_batch_fn` — a closure in the shape the
+  :class:`repro.nn.Trainer` expects, so any framework can plug DAM in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.dam.normalization import make_normalizer
+from repro.dam.replication import images_from_vectors
+
+
+@dataclass(frozen=True)
+class DamConfig:
+    """Configuration of the Data Augmentation Module.
+
+    Parameters
+    ----------
+    normalization:
+        ``"minmax"`` (default, calibration-free), ``"standard"`` or
+        ``"none"``.
+    dropout_rate:
+        Probability that an AP is knocked out of a training fingerprint
+        (stage 3, the missing-AP simulation).
+    noise_sigma:
+        Scale of the Gaussian in-fill applied to dropped APs (stage 4), in
+        normalized units.
+    global_noise_sigma:
+        Optional extra Gaussian noise over the entire fingerprint; the
+        paper's DAM applies noise to dropped features only, so this
+        defaults to 0 (exposed for the ablation bench).
+    image_size:
+        Side of the replicated RSSI image; ``None`` uses the native
+        fingerprint length R.
+    resize_mode:
+        ``"bilinear"`` or ``"nearest"`` column interpolation when
+        ``image_size != R``.
+    """
+
+    normalization: str = "minmax"
+    dropout_rate: float = 0.10
+    noise_sigma: float = 0.05
+    global_noise_sigma: float = 0.0
+    image_size: int | None = None
+    resize_mode: str = "bilinear"
+
+    def __post_init__(self):
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError(f"dropout_rate must be in [0, 1), got {self.dropout_rate}")
+        if self.noise_sigma < 0 or self.global_noise_sigma < 0:
+            raise ValueError("noise sigmas must be non-negative")
+        if self.image_size is not None and self.image_size < 2:
+            raise ValueError("image_size must be >= 2")
+
+    def with_image_size(self, size: int | None) -> "DamConfig":
+        return replace(self, image_size=size)
+
+
+class DataAugmentationModule:
+    """The composed DAM pipeline (paper Fig. 3, left box)."""
+
+    def __init__(self, config: DamConfig | None = None):
+        self.config = config or DamConfig()
+        self.normalizer = make_normalizer(self.config.normalization)
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray) -> "DataAugmentationModule":
+        """Fit the normalizer on training features ``(n, R, C)``."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 3:
+            raise ValueError(f"expected (n, R, channels), got {features.shape}")
+        flat = features.reshape(features.shape[0], -1)
+        self.normalizer.fit(flat.reshape(features.shape))
+        self._fitted = True
+        return self
+
+    def _require_fit(self):
+        if not self._fitted:
+            raise RuntimeError("DataAugmentationModule used before fit()")
+
+    # ------------------------------------------------------------------
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Stage 1 only: normalized fingerprints ``(n, R, C)``."""
+        self._require_fit()
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 2:  # single fingerprint (R, C)
+            return self.normalizer.transform(features[None])[0]
+        return self.normalizer.transform(features)
+
+    def augment(
+        self, normalized: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Stages 3-4 on normalized fingerprints ``(n, R, C)``.
+
+        Each record independently drops APs with probability
+        ``dropout_rate``; dropped APs are re-filled with the missing-AP
+        value plus one-sided Gaussian noise, imitating an AP fading in and
+        out of visibility on a different radio.
+        """
+        self._require_fit()
+        normalized = np.asarray(normalized, dtype=np.float64)
+        if normalized.ndim != 3:
+            raise ValueError(f"expected (n, R, channels), got {normalized.shape}")
+        out = normalized.copy()
+        config = self.config
+        if config.dropout_rate > 0.0:
+            drop = rng.random(out.shape[:2]) < config.dropout_rate  # (n, R)
+            if drop.any():
+                missing = self.normalizer.missing_value
+                fill = missing + np.abs(
+                    rng.normal(0.0, config.noise_sigma, size=(*out.shape[:2], out.shape[2]))
+                )
+                out = np.where(drop[:, :, None], fill, out)
+        if config.global_noise_sigma > 0.0:
+            out = out + rng.normal(0.0, config.global_noise_sigma, size=out.shape)
+        return out
+
+    def to_images(self, normalized: np.ndarray) -> np.ndarray:
+        """Stage 2: replicate ``(n, R, C)`` into ``(n, S, S, C)`` images."""
+        return images_from_vectors(
+            normalized, image_size=self.config.image_size, mode=self.config.resize_mode
+        )
+
+    # ------------------------------------------------------------------
+    def process(
+        self,
+        features: np.ndarray,
+        rng: np.random.Generator | None = None,
+        training: bool = False,
+        as_image: bool = True,
+    ) -> np.ndarray:
+        """Full pipeline: normalize → (augment if training) → (replicate)."""
+        normalized = self.transform(features)
+        if training:
+            if rng is None:
+                raise ValueError("training-mode processing needs an rng")
+            normalized = self.augment(normalized, rng)
+        return self.to_images(normalized) if as_image else normalized
+
+    def training_batch_fn(self, as_image: bool = True):
+        """Closure ``(raw_batch, rng) -> model input`` for the Trainer.
+
+        Expects *raw dBm* feature batches so every epoch re-draws fresh
+        dropout/noise, as the paper's online augmentation does.
+        """
+
+        def fn(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+            return self.process(batch, rng=rng, training=True, as_image=as_image)
+
+        return fn
+
+    def __repr__(self) -> str:
+        return f"DataAugmentationModule({self.config})"

@@ -1,0 +1,102 @@
+"""DAM stage 2: fingerprint replication into a 2-D RSSI image.
+
+A fingerprint is a 1×R row of pixels (R = fingerprint length, one pixel
+per AP, three channels = min/max/mean).  Replicating the row R times
+yields an R×R image whose columns carry the AP features; the image can
+then be resized to the target resolution the paper sweeps in Fig. 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def resize_bilinear(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Bilinear resize of an (H, W, C) image with align-corners sampling."""
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 3:
+        raise ValueError(f"expected (H, W, C), got {image.shape}")
+    in_h, in_w, _channels = image.shape
+    if out_h < 1 or out_w < 1:
+        raise ValueError("output size must be positive")
+
+    def _axis_coords(out_n: int, in_n: int) -> np.ndarray:
+        if out_n == 1 or in_n == 1:
+            return np.zeros(out_n)
+        return np.linspace(0.0, in_n - 1.0, out_n)
+
+    ys = _axis_coords(out_h, in_h)
+    xs = _axis_coords(out_w, in_w)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, in_h - 1)
+    x1 = np.minimum(x0 + 1, in_w - 1)
+    wy = (ys - y0)[:, None, None]
+    wx = (xs - x0)[None, :, None]
+
+    top = image[y0][:, x0] * (1 - wx) + image[y0][:, x1] * wx
+    bottom = image[y1][:, x0] * (1 - wx) + image[y1][:, x1] * wx
+    return top * (1 - wy) + bottom * wy
+
+
+def replicate_to_image(
+    vector: np.ndarray, image_size: int | None = None, mode: str = "bilinear"
+) -> np.ndarray:
+    """Replicate an (R, C) fingerprint into an (S, S, C) image.
+
+    Parameters
+    ----------
+    vector:
+        Fingerprint pixels, shape (R, C) — R APs, C channels.
+    image_size:
+        Target side length S.  ``None`` keeps the native R×R size.
+    mode:
+        ``"bilinear"`` (default) interpolates AP columns when resizing;
+        ``"nearest"`` repeats/drops columns instead.
+    """
+    vector = np.asarray(vector, dtype=np.float64)
+    if vector.ndim != 2:
+        raise ValueError(f"expected (R, channels), got {vector.shape}")
+    n_aps = vector.shape[0]
+    image = np.broadcast_to(vector[None, :, :], (n_aps, n_aps, vector.shape[1])).copy()
+    if image_size is None or image_size == n_aps:
+        return image
+    if mode == "bilinear":
+        return resize_bilinear(image, image_size, image_size)
+    if mode == "nearest":
+        idx = np.clip(
+            np.round(np.linspace(0, n_aps - 1, image_size)).astype(int), 0, n_aps - 1
+        )
+        return image[np.ix_(idx, idx)]
+    raise ValueError(f"unknown resize mode {mode!r}")
+
+
+def images_from_vectors(
+    vectors: np.ndarray, image_size: int | None = None, mode: str = "bilinear"
+) -> np.ndarray:
+    """Vectorized :func:`replicate_to_image` over a batch (N, R, C).
+
+    Because every row of a replicated image is identical, the batch path
+    resizes the 1-D fingerprint once and broadcasts — O(S·R) per record
+    instead of O(S²·R).
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 3:
+        raise ValueError(f"expected (batch, R, channels), got {vectors.shape}")
+    batch, n_aps, channels = vectors.shape
+    size = image_size or n_aps
+    if size == n_aps:
+        rows = vectors
+    elif mode == "bilinear":
+        # Resize each fingerprint row with the same 1-D bilinear weights.
+        xs = np.linspace(0.0, n_aps - 1.0, size) if n_aps > 1 and size > 1 else np.zeros(size)
+        x0 = np.floor(xs).astype(int)
+        x1 = np.minimum(x0 + 1, n_aps - 1)
+        wx = (xs - x0)[None, :, None]
+        rows = vectors[:, x0] * (1 - wx) + vectors[:, x1] * wx
+    elif mode == "nearest":
+        idx = np.clip(np.round(np.linspace(0, n_aps - 1, size)).astype(int), 0, n_aps - 1)
+        rows = vectors[:, idx]
+    else:
+        raise ValueError(f"unknown resize mode {mode!r}")
+    return np.broadcast_to(rows[:, None, :, :], (batch, size, size, rows.shape[2])).copy()

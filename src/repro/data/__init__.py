@@ -1,0 +1,49 @@
+"""Fingerprint datasets: devices, buildings, survey simulation, IO.
+
+Mirrors the paper's experimental setup (§VI.A): four buildings with survey
+paths of 62-88 m, reference points every 1 m, six *base* smartphones
+(Table I) plus three *extended* smartphones (Table II), five RSSI samples
+per reference point reduced to (min, max, mean) channels.
+"""
+
+from repro.data.devices import (
+    BASE_DEVICES,
+    EXTENDED_DEVICES,
+    ALL_DEVICES,
+    get_device,
+)
+from repro.data.buildings import (
+    make_building_1,
+    make_building_2,
+    make_building_3,
+    make_building_4,
+    benchmark_buildings,
+    make_custom_building,
+)
+from repro.data.fingerprint import FingerprintRecord, FingerprintDataset
+from repro.data.collection import SurveyConfig, collect_fingerprints, collect_single_location
+from repro.data.splits import train_test_split, split_by_device
+from repro.data.io import save_dataset, load_dataset, export_csv
+
+__all__ = [
+    "BASE_DEVICES",
+    "EXTENDED_DEVICES",
+    "ALL_DEVICES",
+    "get_device",
+    "make_building_1",
+    "make_building_2",
+    "make_building_3",
+    "make_building_4",
+    "benchmark_buildings",
+    "make_custom_building",
+    "FingerprintRecord",
+    "FingerprintDataset",
+    "SurveyConfig",
+    "collect_fingerprints",
+    "collect_single_location",
+    "train_test_split",
+    "split_by_device",
+    "save_dataset",
+    "load_dataset",
+    "export_csv",
+]

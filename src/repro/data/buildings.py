@@ -1,0 +1,187 @@
+"""The four benchmark buildings of Fig. 4, plus a custom-building factory.
+
+Each preset differs — as the paper stresses — in path length (62, 70, 80
+and 88 m), AP count, wall materials, path-loss exponent and noise
+character.  Building 3 is the most cluttered/noisy environment; Building 4
+the cleanest (the paper observes CNNLoc struggles precisely in the less
+noisy Building 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.radio.access_point import AccessPoint
+from repro.radio.environment import Building
+from repro.radio.geometry import Point, Wall
+from repro.radio.propagation import LogDistanceModel
+
+
+def _place_access_points(
+    count: int,
+    width: float,
+    height: float,
+    seed: int,
+    margin: float = 1.5,
+) -> list[AccessPoint]:
+    """Scatter APs over the plan with a jittered grid (deterministic)."""
+    rng = np.random.default_rng(seed)
+    cols = int(np.ceil(np.sqrt(count * width / height)))
+    rows = int(np.ceil(count / cols))
+    xs = np.linspace(margin, width - margin, cols)
+    ys = np.linspace(margin, height - margin, rows)
+    positions = [(x, y) for y in ys for x in xs][:count]
+    channels = [1, 6, 11]
+    aps = []
+    for i, (x, y) in enumerate(positions):
+        jitter_x = rng.uniform(-1.0, 1.0)
+        jitter_y = rng.uniform(-1.0, 1.0)
+        aps.append(
+            AccessPoint(
+                index=i,
+                position=Point(
+                    float(np.clip(x + jitter_x, 0.5, width - 0.5)),
+                    float(np.clip(y + jitter_y, 0.5, height - 0.5)),
+                ),
+                tx_power_dbm=float(rng.uniform(15.0, 20.0)),
+                channel=channels[i % len(channels)],
+            )
+        )
+    return aps
+
+
+def _perimeter_walls(width: float, height: float, material: str) -> list[Wall]:
+    corners = [Point(0, 0), Point(width, 0), Point(width, height), Point(0, height)]
+    return [Wall(corners[i], corners[(i + 1) % 4], material) for i in range(4)]
+
+
+def make_building_1(n_aps: int = 28, seed: int = 101) -> Building:
+    """Building 1: 62 m L-shaped path, concrete construction."""
+    width, height = 44.0, 30.0
+    walls = _perimeter_walls(width, height, "concrete")
+    walls += [
+        Wall(Point(0, 10), Point(30, 10), "concrete"),
+        Wall(Point(14, 10), Point(14, 30), "drywall"),
+        Wall(Point(30, 0), Point(30, 6), "drywall"),
+    ]
+    return Building(
+        name="Building 1",
+        width_m=width,
+        height_m=height,
+        walls=walls,
+        access_points=_place_access_points(n_aps, width, height, seed),
+        path_vertices=[Point(2, 2), Point(40, 2), Point(40, 26)],
+        propagation=LogDistanceModel(exponent=3.0),
+        shadowing_sigma_db=4.0,
+        fast_fading_sigma_db=1.5,
+        seed=seed,
+    )
+
+
+def make_building_2(n_aps: int = 34, seed: int = 202) -> Building:
+    """Building 2: 70 m U-shaped path, wood and glass construction."""
+    width, height = 40.0, 16.0
+    walls = _perimeter_walls(width, height, "wood")
+    walls += [
+        Wall(Point(8, 0), Point(8, 9), "wood"),
+        Wall(Point(20, 7), Point(20, 16), "glass"),
+        Wall(Point(30, 0), Point(30, 9), "wood"),
+    ]
+    return Building(
+        name="Building 2",
+        width_m=width,
+        height_m=height,
+        walls=walls,
+        access_points=_place_access_points(n_aps, width, height, seed),
+        path_vertices=[Point(2, 2), Point(37, 2), Point(37, 12), Point(12, 12)],
+        propagation=LogDistanceModel(exponent=3.3),
+        shadowing_sigma_db=4.5,
+        fast_fading_sigma_db=1.8,
+        seed=seed,
+    )
+
+
+def make_building_3(n_aps: int = 26, seed: int = 303) -> Building:
+    """Building 3: 80 m S-shaped path, metal-heavy (noisiest environment)."""
+    width, height = 34.0, 30.0
+    walls = _perimeter_walls(width, height, "concrete")
+    walls += [
+        Wall(Point(0, 8), Point(26, 8), "metal"),
+        Wall(Point(8, 20), Point(34, 20), "metal"),
+        Wall(Point(17, 8), Point(17, 20), "concrete"),
+    ]
+    return Building(
+        name="Building 3",
+        width_m=width,
+        height_m=height,
+        walls=walls,
+        access_points=_place_access_points(n_aps, width, height, seed),
+        path_vertices=[Point(2, 2), Point(30, 2), Point(30, 14), Point(2, 14), Point(2, 26)],
+        propagation=LogDistanceModel(exponent=3.6),
+        shadowing_sigma_db=5.5,
+        fast_fading_sigma_db=2.2,
+        seed=seed,
+    )
+
+
+def make_building_4(n_aps: int = 30, seed: int = 404) -> Building:
+    """Building 4: 88 m path, open drywall/glass plan (least noisy)."""
+    width, height = 50.0, 28.0
+    walls = _perimeter_walls(width, height, "drywall")
+    walls += [
+        Wall(Point(12, 0), Point(12, 14), "glass"),
+        Wall(Point(34, 12), Point(34, 28), "drywall"),
+    ]
+    return Building(
+        name="Building 4",
+        width_m=width,
+        height_m=height,
+        walls=walls,
+        access_points=_place_access_points(n_aps, width, height, seed),
+        path_vertices=[Point(2, 2), Point(46, 2), Point(46, 24), Point(24, 24)],
+        propagation=LogDistanceModel(exponent=2.6),
+        shadowing_sigma_db=2.5,
+        fast_fading_sigma_db=1.0,
+        seed=seed,
+    )
+
+
+def benchmark_buildings(ap_scale: float = 1.0) -> list[Building]:
+    """All four Fig.-4 buildings; ``ap_scale`` shrinks AP counts for fast runs."""
+    factories = [make_building_1, make_building_2, make_building_3, make_building_4]
+    defaults = [28, 34, 26, 30]
+    return [
+        factory(n_aps=max(4, int(round(n * ap_scale))))
+        for factory, n in zip(factories, defaults)
+    ]
+
+
+def make_custom_building(
+    name: str,
+    width_m: float,
+    height_m: float,
+    n_aps: int,
+    path_vertices: list[Point],
+    material: str = "drywall",
+    exponent: float = 3.0,
+    shadowing_sigma_db: float = 4.0,
+    fast_fading_sigma_db: float = 1.5,
+    seed: int = 1,
+) -> Building:
+    """Factory for user-defined environments (see examples/custom_building.py)."""
+    if n_aps < 1:
+        raise ValueError("a building needs at least one access point")
+    if len(path_vertices) < 2:
+        raise ValueError("the survey path needs at least two vertices")
+    return Building(
+        name=name,
+        width_m=width_m,
+        height_m=height_m,
+        walls=_perimeter_walls(width_m, height_m, material),
+        access_points=_place_access_points(n_aps, width_m, height_m, seed),
+        path_vertices=path_vertices,
+        propagation=LogDistanceModel(exponent=exponent),
+        shadowing_sigma_db=shadowing_sigma_db,
+        fast_fading_sigma_db=fast_fading_sigma_db,
+        seed=seed,
+    )

@@ -1,0 +1,101 @@
+"""Offline-phase survey simulation.
+
+Walks the building's reference points with each device, captures bursts of
+RSSI samples and reduces them to (min, max, mean) channel records — the
+synthetic equivalent of the paper's data-collection campaign (§VI.A: five
+samples per RP per device, 1 m RP granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.fingerprint import FingerprintDataset, FingerprintRecord, reduce_samples
+from repro.radio.device import DeviceProfile
+from repro.radio.environment import Building
+from repro.radio.geometry import Point
+
+
+@dataclass(frozen=True)
+class SurveyConfig:
+    """Parameters of a fingerprint collection campaign.
+
+    ``n_visits`` repeats the burst capture at each (RP, device) pair; the
+    paper effectively uses one visit, but multiple independent visits give
+    the statistics more support at identical protocol.  Each visit becomes
+    one record.
+    """
+
+    samples_per_visit: int = 5
+    n_visits: int = 3
+    rp_spacing_m: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.samples_per_visit < 1:
+            raise ValueError("samples_per_visit must be >= 1")
+        if self.n_visits < 1:
+            raise ValueError("n_visits must be >= 1")
+        if self.rp_spacing_m <= 0:
+            raise ValueError("rp_spacing_m must be positive")
+
+
+def collect_fingerprints(
+    building: Building,
+    devices: list[DeviceProfile],
+    config: SurveyConfig | None = None,
+) -> FingerprintDataset:
+    """Simulate the offline survey and return the labelled dataset.
+
+    The generator is seeded from ``config.seed`` plus stable hashes of the
+    building/device names so different campaigns are independent but every
+    campaign is exactly reproducible.
+    """
+    if not devices:
+        raise ValueError("need at least one device to survey")
+    config = config or SurveyConfig()
+    rps = building.reference_points(config.rp_spacing_m)
+    if len(rps) < 2:
+        raise ValueError(f"{building.name} path yields fewer than two reference points")
+
+    records: list[FingerprintRecord] = []
+    for device_idx, device in enumerate(devices):
+        rng = np.random.default_rng(
+            [config.seed, building.seed, device_idx, len(rps)]
+        )
+        for rp_index, location in enumerate(rps):
+            for _visit in range(config.n_visits):
+                burst = building.sample_rssi(
+                    location, device, rng, n_samples=config.samples_per_visit
+                )
+                records.append(
+                    FingerprintRecord(
+                        channels=reduce_samples(burst),
+                        rp_index=rp_index,
+                        device=device.name,
+                        building=building.name,
+                    )
+                )
+
+    rp_locations = np.array([[p.x, p.y] for p in rps])
+    return FingerprintDataset.from_records(records, rp_locations)
+
+
+def collect_single_location(
+    building: Building,
+    location: Point,
+    devices: list[DeviceProfile],
+    n_samples: int = 10,
+    seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """Raw RSSI bursts from several devices at one spot (Fig.-1 analysis).
+
+    Returns ``device name -> (n_samples, n_aps)`` dBm arrays.
+    """
+    out: dict[str, np.ndarray] = {}
+    for device_idx, device in enumerate(devices):
+        rng = np.random.default_rng([seed, building.seed, device_idx, 9999])
+        out[device.name] = building.sample_rssi(location, device, rng, n_samples=n_samples)
+    return out

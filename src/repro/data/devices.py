@@ -1,0 +1,136 @@
+"""The nine smartphone profiles from the paper's Tables I and II.
+
+Transceiver parameters are synthetic but curated to reproduce the
+qualitative structure the paper reports in Section III / Fig. 1:
+
+* HTC-U11 and Galaxy-S7 show *similar* RSSI patterns (close slope/offset),
+* iPhone-12 and Pixel-4 likewise pair up,
+* the HTC has the most sensitive radio (it alone sees the weak AP in the
+  paper's missing-AP anecdote),
+* the budget BLU has the worst sensitivity floor and noisiest radio.
+
+Base devices (Table I) participate in training; extended devices
+(Table II) are *never* trained on and test generalization (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from repro.radio.device import DeviceProfile
+
+BASE_DEVICES: list[DeviceProfile] = [
+    DeviceProfile(
+        name="BLU",
+        manufacturer="BLU",
+        model="Vivo 8",
+        release_year=2017,
+        gain_offset_db=-6.5,
+        response_slope=1.14,
+        per_ap_skew_db=3.5,
+        noise_sigma_db=2.4,
+        sensitivity_floor_dbm=-84.0,
+    ),
+    DeviceProfile(
+        name="HTC",
+        manufacturer="HTC",
+        model="U11",
+        release_year=2017,
+        gain_offset_db=4.0,
+        response_slope=0.96,
+        per_ap_skew_db=2.0,
+        noise_sigma_db=1.2,
+        sensitivity_floor_dbm=-96.0,
+    ),
+    DeviceProfile(
+        name="S7",
+        manufacturer="Samsung",
+        model="Galaxy S7",
+        release_year=2016,
+        gain_offset_db=3.0,
+        response_slope=0.93,
+        per_ap_skew_db=2.2,
+        noise_sigma_db=1.3,
+        sensitivity_floor_dbm=-91.0,
+    ),
+    DeviceProfile(
+        name="LG",
+        manufacturer="LG",
+        model="V20",
+        release_year=2016,
+        gain_offset_db=-4.5,
+        response_slope=1.12,
+        per_ap_skew_db=2.8,
+        noise_sigma_db=1.7,
+        sensitivity_floor_dbm=-87.0,
+    ),
+    DeviceProfile(
+        name="MOTO",
+        manufacturer="Motorola",
+        model="Z2",
+        release_year=2017,
+        gain_offset_db=6.0,
+        response_slope=0.85,
+        per_ap_skew_db=2.5,
+        noise_sigma_db=1.4,
+        sensitivity_floor_dbm=-86.0,
+    ),
+    DeviceProfile(
+        name="OP3",
+        manufacturer="OnePlus",
+        model="OnePlus 3",
+        release_year=2016,
+        gain_offset_db=-2.0,
+        response_slope=1.05,
+        per_ap_skew_db=2.1,
+        noise_sigma_db=1.1,
+        sensitivity_floor_dbm=-92.0,
+    ),
+]
+
+EXTENDED_DEVICES: list[DeviceProfile] = [
+    DeviceProfile(
+        name="NOKIA",
+        manufacturer="Nokia",
+        model="Nokia 7.1",
+        release_year=2018,
+        gain_offset_db=-8.0,
+        response_slope=1.18,
+        per_ap_skew_db=3.2,
+        noise_sigma_db=1.9,
+        sensitivity_floor_dbm=-85.0,
+    ),
+    DeviceProfile(
+        name="PIXEL",
+        manufacturer="Google",
+        model="Pixel 4a",
+        release_year=2020,
+        gain_offset_db=-4.0,
+        response_slope=0.84,
+        per_ap_skew_db=2.8,
+        noise_sigma_db=1.2,
+        sensitivity_floor_dbm=-93.0,
+    ),
+    DeviceProfile(
+        name="IPHONE",
+        manufacturer="Apple",
+        model="iPhone 12",
+        release_year=2021,
+        gain_offset_db=7.5,
+        response_slope=0.80,
+        per_ap_skew_db=3.0,
+        noise_sigma_db=1.0,
+        sensitivity_floor_dbm=-95.0,
+    ),
+]
+
+ALL_DEVICES: list[DeviceProfile] = BASE_DEVICES + EXTENDED_DEVICES
+
+_BY_NAME = {device.name: device for device in ALL_DEVICES}
+
+
+def get_device(name: str) -> DeviceProfile:
+    """Look up a device profile by its acronym (e.g. ``"HTC"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}") from None

@@ -1,0 +1,205 @@
+"""Fingerprint containers.
+
+A :class:`FingerprintRecord` is one labelled observation: the (min, max,
+mean) reduction of a burst of RSSI samples captured by one device at one
+reference point — exactly the paper's three-channel "pixel" construction
+(§V: "a pixel represents the three RSSI values for an AP").
+
+A :class:`FingerprintDataset` is a column-oriented collection of records
+with NumPy views used directly by the models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.radio.device import NOT_VISIBLE_DBM
+
+CHANNEL_NAMES = ("min", "max", "mean")
+
+
+def reduce_samples(samples: np.ndarray) -> np.ndarray:
+    """Reduce ``(n_samples, n_aps)`` dBm bursts to ``(n_aps, 3)`` channels.
+
+    The paper captures five samples per RP and keeps min/max/mean as the
+    three image channels.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 2:
+        raise ValueError(f"expected (n_samples, n_aps), got {samples.shape}")
+    return np.stack(
+        [samples.min(axis=0), samples.max(axis=0), samples.mean(axis=0)], axis=-1
+    )
+
+
+@dataclass(frozen=True)
+class FingerprintRecord:
+    """One labelled fingerprint observation."""
+
+    channels: np.ndarray  # (n_aps, 3) dBm, channel order (min, max, mean)
+    rp_index: int
+    device: str
+    building: str
+
+    def __post_init__(self):
+        channels = np.asarray(self.channels, dtype=np.float64)
+        if channels.ndim != 2 or channels.shape[1] != len(CHANNEL_NAMES):
+            raise ValueError(f"channels must be (n_aps, 3), got {channels.shape}")
+        object.__setattr__(self, "channels", channels)
+
+    @property
+    def n_aps(self) -> int:
+        return self.channels.shape[0]
+
+    def visible_ap_fraction(self) -> float:
+        """Fraction of APs whose mean channel is above the −100 dBm floor."""
+        return float((self.channels[:, 2] > NOT_VISIBLE_DBM).mean())
+
+
+class FingerprintDataset:
+    """Column-oriented fingerprint collection for one building.
+
+    Attributes
+    ----------
+    features:
+        ``(n_records, n_aps, 3)`` dBm array.
+    labels:
+        ``(n_records,)`` integer RP indices.
+    devices:
+        ``(n_records,)`` device-name array.
+    rp_locations:
+        ``(n_rps, 2)`` plan coordinates in meters; index == RP label.
+        Localization error in meters is computed from these.
+    building:
+        Source building name.
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        devices: np.ndarray,
+        rp_locations: np.ndarray,
+        building: str,
+    ):
+        self.features = np.asarray(features, dtype=np.float64)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.devices = np.asarray(devices)
+        self.rp_locations = np.asarray(rp_locations, dtype=np.float64)
+        self.building = building
+        self._validate()
+
+    def _validate(self):
+        if self.features.ndim != 3 or self.features.shape[2] != len(CHANNEL_NAMES):
+            raise ValueError(f"features must be (n, n_aps, 3), got {self.features.shape}")
+        n = self.features.shape[0]
+        if self.labels.shape != (n,) or self.devices.shape != (n,):
+            raise ValueError("features, labels and devices must align on records")
+        if self.rp_locations.ndim != 2 or self.rp_locations.shape[1] != 2:
+            raise ValueError(f"rp_locations must be (n_rps, 2), got {self.rp_locations.shape}")
+        if n and (self.labels.min() < 0 or self.labels.max() >= len(self.rp_locations)):
+            raise ValueError("labels reference RP indices outside rp_locations")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls, records: list[FingerprintRecord], rp_locations: np.ndarray
+    ) -> "FingerprintDataset":
+        if not records:
+            raise ValueError("cannot build a dataset from zero records")
+        buildings = {r.building for r in records}
+        if len(buildings) != 1:
+            raise ValueError(f"records span multiple buildings: {sorted(buildings)}")
+        return cls(
+            features=np.stack([r.channels for r in records]),
+            labels=np.array([r.rp_index for r in records]),
+            devices=np.array([r.device for r in records]),
+            rp_locations=rp_locations,
+            building=buildings.pop(),
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def n_aps(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def n_rps(self) -> int:
+        return self.rp_locations.shape[0]
+
+    @property
+    def device_names(self) -> list[str]:
+        return sorted(set(self.devices.tolist()))
+
+    def record(self, i: int) -> FingerprintRecord:
+        """Materialize record ``i`` as a :class:`FingerprintRecord`."""
+        return FingerprintRecord(
+            channels=self.features[i],
+            rp_index=int(self.labels[i]),
+            device=str(self.devices[i]),
+            building=self.building,
+        )
+
+    def subset(self, indices) -> "FingerprintDataset":
+        """New dataset with the selected record indices (RP table shared)."""
+        indices = np.asarray(indices)
+        return FingerprintDataset(
+            features=self.features[indices],
+            labels=self.labels[indices],
+            devices=self.devices[indices],
+            rp_locations=self.rp_locations,
+            building=self.building,
+        )
+
+    def filter_devices(self, names) -> "FingerprintDataset":
+        """Records captured by the given device names only."""
+        names = {names} if isinstance(names, str) else set(names)
+        unknown = names - set(self.devices.tolist())
+        if unknown:
+            raise ValueError(f"devices not present in dataset: {sorted(unknown)}")
+        mask = np.isin(self.devices, sorted(names))
+        return self.subset(np.where(mask)[0])
+
+    def merge(self, other: "FingerprintDataset") -> "FingerprintDataset":
+        """Concatenate two datasets over the same building/RP table."""
+        if other.building != self.building:
+            raise ValueError("cannot merge datasets from different buildings")
+        if other.n_aps != self.n_aps:
+            raise ValueError("cannot merge datasets with different AP counts")
+        if not np.allclose(other.rp_locations, self.rp_locations):
+            raise ValueError("cannot merge datasets with different RP tables")
+        return FingerprintDataset(
+            features=np.concatenate([self.features, other.features]),
+            labels=np.concatenate([self.labels, other.labels]),
+            devices=np.concatenate([self.devices, other.devices]),
+            rp_locations=self.rp_locations,
+            building=self.building,
+        )
+
+    # ------------------------------------------------------------------
+    def flat_features(self, channels=(0, 1, 2)) -> np.ndarray:
+        """Flattened ``(n_records, n_aps * len(channels))`` feature matrix.
+
+        This is the canonical model input layout: AP-major, channel-minor.
+        """
+        selected = self.features[:, :, list(channels)]
+        return selected.reshape(len(self), -1)
+
+    def mean_channel(self) -> np.ndarray:
+        """``(n_records, n_aps)`` mean-RSSI matrix (classical baselines)."""
+        return self.features[:, :, 2].copy()
+
+    def location_of(self, labels) -> np.ndarray:
+        """Plan coordinates for RP label(s)."""
+        return self.rp_locations[np.asarray(labels)]
+
+    def summary(self) -> str:
+        return (
+            f"{self.building}: {len(self)} records, {self.n_aps} APs, "
+            f"{self.n_rps} RPs, devices={self.device_names}"
+        )

@@ -1,0 +1,75 @@
+"""Dataset persistence: ``.npz`` archives and CSV export.
+
+The ``.npz`` format round-trips a :class:`FingerprintDataset` exactly; the
+CSV export produces a flat human-inspectable table (one row per record,
+one column triple per AP) for use outside this library.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+import numpy as np
+
+from repro.data.fingerprint import CHANNEL_NAMES, FingerprintDataset
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: FingerprintDataset, path: str) -> str:
+    """Write the dataset to ``path`` (``.npz`` appended if absent)."""
+    resolved = path if path.endswith(".npz") else path + ".npz"
+    directory = os.path.dirname(os.path.abspath(resolved))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(
+        resolved,
+        version=np.array(_FORMAT_VERSION),
+        features=dataset.features,
+        labels=dataset.labels,
+        devices=dataset.devices.astype(str),
+        rp_locations=dataset.rp_locations,
+        building=np.array(dataset.building),
+    )
+    return resolved
+
+
+def load_dataset(path: str) -> FingerprintDataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    resolved = path if path.endswith(".npz") else path + ".npz"
+    with np.load(resolved, allow_pickle=False) as archive:
+        version = int(archive["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported dataset format version {version}")
+        return FingerprintDataset(
+            features=archive["features"],
+            labels=archive["labels"],
+            devices=archive["devices"],
+            rp_locations=archive["rp_locations"],
+            building=str(archive["building"]),
+        )
+
+
+def export_csv(dataset: FingerprintDataset, path: str) -> str:
+    """Write a flat CSV: building, device, rp, x, y, ap<i>_<channel>..."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    header = ["building", "device", "rp_index", "x_m", "y_m"]
+    for ap in range(dataset.n_aps):
+        for channel in CHANNEL_NAMES:
+            header.append(f"ap{ap}_{channel}")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        locations = dataset.location_of(dataset.labels)
+        for i in range(len(dataset)):
+            row = [
+                dataset.building,
+                str(dataset.devices[i]),
+                int(dataset.labels[i]),
+                f"{locations[i, 0]:.2f}",
+                f"{locations[i, 1]:.2f}",
+            ]
+            row.extend(f"{v:.2f}" for v in dataset.features[i].reshape(-1))
+            writer.writerow(row)
+    return path

@@ -1,0 +1,70 @@
+"""Train/test splitting utilities.
+
+The paper splits the captured data "approximately 80% training / 20%
+testing".  :func:`train_test_split` does that stratified per reference
+point, so every RP keeps presence in the training set — a requirement for
+a classifier whose classes *are* the RPs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.fingerprint import FingerprintDataset
+
+
+def train_test_split(
+    dataset: FingerprintDataset,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    stratify: bool = True,
+) -> tuple[FingerprintDataset, FingerprintDataset]:
+    """Split records into train/test subsets.
+
+    With ``stratify=True`` the split is drawn within each RP label group,
+    guaranteeing (where group size allows) that both sides see every RP.
+    Every record lands in exactly one side.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    n = len(dataset)
+    test_mask = np.zeros(n, dtype=bool)
+
+    if stratify:
+        for label in np.unique(dataset.labels):
+            group = np.where(dataset.labels == label)[0]
+            rng.shuffle(group)
+            n_test = int(round(len(group) * test_fraction))
+            if len(group) > 1:
+                n_test = min(max(n_test, 1), len(group) - 1)
+            test_mask[group[:n_test]] = True
+    else:
+        order = rng.permutation(n)
+        test_mask[order[: int(round(n * test_fraction))]] = True
+
+    train_idx = np.where(~test_mask)[0]
+    test_idx = np.where(test_mask)[0]
+    if len(train_idx) == 0 or len(test_idx) == 0:
+        raise ValueError("split produced an empty side; adjust test_fraction")
+    return dataset.subset(train_idx), dataset.subset(test_idx)
+
+
+def split_by_device(
+    dataset: FingerprintDataset,
+    held_out_devices: list[str],
+) -> tuple[FingerprintDataset, FingerprintDataset]:
+    """Device-disjoint split: train on the rest, test on ``held_out_devices``.
+
+    This is the extended-device protocol of Fig. 10 — the held-out phones
+    never contribute a single training record.
+    """
+    held = set(held_out_devices)
+    present = set(dataset.devices.tolist())
+    missing = held - present
+    if missing:
+        raise ValueError(f"held-out devices not in dataset: {sorted(missing)}")
+    if held >= present:
+        raise ValueError("cannot hold out every device in the dataset")
+    test_mask = np.isin(dataset.devices, sorted(held))
+    return dataset.subset(np.where(~test_mask)[0]), dataset.subset(np.where(test_mask)[0])

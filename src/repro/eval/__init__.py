@@ -1,0 +1,55 @@
+"""Evaluation harness: metrics, framework registry, experiment runner.
+
+This package turns the library into the paper's evaluation section:
+:mod:`repro.eval.runner` executes the framework × building × device
+comparison matrices behind Figs. 7, 8, 9 and 10, and
+:mod:`repro.eval.sweeps` the hyperparameter sensitivity studies behind
+Figs. 5 and 6.
+"""
+
+from repro.eval.metrics import ErrorStats, error_stats, improvement_pct
+from repro.eval.frameworks import (
+    FRAMEWORK_NAMES,
+    make_framework,
+    default_vital_config,
+)
+from repro.eval.runner import (
+    EvalProtocol,
+    FrameworkRun,
+    ComparisonResult,
+    prepare_building_data,
+    evaluate_framework,
+    run_comparison,
+    run_dam_ablation,
+)
+from repro.eval.sweeps import sweep_image_patch, sweep_heads_mlp
+from repro.eval.reporting import (
+    save_result,
+    load_result,
+    summary_table,
+    cdf_table,
+    training_cost_table,
+)
+
+__all__ = [
+    "ErrorStats",
+    "error_stats",
+    "improvement_pct",
+    "FRAMEWORK_NAMES",
+    "make_framework",
+    "default_vital_config",
+    "EvalProtocol",
+    "FrameworkRun",
+    "ComparisonResult",
+    "prepare_building_data",
+    "evaluate_framework",
+    "run_comparison",
+    "run_dam_ablation",
+    "sweep_image_patch",
+    "sweep_heads_mlp",
+    "save_result",
+    "load_result",
+    "summary_table",
+    "cdf_table",
+    "training_cost_table",
+]

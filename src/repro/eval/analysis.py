@@ -1,0 +1,128 @@
+"""Diagnostic analyses for fingerprint databases and trained localizers.
+
+Tools an adopter needs before trusting a deployment:
+
+* :func:`ap_coverage` — how many APs are visible per reference point
+  (sparse coverage predicts poor accuracy in that corridor segment).
+* :func:`rp_ambiguity` — for each RP, the physical distance to the RP
+  whose fingerprint is *nearest in signal space*; large values flag
+  aliasing (far-apart places that look alike to the radio).
+* :func:`walk_path` — online-phase simulation of a user walking the
+  survey path with one device, localizing at every step; returns the
+  per-step error profile the paper's corridor figures imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.common import pairwise_euclidean
+from repro.data.fingerprint import FingerprintDataset, reduce_samples
+from repro.localization import Localizer
+from repro.radio.device import NOT_VISIBLE_DBM, DeviceProfile
+from repro.radio.environment import Building
+
+
+def ap_coverage(dataset: FingerprintDataset) -> np.ndarray:
+    """Mean fraction of visible APs per RP, shape ``(n_rps,)``.
+
+    Visibility is measured on the mean channel; records from all devices
+    are pooled, so device floors are averaged in — matching what a group-
+    trained model actually sees.
+    """
+    visible = dataset.features[:, :, 2] > NOT_VISIBLE_DBM
+    fractions = np.zeros(dataset.n_rps)
+    counts = np.zeros(dataset.n_rps)
+    for record_idx in range(len(dataset)):
+        rp = dataset.labels[record_idx]
+        fractions[rp] += visible[record_idx].mean()
+        counts[rp] += 1
+    counts[counts == 0] = 1.0
+    return fractions / counts
+
+
+def rp_ambiguity(dataset: FingerprintDataset) -> np.ndarray:
+    """Physical distance (m) to the signal-space nearest *other* RP.
+
+    Uses the per-RP mean fingerprint (mean channel, pooled devices).
+    Entries well above the RP spacing indicate aliasing: the radio
+    environment makes distant places look similar.
+    """
+    centroids = np.zeros((dataset.n_rps, dataset.n_aps))
+    counts = np.zeros(dataset.n_rps)
+    mean_channel = dataset.features[:, :, 2]
+    for record_idx in range(len(dataset)):
+        rp = dataset.labels[record_idx]
+        centroids[rp] += mean_channel[record_idx]
+        counts[rp] += 1
+    present = counts > 0
+    centroids[present] /= counts[present, None]
+
+    distances = pairwise_euclidean(centroids, centroids)
+    np.fill_diagonal(distances, np.inf)
+    distances[~present] = np.inf
+    distances[:, ~present] = np.inf
+    nearest = distances.argmin(axis=1)
+    physical = np.linalg.norm(
+        dataset.rp_locations - dataset.rp_locations[nearest], axis=1
+    )
+    physical[~present] = np.nan
+    return physical
+
+
+@dataclass
+class WalkResult:
+    """Outcome of an online walk simulation."""
+
+    rp_indices: np.ndarray
+    predicted_rps: np.ndarray
+    errors_m: np.ndarray
+    device: str
+
+    @property
+    def mean_error(self) -> float:
+        return float(self.errors_m.mean())
+
+    def worst_segment(self, window: int = 5) -> tuple[int, float]:
+        """(start RP, mean error) of the worst ``window``-step stretch."""
+        if len(self.errors_m) < window:
+            return 0, float(self.errors_m.mean())
+        sums = np.convolve(self.errors_m, np.ones(window), mode="valid") / window
+        start = int(sums.argmax())
+        return start, float(sums[start])
+
+
+def walk_path(
+    localizer: Localizer,
+    building: Building,
+    device: DeviceProfile,
+    samples_per_step: int = 5,
+    rp_spacing_m: float = 1.0,
+    seed: int = 0,
+) -> WalkResult:
+    """Walk the survey path, localizing a fresh scan at every RP.
+
+    This is the deployment loop of Fig. 3's online phase: at each step the
+    phone captures ``samples_per_step`` scans, reduces them to the
+    (min, max, mean) fingerprint, and asks the trained localizer where it
+    is.  Fresh noise is drawn per step, so this measures true online
+    behaviour rather than memorized survey records.
+    """
+    rng = np.random.default_rng(seed)
+    points = building.reference_points(rp_spacing_m)
+    fingerprints = []
+    for location in points:
+        burst = building.sample_rssi(location, device, rng, n_samples=samples_per_step)
+        fingerprints.append(reduce_samples(burst))
+    features = np.stack(fingerprints)
+    predicted = localizer.predict(features)
+    truth = np.array([[p.x, p.y] for p in points])
+    errors = np.linalg.norm(localizer.rp_locations[predicted] - truth, axis=1)
+    return WalkResult(
+        rp_indices=np.arange(len(points)),
+        predicted_rps=predicted,
+        errors_m=errors,
+        device=device.name,
+    )

@@ -1,0 +1,104 @@
+"""Experiment-result persistence and reporting.
+
+Comparison runs are expensive (minutes of CPU training); this module
+serializes :class:`~repro.eval.runner.ComparisonResult` to JSON so
+figures can be re-rendered, diffed across code versions, or post-
+processed without re-running the matrix.  It also renders the standard
+report blocks (summary table, CDF) shared by the CLI and the benches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.eval.metrics import within_radius
+from repro.eval.runner import ComparisonResult, FrameworkRun
+from repro.viz import ascii_table
+
+_FORMAT_VERSION = 1
+
+
+def save_result(result: ComparisonResult, path: str) -> str:
+    """Serialize a comparison result to JSON (errors included verbatim)."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "runs": [
+            {
+                "framework": run.framework,
+                "building": run.building,
+                "errors": [float(e) for e in run.errors],
+                "per_device": {k: float(v) for k, v in run.per_device.items()},
+                "train_seconds": run.train_seconds,
+            }
+            for run in result.runs
+        ],
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def load_result(path: str) -> ComparisonResult:
+    """Inverse of :func:`save_result`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version {payload.get('version')}")
+    result = ComparisonResult()
+    for entry in payload["runs"]:
+        result.runs.append(
+            FrameworkRun(
+                framework=entry["framework"],
+                building=entry["building"],
+                errors=np.asarray(entry["errors"], dtype=np.float64),
+                per_device=dict(entry["per_device"]),
+                train_seconds=float(entry["train_seconds"]),
+            )
+        )
+    return result
+
+
+def summary_table(result: ComparisonResult, decimals: int = 2) -> str:
+    """Framework × (mean, median, p90, max) overall summary block."""
+    rows = []
+    for framework in result.frameworks():
+        stats = result.overall_stats(framework)
+        rows.append([framework, stats.mean, stats.median, stats.p90, stats.max])
+    return ascii_table(
+        rows,
+        ["framework", "mean m", "median m", "p90 m", "max m"],
+        decimals=decimals,
+    )
+
+
+def cdf_table(
+    result: ComparisonResult, radii: tuple[float, ...] = (1.0, 2.0, 3.0, 5.0)
+) -> str:
+    """Fraction of test queries within each radius, per framework.
+
+    The error CDF is the standard figure of merit in the indoor-
+    localization literature beyond mean error.
+    """
+    rows = []
+    for framework in result.frameworks():
+        errors = result.pooled_errors(framework)
+        rows.append([framework] + [within_radius(errors, r) for r in radii])
+    return ascii_table(
+        rows,
+        ["framework"] + [f"≤{r:g} m" for r in radii],
+        decimals=2,
+    )
+
+
+def training_cost_table(result: ComparisonResult) -> str:
+    """Wall-clock training cost per framework (summed over buildings)."""
+    totals: dict[str, float] = {}
+    for run in result.runs:
+        totals[run.framework] = totals.get(run.framework, 0.0) + run.train_seconds
+    rows = [[name, seconds] for name, seconds in totals.items()]
+    return ascii_table(rows, ["framework", "train s"], decimals=1)

@@ -1,0 +1,241 @@
+"""Experiment runner for the framework comparison matrices.
+
+Protocol (mirrors §VI.A):
+
+* per building, survey all *base* devices, 1 m RP grid, 5 samples per
+  visit reduced to (min, max, mean);
+* 80/20 stratified train/test split of the base-device records;
+* group training — each framework sees the pooled multi-device training
+  set (the paper's calibration-free recipe);
+* Fig. 10 protocol additionally surveys the *extended* devices and uses
+  **only** their records as the test set (zero extended-device training).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.buildings import benchmark_buildings
+from repro.data.collection import SurveyConfig, collect_fingerprints
+from repro.data.devices import BASE_DEVICES, EXTENDED_DEVICES
+from repro.data.fingerprint import FingerprintDataset
+from repro.data.splits import train_test_split
+from repro.eval.frameworks import make_framework
+from repro.eval.metrics import ErrorStats, error_stats
+from repro.localization import Localizer
+from repro.radio.environment import Building
+
+
+@dataclass(frozen=True)
+class EvalProtocol:
+    """Shared experimental protocol for all comparison benchmarks."""
+
+    n_visits: int = 1
+    samples_per_visit: int = 5
+    test_fraction: float = 0.2
+    seed: int = 0
+    scale: str = "fast"
+
+    def survey_config(self) -> SurveyConfig:
+        return SurveyConfig(
+            samples_per_visit=self.samples_per_visit,
+            n_visits=self.n_visits,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class FrameworkRun:
+    """One (framework, building) evaluation outcome."""
+
+    framework: str
+    building: str
+    errors: np.ndarray
+    per_device: dict[str, float] = field(default_factory=dict)
+    train_seconds: float = 0.0
+
+    @property
+    def stats(self) -> ErrorStats:
+        return error_stats(self.errors)
+
+
+@dataclass
+class ComparisonResult:
+    """All runs of a comparison experiment, with aggregation helpers."""
+
+    runs: list[FrameworkRun] = field(default_factory=list)
+
+    def frameworks(self) -> list[str]:
+        seen: list[str] = []
+        for run in self.runs:
+            if run.framework not in seen:
+                seen.append(run.framework)
+        return seen
+
+    def buildings(self) -> list[str]:
+        seen: list[str] = []
+        for run in self.runs:
+            if run.building not in seen:
+                seen.append(run.building)
+        return seen
+
+    def run_for(self, framework: str, building: str) -> FrameworkRun:
+        for run in self.runs:
+            if run.framework == framework and run.building == building:
+                return run
+        raise KeyError(f"no run for ({framework}, {building})")
+
+    def pooled_errors(self, framework: str) -> np.ndarray:
+        """All test errors of a framework across buildings."""
+        parts = [r.errors for r in self.runs if r.framework == framework]
+        if not parts:
+            raise KeyError(f"no runs for framework {framework}")
+        return np.concatenate(parts)
+
+    def overall_stats(self, framework: str) -> ErrorStats:
+        """The Fig. 8 / Fig. 10 box-plot numbers: stats across buildings."""
+        return error_stats(self.pooled_errors(framework))
+
+    def mean_error_grid(self) -> tuple[list[str], list[str], np.ndarray]:
+        """(frameworks, buildings, mean-error matrix) for Fig. 7."""
+        frameworks = self.frameworks()
+        buildings = self.buildings()
+        grid = np.zeros((len(frameworks), len(buildings)))
+        for i, framework in enumerate(frameworks):
+            for j, building in enumerate(buildings):
+                grid[i, j] = self.run_for(framework, building).stats.mean
+        return frameworks, buildings, grid
+
+    def device_grid(self, framework: str) -> tuple[list[str], list[str], np.ndarray]:
+        """(devices, buildings, per-device mean error) for one framework."""
+        buildings = self.buildings()
+        devices: list[str] = []
+        for run in self.runs:
+            if run.framework == framework:
+                for device in run.per_device:
+                    if device not in devices:
+                        devices.append(device)
+        grid = np.full((len(devices), len(buildings)), np.nan)
+        for j, building in enumerate(buildings):
+            run = self.run_for(framework, building)
+            for i, device in enumerate(devices):
+                if device in run.per_device:
+                    grid[i, j] = run.per_device[device]
+        return devices, buildings, grid
+
+
+# ----------------------------------------------------------------------
+def prepare_building_data(
+    building: Building,
+    protocol: EvalProtocol,
+    extended: bool = False,
+) -> tuple[FingerprintDataset, FingerprintDataset]:
+    """Survey a building and return (train, test) per the protocol.
+
+    With ``extended=True`` the test set consists exclusively of records
+    from the three extended devices (Fig. 10); training data is the same
+    base-device 80% split either way, so base and extended results are
+    directly comparable.
+    """
+    base = collect_fingerprints(building, BASE_DEVICES, protocol.survey_config())
+    train, base_test = train_test_split(
+        base, test_fraction=protocol.test_fraction, seed=protocol.seed
+    )
+    if not extended:
+        return train, base_test
+    extended_data = collect_fingerprints(
+        building, EXTENDED_DEVICES, protocol.survey_config()
+    )
+    return train, extended_data
+
+
+def evaluate_framework(
+    localizer: Localizer,
+    train: FingerprintDataset,
+    test: FingerprintDataset,
+) -> FrameworkRun:
+    """Fit on ``train``, measure per-record and per-device errors on ``test``."""
+    import time
+
+    start = time.perf_counter()
+    localizer.fit(train)
+    elapsed = time.perf_counter() - start
+    errors = localizer.errors_m(test)
+    per_device: dict[str, float] = {}
+    for device in sorted(set(test.devices.tolist())):
+        mask = test.devices == device
+        per_device[device] = float(errors[mask].mean())
+    return FrameworkRun(
+        framework=localizer.name,
+        building=train.building,
+        errors=errors,
+        per_device=per_device,
+        train_seconds=elapsed,
+    )
+
+
+def run_comparison(
+    framework_names: list[str],
+    buildings: list[Building] | None = None,
+    protocol: EvalProtocol | None = None,
+    extended: bool = False,
+    with_dam: bool | None = None,
+    verbose: bool = False,
+) -> ComparisonResult:
+    """The Figs. 7/8/10 experiment: frameworks × buildings.
+
+    Parameters
+    ----------
+    framework_names:
+        Which frameworks to run (see :data:`FRAMEWORK_NAMES`).
+    buildings:
+        Buildings to survey; default: all four benchmark buildings.
+    protocol:
+        Evaluation protocol; default :class:`EvalProtocol`.
+    extended:
+        Use the extended-device test protocol (Fig. 10).
+    with_dam:
+        Forwarded to :func:`make_framework` (``None`` = published designs).
+    """
+    protocol = protocol or EvalProtocol()
+    buildings = buildings if buildings is not None else benchmark_buildings()
+    result = ComparisonResult()
+    for building in buildings:
+        train, test = prepare_building_data(building, protocol, extended=extended)
+        for name in framework_names:
+            localizer = make_framework(
+                name, seed=protocol.seed, with_dam=with_dam, scale=protocol.scale
+            )
+            run = evaluate_framework(localizer, train, test)
+            result.runs.append(run)
+            if verbose:
+                print(f"{building.name} {name:7s} {run.stats.row()}")
+    return result
+
+
+def run_dam_ablation(
+    framework_names: list[str],
+    buildings: list[Building] | None = None,
+    protocol: EvalProtocol | None = None,
+    verbose: bool = False,
+) -> dict[str, dict[bool, ComparisonResult]]:
+    """The Fig. 9 experiment: every framework with and without DAM.
+
+    Returns ``{framework: {True: result_with_dam, False: result_without}}``.
+    """
+    protocol = protocol or EvalProtocol()
+    buildings = buildings if buildings is not None else benchmark_buildings()
+    out: dict[str, dict[bool, ComparisonResult]] = {}
+    for name in framework_names:
+        out[name] = {}
+        for dam_on in (False, True):
+            out[name][dam_on] = run_comparison(
+                [name],
+                buildings=buildings,
+                protocol=protocol,
+                with_dam=dam_on,
+                verbose=verbose,
+            )
+    return out

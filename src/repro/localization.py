@@ -1,0 +1,59 @@
+"""The common interface every localization framework implements.
+
+The evaluation harness (and the DAM-ablation experiment, which swaps DAM
+in and out of *every* framework) only talks to this interface, so VITAL
+and the four prior-work baselines are interchangeable everywhere.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.data.fingerprint import FingerprintDataset
+
+
+class Localizer(abc.ABC):
+    """A fingerprint → reference-point predictor.
+
+    Implementations receive *raw dBm* three-channel fingerprints, shape
+    ``(n, n_aps, 3)``, and are responsible for their own preprocessing —
+    that mirrors the deployment reality where the online phone hands the
+    framework nothing but its RSSI scan.
+    """
+
+    #: Human-readable framework name used in result tables.
+    name: str = "localizer"
+
+    def __init__(self):
+        self._rp_locations: np.ndarray | None = None
+
+    @abc.abstractmethod
+    def fit(self, train: FingerprintDataset) -> "Localizer":
+        """Train on the offline-phase dataset; returns self."""
+
+    @abc.abstractmethod
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict RP indices for raw fingerprints ``(n, n_aps, 3)``."""
+
+    # ------------------------------------------------------------------
+    def _remember_rps(self, train: FingerprintDataset) -> None:
+        """Store the RP coordinate table (call from ``fit``)."""
+        self._rp_locations = train.rp_locations.copy()
+
+    @property
+    def rp_locations(self) -> np.ndarray:
+        if self._rp_locations is None:
+            raise RuntimeError(f"{self.name} has not been fitted")
+        return self._rp_locations
+
+    def predict_locations(self, features: np.ndarray) -> np.ndarray:
+        """Predict plan coordinates ``(n, 2)`` in meters."""
+        return self.rp_locations[self.predict(features)]
+
+    def errors_m(self, test: FingerprintDataset) -> np.ndarray:
+        """Per-record localization error in meters on a labelled dataset."""
+        predicted = self.predict_locations(test.features)
+        truth = test.location_of(test.labels)
+        return np.linalg.norm(predicted - truth, axis=1)

@@ -1,0 +1,77 @@
+"""A compact neural-network library on top of :mod:`repro.tensor`.
+
+Provides the layer zoo required by VITAL and the four baseline frameworks:
+dense layers, 1-D convolutions (CNNLoc), multi-head self-attention (VITAL's
+ViT encoder and ANVIL), layer/batch normalization, dropout, the usual
+activations, cross-entropy / MSE losses, SGD/Adam/AdamW optimizers with LR
+schedules, a mini-batch :class:`Trainer`, and ``.npz`` weight serialization.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential, ModuleList
+from repro.nn.layers import Dense, Dropout, Flatten, Identity
+from repro.nn.activations import ReLU, GELU, Tanh, Sigmoid, Softmax, LeakyReLU
+from repro.nn.norm import LayerNorm, BatchNorm1d
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.conv import Conv1d, GlobalAveragePool1d, MaxPool1d
+from repro.nn.losses import CrossEntropyLoss, MSELoss, BCELoss, accuracy
+from repro.nn.optim import SGD, Adam, AdamW, StepLR, CosineAnnealingLR
+from repro.nn.trainer import Trainer, TrainConfig, TrainingHistory
+from repro.nn.serialization import save_state_dict, load_state_dict
+from repro.nn.quantization import (
+    quantize_tensor,
+    dequantize_tensor,
+    quantize_state_dict,
+    dequantize_state_dict,
+    quantize_model,
+    model_size_bytes,
+    compression_report,
+)
+from repro.nn import init
+from repro.nn.rng import seed_all, get_rng
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "LeakyReLU",
+    "LayerNorm",
+    "BatchNorm1d",
+    "MultiHeadSelfAttention",
+    "Conv1d",
+    "GlobalAveragePool1d",
+    "MaxPool1d",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "BCELoss",
+    "accuracy",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "StepLR",
+    "CosineAnnealingLR",
+    "Trainer",
+    "TrainConfig",
+    "TrainingHistory",
+    "save_state_dict",
+    "load_state_dict",
+    "quantize_tensor",
+    "dequantize_tensor",
+    "quantize_state_dict",
+    "dequantize_state_dict",
+    "quantize_model",
+    "model_size_bytes",
+    "compression_report",
+    "init",
+    "seed_all",
+    "get_rng",
+]

@@ -1,0 +1,52 @@
+"""Activation-function modules wrapping the tensor primitives."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import Tensor, where
+
+
+class ReLU(Module):
+    """Rectified linear unit, max(0, x)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class GELU(Module):
+    """Exact Gaussian-error linear unit — the ViT MLP non-linearity."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.gelu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Softmax(Module):
+    """Softmax along a configurable axis (default: last)."""
+
+    def __init__(self, axis: int = -1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.softmax(axis=self.axis)
+
+
+class LeakyReLU(Module):
+    """max(x, alpha * x) with a small negative-side slope."""
+
+    def __init__(self, alpha: float = 0.01):
+        super().__init__()
+        self.alpha = alpha
+
+    def forward(self, x: Tensor) -> Tensor:
+        return where(x.data > 0, x, x * self.alpha)

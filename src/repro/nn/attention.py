@@ -1,0 +1,77 @@
+"""Multi-head self-attention, the core of the ViT encoder (paper Eq. 1-4).
+
+Attention(Q, K, V) = softmax(Q K^T / sqrt(d_k)) V with Q = X W_Q,
+K = X W_K, V = X W_V; heads are computed in parallel, concatenated, and
+mixed by an output projection W_O (Eq. 4).
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Dense, Dropout
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head self-attention over sequences shaped (batch, seq, dim).
+
+    Parameters
+    ----------
+    dim:
+        Embedding width; must be divisible by ``heads``.
+    heads:
+        Number of attention heads ``h`` (the paper sweeps 1-8, picks 5 —
+        note 5 requires ``dim % 5 == 0``, which the VITAL projection width
+        satisfies by construction).
+    dropout:
+        Dropout applied to the attention weights during training.
+    """
+
+    def __init__(self, dim: int, heads: int, dropout: float = 0.0, rng=None):
+        super().__init__()
+        if dim % heads != 0:
+            raise ValueError(f"embedding dim {dim} not divisible by heads {heads}")
+        self.dim = dim
+        self.heads = heads
+        self.head_dim = dim // heads
+        self.scale = 1.0 / (self.head_dim**0.5)
+        self.query = Dense(dim, dim, rng=rng)
+        self.key = Dense(dim, dim, rng=rng)
+        self.value = Dense(dim, dim, rng=rng)
+        self.out = Dense(dim, dim, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+        self._last_attention = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, dim = x.shape
+        if dim != self.dim:
+            raise ValueError(f"expected trailing dim {self.dim}, got {dim}")
+
+        def split_heads(t: Tensor) -> Tensor:
+            # (B, N, D) -> (B, h, N, D/h)
+            return t.reshape(batch, seq, self.heads, self.head_dim).transpose((0, 2, 1, 3))
+
+        q = split_heads(self.query(x))
+        k = split_heads(self.key(x))
+        v = split_heads(self.value(x))
+
+        scores = (q @ k.transpose((0, 1, 3, 2))) * self.scale  # (B, h, N, N)
+        weights = scores.softmax(axis=-1)
+        self._last_attention = weights.data  # retained for introspection/tests
+        weights = self.attn_dropout(weights)
+
+        context = weights @ v  # (B, h, N, D/h)
+        merged = context.transpose((0, 2, 1, 3)).reshape(batch, seq, dim)
+        return self.out(merged)
+
+    @property
+    def last_attention(self):
+        """Attention weights from the most recent forward pass.
+
+        Shape (batch, heads, seq, seq); useful for visualizing which APs
+        the model attends to.
+        """
+        return self._last_attention
+
+    def __repr__(self) -> str:
+        return f"MultiHeadSelfAttention(dim={self.dim}, heads={self.heads})"

@@ -1,0 +1,148 @@
+"""1-D convolution and pooling layers (required by the CNNLoc baseline).
+
+The convolution is implemented as an autograd primitive using
+``sliding_window_view`` + ``einsum`` for the forward pass, with an explicit
+scatter-based backward.  Inputs follow the channels-first convention
+``(batch, channels, length)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init as init_schemes
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, is_grad_enabled
+from repro.tensor.tensor import DEFAULT_DTYPE
+
+
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """Cross-correlation of ``x`` (B, C_in, L) with ``weight`` (C_out, C_in, K)."""
+    if x.ndim != 3 or weight.ndim != 3:
+        raise ValueError(f"conv1d expects 3-D input/weight, got {x.shape} and {weight.shape}")
+    batch, c_in, length = x.shape
+    c_out, c_in_w, kernel = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input has {c_in}, weight expects {c_in_w}")
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+
+    padded = np.pad(x.data, ((0, 0), (0, 0), (padding, padding))) if padding else x.data
+    length_padded = length + 2 * padding
+    if kernel > length_padded:
+        raise ValueError(f"kernel {kernel} larger than padded length {length_padded}")
+    length_out = (length_padded - kernel) // stride + 1
+
+    windows = np.lib.stride_tricks.sliding_window_view(padded, kernel, axis=2)[:, :, ::stride]
+    out_data = np.einsum("bclk,ock->bol", windows, weight.data, optimize=True)
+    if bias is not None:
+        out_data = out_data + bias.data[None, :, None]
+
+    parents = tuple(t for t in (x, weight, bias) if t is not None and t.requires_grad)
+    out = Tensor(out_data, requires_grad=is_grad_enabled() and bool(parents), _parents=parents)
+    if out.requires_grad:
+
+        def backward(grad):
+            if weight.requires_grad:
+                weight._accumulate(np.einsum("bclk,bol->ock", windows, grad, optimize=True))
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2)))
+            if x.requires_grad:
+                grad_padded = np.zeros_like(padded)
+                for k in range(kernel):
+                    contribution = np.einsum(
+                        "bol,oc->bcl", grad, weight.data[:, :, k], optimize=True
+                    )
+                    grad_padded[:, :, k : k + stride * length_out : stride] += contribution
+                x._accumulate(
+                    grad_padded[:, :, padding : padding + length] if padding else grad_padded
+                )
+
+        out._backward = backward
+    return out
+
+
+def max_pool1d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over the trailing axis of (B, C, L) input."""
+    stride = stride or kernel
+    batch, channels, length = x.shape
+    if kernel > length:
+        raise ValueError(f"pool kernel {kernel} larger than length {length}")
+    windows = np.lib.stride_tricks.sliding_window_view(x.data, kernel, axis=2)[:, :, ::stride]
+    out_data = windows.max(axis=-1)
+    out = Tensor(out_data, requires_grad=is_grad_enabled() and x.requires_grad, _parents=(x,) if x.requires_grad else ())
+    if out.requires_grad:
+        length_out = out_data.shape[-1]
+        argmax = windows.argmax(axis=-1)  # (B, C, L_out)
+        positions = argmax + (np.arange(length_out) * stride)[None, None, :]
+        batch_index, channel_index = np.ogrid[:batch, :channels]
+
+        def backward(grad):
+            full = np.zeros_like(x.data)
+            np.add.at(full, (batch_index[..., None], channel_index[..., None], positions), grad)
+            x._accumulate(full)
+
+        out._backward = backward
+    return out
+
+
+class Conv1d(Module):
+    """Trainable 1-D convolution layer (channels-first)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        init: str = "he_normal",
+        rng=None,
+    ):
+        super().__init__()
+        initializer = getattr(init_schemes, init)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(initializer((out_channels, in_channels, kernel_size), rng=rng))
+        self.bias = Parameter(np.zeros(out_channels, dtype=DEFAULT_DTYPE)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv1d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv1d({self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+            f"s={self.stride}, p={self.padding})"
+        )
+
+
+class MaxPool1d(Module):
+    """Max pooling layer over the trailing axis."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool1d(x, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"MaxPool1d(k={self.kernel_size}, s={self.stride})"
+
+
+class GlobalAveragePool1d(Module):
+    """Average over the trailing (length) axis: (B, C, L) -> (B, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=-1)

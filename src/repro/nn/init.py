@@ -1,0 +1,71 @@
+"""Weight initialization schemes.
+
+Glorot/Xavier for tanh/sigmoid/linear layers, He/Kaiming for ReLU-family
+layers, plus truncated-normal used for ViT patch/position embeddings (the
+scheme the original ViT paper uses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.rng import get_rng
+from repro.tensor.tensor import DEFAULT_DTYPE
+
+
+def glorot_uniform(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    """Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    rng = get_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(DEFAULT_DTYPE)
+
+
+def glorot_normal(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    """Xavier/Glorot normal: N(0, 2 / (fan_in + fan_out))."""
+    rng = get_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return (rng.standard_normal(shape) * std).astype(DEFAULT_DTYPE)
+
+
+def he_normal(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    """Kaiming normal: N(0, 2 / fan_in); preferred before ReLU."""
+    rng = get_rng(rng)
+    fan_in, _fan_out = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(DEFAULT_DTYPE)
+
+
+def he_uniform(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    """Kaiming uniform: U(-a, a) with a = sqrt(6 / fan_in)."""
+    rng = get_rng(rng)
+    fan_in, _fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape).astype(DEFAULT_DTYPE)
+
+
+def truncated_normal(shape: tuple[int, ...], std: float = 0.02, rng=None) -> np.ndarray:
+    """Normal draws re-sampled (by clipping) into ±2 std, as in ViT embeddings."""
+    rng = get_rng(rng)
+    draws = rng.standard_normal(shape) * std
+    return np.clip(draws, -2.0 * std, 2.0 * std).astype(DEFAULT_DTYPE)
+
+
+def zeros(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    return np.zeros(shape, dtype=DEFAULT_DTYPE)
+
+
+def ones(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    return np.ones(shape, dtype=DEFAULT_DTYPE)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    """fan_in/fan_out for dense (in, out) and conv (out, in, k) kernels."""
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    # Convolution kernel (out_channels, in_channels, *spatial).
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

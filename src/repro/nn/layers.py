@@ -1,0 +1,93 @@
+"""Core feed-forward layers: Dense, Dropout, Flatten, Identity."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init as init_schemes
+from repro.nn.module import Module, Parameter
+from repro.nn.rng import get_rng
+from repro.tensor import Tensor
+
+
+class Dense(Module):
+    """Fully connected layer ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output widths.
+    bias:
+        Include an additive bias term (default ``True``).
+    init:
+        Weight initializer name: ``"glorot_uniform"`` (default),
+        ``"glorot_normal"``, ``"he_normal"``, ``"he_uniform"`` or
+        ``"truncated_normal"``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        init: str = "glorot_uniform",
+        rng=None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Dense features must be positive")
+        initializer = getattr(init_schemes, init)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(initializer((in_features, out_features), rng=rng))
+        self.bias = Parameter(np.zeros(out_features, dtype=self.weight.dtype)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Dense({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode.
+
+    During training each activation is zeroed with probability ``rate`` and
+    the survivors are scaled by ``1/(1-rate)`` so the expected activation is
+    unchanged — evaluation mode is then a no-op.
+    """
+
+    def __init__(self, rate: float, rng=None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        rng = get_rng(self._rng)
+        keep = 1.0 - self.rate
+        mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate})"
+
+
+class Flatten(Module):
+    """Collapse all but the leading (batch) dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Identity(Module):
+    """Pass-through layer, useful as a configurable no-op."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x

@@ -1,0 +1,75 @@
+"""Loss functions and classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over integer class targets.
+
+    Accepts raw logits shaped ``(batch, classes)`` and integer targets
+    shaped ``(batch,)``.  Optional label smoothing redistributes
+    ``smoothing`` probability mass uniformly over the non-target classes.
+    """
+
+    def __init__(self, smoothing: float = 0.0):
+        super().__init__()
+        if not 0.0 <= smoothing < 1.0:
+            raise ValueError(f"label smoothing must be in [0, 1), got {smoothing}")
+        self.smoothing = smoothing
+
+    def forward(self, logits: Tensor, targets) -> Tensor:
+        targets = np.asarray(targets)
+        if logits.ndim != 2:
+            raise ValueError(f"expected (batch, classes) logits, got {logits.shape}")
+        if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+            raise ValueError(
+                f"targets shape {targets.shape} incompatible with logits {logits.shape}"
+            )
+        if targets.min() < 0 or targets.max() >= logits.shape[1]:
+            raise ValueError("target class index out of range")
+        batch, classes = logits.shape
+        log_probs = logits.log_softmax(axis=-1)
+        picked = log_probs[np.arange(batch), targets]
+        nll = -picked.mean()
+        if self.smoothing == 0.0:
+            return nll
+        uniform = -log_probs.mean(axis=-1).mean()
+        return nll * (1.0 - self.smoothing) + uniform * self.smoothing
+
+
+class MSELoss(Module):
+    """Mean squared error between predictions and targets."""
+
+    def forward(self, predictions: Tensor, targets) -> Tensor:
+        targets = targets if isinstance(targets, Tensor) else Tensor(np.asarray(targets))
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: predictions {predictions.shape} vs targets {targets.shape}"
+            )
+        diff = predictions - targets
+        return (diff * diff).mean()
+
+
+class BCELoss(Module):
+    """Binary cross-entropy on probabilities in (0, 1), clipped for stability."""
+
+    def __init__(self, eps: float = 1e-7):
+        super().__init__()
+        self.eps = eps
+
+    def forward(self, probabilities: Tensor, targets) -> Tensor:
+        targets = targets if isinstance(targets, Tensor) else Tensor(np.asarray(targets))
+        p = probabilities.clip(self.eps, 1.0 - self.eps)
+        return -(targets * p.log() + (1.0 - targets) * (1.0 - p).log()).mean()
+
+
+def accuracy(logits: Tensor | np.ndarray, targets) -> float:
+    """Fraction of rows whose argmax matches the integer target."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    targets = np.asarray(targets)
+    return float((scores.argmax(axis=-1) == targets).mean())

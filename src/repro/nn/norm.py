@@ -1,0 +1,77 @@
+"""Normalization layers: LayerNorm (used throughout the ViT encoder) and
+BatchNorm1d (used by some baseline architectures)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+from repro.tensor.tensor import DEFAULT_DTYPE
+
+
+class LayerNorm(Module):
+    """Normalize over the trailing feature dimension.
+
+    The paper applies layer normalization before each MSA and MLP sub-block
+    of the transformer encoder ("pre-norm"), with learnable gain/shift.
+    """
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        super().__init__()
+        self.features = features
+        self.eps = eps
+        self.gamma = Parameter(np.ones(features, dtype=DEFAULT_DTYPE))
+        self.beta = Parameter(np.zeros(features, dtype=DEFAULT_DTYPE))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.features:
+            raise ValueError(
+                f"LayerNorm expected trailing dim {self.features}, got {x.shape[-1]}"
+            )
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (variance + self.eps).sqrt()
+        return normalized * self.gamma + self.beta
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.features})"
+
+
+class BatchNorm1d(Module):
+    """Batch normalization for (batch, features) inputs.
+
+    Keeps exponential moving averages of mean/variance for evaluation mode.
+    """
+
+    def __init__(self, features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.features = features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(features, dtype=DEFAULT_DTYPE))
+        self.beta = Parameter(np.zeros(features, dtype=DEFAULT_DTYPE))
+        self.running_mean = np.zeros(features, dtype=DEFAULT_DTYPE)
+        self.running_var = np.ones(features, dtype=DEFAULT_DTYPE)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2 or x.shape[1] != self.features:
+            raise ValueError(f"BatchNorm1d expected (batch, {self.features}), got {x.shape}")
+        if self.training:
+            batch_mean = x.data.mean(axis=0)
+            batch_var = x.data.var(axis=0)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * batch_mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * batch_var
+            mean = x.mean(axis=0, keepdims=True)
+            centered = x - mean
+            variance = (centered * centered).mean(axis=0, keepdims=True)
+            normalized = centered / (variance + self.eps).sqrt()
+        else:
+            normalized = (x - Tensor(self.running_mean)) / Tensor(
+                np.sqrt(self.running_var + self.eps)
+            )
+        return normalized * self.gamma + self.beta
+
+    def __repr__(self) -> str:
+        return f"BatchNorm1d({self.features})"

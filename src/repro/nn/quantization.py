@@ -1,0 +1,84 @@
+"""Post-training weight quantization (the paper's deployment concern).
+
+The paper stresses that localization models must fit "memory-constrained
+and computationally limited embedded and IoT platforms" and cites model
+compression (CHISEL [25]) as the standard remedy.  This module provides
+symmetric per-tensor int8 post-training quantization of any
+:class:`repro.nn.Module`:
+
+* :func:`quantize_state_dict` — weights → (int8 tensors, scales),
+* :func:`dequantize_state_dict` — back to float for inference,
+* :func:`quantize_model` — in-place round-trip ("fake quantization"),
+  measuring the accuracy a deployed int8 model would see,
+* :func:`model_size_bytes` — footprint accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def quantize_tensor(values: np.ndarray, bits: int = 8) -> tuple[np.ndarray, float]:
+    """Symmetric linear quantization of one tensor.
+
+    Returns ``(codes, scale)`` with ``codes`` in ``[-2^{bits-1}+1,
+    2^{bits-1}-1]`` and ``values ≈ codes * scale``.
+    """
+    if not 2 <= bits <= 16:
+        raise ValueError(f"bits must be in [2, 16], got {bits}")
+    limit = float(2 ** (bits - 1) - 1)
+    peak = float(np.abs(values).max())
+    scale = peak / limit if peak > 0 else 1.0
+    codes = np.clip(np.round(values / scale), -limit, limit)
+    dtype = np.int8 if bits <= 8 else np.int16
+    return codes.astype(dtype), scale
+
+
+def dequantize_tensor(codes: np.ndarray, scale: float) -> np.ndarray:
+    """Inverse of :func:`quantize_tensor` (lossy)."""
+    return codes.astype(np.float32) * np.float32(scale)
+
+
+def quantize_state_dict(
+    model: Module, bits: int = 8
+) -> dict[str, tuple[np.ndarray, float]]:
+    """Quantize every parameter of ``model``; returns name → (codes, scale)."""
+    return {
+        name: quantize_tensor(values, bits=bits)
+        for name, values in model.state_dict().items()
+    }
+
+
+def dequantize_state_dict(
+    quantized: dict[str, tuple[np.ndarray, float]]
+) -> dict[str, np.ndarray]:
+    """Reconstruct a float state dict from quantized parameters."""
+    return {name: dequantize_tensor(codes, scale) for name, (codes, scale) in quantized.items()}
+
+
+def quantize_model(model: Module, bits: int = 8) -> Module:
+    """Round-trip the model's weights through ``bits``-bit quantization.
+
+    After this call the model computes with exactly the values an int8
+    deployment would use, so its accuracy drop can be measured directly.
+    """
+    model.load_state_dict(dequantize_state_dict(quantize_state_dict(model, bits=bits)))
+    return model
+
+
+def model_size_bytes(model: Module, bits: int = 32) -> int:
+    """Model parameter footprint at the given weight precision."""
+    total = model.num_parameters()
+    return int(np.ceil(total * bits / 8))
+
+
+def compression_report(model: Module, bits: int = 8) -> str:
+    """Human-readable footprint comparison used by the bench."""
+    full = model_size_bytes(model, bits=32)
+    small = model_size_bytes(model, bits=bits)
+    return (
+        f"{model.num_parameters():,} params: float32 {full / 1024:.0f} KiB "
+        f"-> int{bits} {small / 1024:.0f} KiB ({full / small:.1f}x smaller)"
+    )

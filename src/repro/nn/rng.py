@@ -1,0 +1,34 @@
+"""Centralized random-number management for reproducible experiments.
+
+Every stochastic component in the library (weight init, dropout, data
+augmentation, the radio simulator) draws from a ``numpy.random.Generator``.
+Components accept an explicit generator; when none is given they fall back
+to the module-level generator controlled by :func:`seed_all`, so a single
+call pins the whole experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GLOBAL_RNG = np.random.default_rng(0)
+
+
+def seed_all(seed: int) -> np.random.Generator:
+    """Reset the library-wide generator; returns it for convenience."""
+    global _GLOBAL_RNG
+    _GLOBAL_RNG = np.random.default_rng(seed)
+    return _GLOBAL_RNG
+
+
+def get_rng(rng: np.random.Generator | int | None = None) -> np.random.Generator:
+    """Resolve an optional generator/seed argument to a ``Generator``.
+
+    ``None`` returns the global generator, an ``int`` seeds a fresh one, and
+    a ``Generator`` passes through unchanged.
+    """
+    if rng is None:
+        return _GLOBAL_RNG
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    return rng

@@ -1,0 +1,32 @@
+"""Weight serialization to ``.npz`` archives.
+
+The on-disk format is a flat NumPy archive keyed by parameter path (for
+example ``encoder.msa.query.weight``), matching :meth:`Module.state_dict`.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state_dict(model: Module, path: str) -> None:
+    """Write all model parameters to ``path`` (``.npz`` appended if absent)."""
+    state = model.state_dict()
+    if not state:
+        raise ValueError("model has no parameters to save")
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path if path.endswith(".npz") else path + ".npz", **state)
+
+
+def load_state_dict(model: Module, path: str) -> Module:
+    """Load parameters saved by :func:`save_state_dict` into ``model``."""
+    resolved = path if path.endswith(".npz") else path + ".npz"
+    with np.load(resolved) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,181 @@
+"""Mini-batch training loop with early stopping and history tracking.
+
+The same :class:`Trainer` drives VITAL and every neural baseline, so all
+frameworks in the comparison benchmarks receive identical treatment
+(optimizer, batching, early stopping) — only architectures differ, as in
+the paper's evaluation protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import accuracy
+from repro.nn.module import Module
+from repro.nn.optim import Adam, Optimizer
+from repro.nn.rng import get_rng
+from repro.tensor import Tensor, no_grad
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters of a training run."""
+
+    epochs: int = 30
+    batch_size: int = 32
+    lr: float = 1e-3
+    weight_decay: float = 0.0
+    shuffle: bool = True
+    early_stop_patience: int | None = None
+    min_delta: float = 1e-4
+    verbose: bool = False
+    seed: int | None = None
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records from :meth:`Trainer.fit`."""
+
+    loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+    epochs_run: int = 0
+    stopped_early: bool = False
+    wall_time_s: float = 0.0
+
+
+class Trainer:
+    """Trains a model that maps a feature batch to logits.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`repro.nn.Module` whose ``forward`` accepts a ``Tensor``
+        batch.
+    loss_fn:
+        Callable ``(logits, targets) -> Tensor`` scalar loss.
+    config:
+        :class:`TrainConfig`; a default one is built when omitted.
+    optimizer:
+        Optional pre-built optimizer; default is Adam at ``config.lr``.
+    augment_fn:
+        Optional per-epoch batch transform ``(X, rng) -> X`` executed on raw
+        NumPy features — this is where VITAL plugs in its DAM stochastic
+        stages so fresh dropout/noise is drawn every epoch.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss_fn,
+        config: TrainConfig | None = None,
+        optimizer: Optimizer | None = None,
+        augment_fn=None,
+    ):
+        self.model = model
+        self.loss_fn = loss_fn
+        self.config = config or TrainConfig()
+        self.optimizer = optimizer or Adam(
+            model.parameters(), lr=self.config.lr, weight_decay=self.config.weight_decay
+        )
+        self.augment_fn = augment_fn
+
+    def fit(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        val_features: np.ndarray | None = None,
+        val_targets: np.ndarray | None = None,
+    ) -> TrainingHistory:
+        """Run the configured number of epochs; returns the history."""
+        config = self.config
+        rng = get_rng(config.seed)
+        features = np.asarray(features)
+        targets = np.asarray(targets)
+        if len(features) != len(targets):
+            raise ValueError("features and targets disagree on sample count")
+        if len(features) == 0:
+            raise ValueError("cannot train on an empty dataset")
+
+        history = TrainingHistory()
+        best_val = np.inf
+        patience_left = config.early_stop_patience
+        start = time.perf_counter()
+
+        for epoch in range(config.epochs):
+            self.model.train()
+            order = rng.permutation(len(features)) if config.shuffle else np.arange(len(features))
+            epoch_loss = 0.0
+            epoch_correct = 0.0
+            for begin in range(0, len(order), config.batch_size):
+                batch_idx = order[begin : begin + config.batch_size]
+                batch_x = features[batch_idx]
+                batch_y = targets[batch_idx]
+                if self.augment_fn is not None:
+                    batch_x = self.augment_fn(batch_x, rng)
+                logits = self.model(Tensor(batch_x))
+                loss = self.loss_fn(logits, batch_y)
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                epoch_loss += float(loss.data) * len(batch_idx)
+                if logits.ndim == 2 and np.asarray(batch_y).ndim == 1:
+                    epoch_correct += accuracy(logits, batch_y) * len(batch_idx)
+
+            history.loss.append(epoch_loss / len(order))
+            history.train_accuracy.append(epoch_correct / len(order))
+            history.epochs_run = epoch + 1
+
+            if val_features is not None and val_targets is not None:
+                val_loss, val_acc = self.evaluate(val_features, val_targets)
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(val_acc)
+                if config.early_stop_patience is not None:
+                    if val_loss < best_val - config.min_delta:
+                        best_val = val_loss
+                        patience_left = config.early_stop_patience
+                    else:
+                        patience_left -= 1
+                        if patience_left <= 0:
+                            history.stopped_early = True
+                            break
+
+            if config.verbose:
+                val_note = f" val_loss={history.val_loss[-1]:.4f}" if history.val_loss else ""
+                print(f"epoch {epoch + 1}/{config.epochs} loss={history.loss[-1]:.4f}{val_note}")
+
+        history.wall_time_s = time.perf_counter() - start
+        self.model.eval()
+        return history
+
+    def evaluate(self, features: np.ndarray, targets: np.ndarray) -> tuple[float, float]:
+        """Mean loss and accuracy on a held-out set (no augmentation)."""
+        self.model.eval()
+        total_loss = 0.0
+        total_correct = 0.0
+        count = len(features)
+        with no_grad():
+            for begin in range(0, count, self.config.batch_size):
+                batch_x = features[begin : begin + self.config.batch_size]
+                batch_y = targets[begin : begin + self.config.batch_size]
+                logits = self.model(Tensor(np.asarray(batch_x)))
+                loss = self.loss_fn(logits, batch_y)
+                total_loss += float(loss.data) * len(batch_x)
+                if logits.ndim == 2 and np.asarray(batch_y).ndim == 1:
+                    total_correct += accuracy(logits, batch_y) * len(batch_x)
+        return total_loss / count, total_correct / count
+
+    def predict(self, features: np.ndarray, batch_size: int | None = None) -> np.ndarray:
+        """Forward the model over ``features`` in eval mode; returns raw outputs."""
+        self.model.eval()
+        batch = batch_size or self.config.batch_size
+        outputs = []
+        with no_grad():
+            for begin in range(0, len(features), batch):
+                logits = self.model(Tensor(np.asarray(features[begin : begin + batch])))
+                outputs.append(logits.data)
+        return np.concatenate(outputs, axis=0)

@@ -1,0 +1,46 @@
+"""Indoor RF propagation simulator.
+
+The paper evaluates on a private RSSI survey of four university buildings
+collected with nine physical smartphones; none of that data is public, so
+this package synthesizes the equivalent measurement process:
+
+* :mod:`repro.radio.geometry` — 2-D points, wall segments, intersection
+  tests used for wall-attenuation counting.
+* :mod:`repro.radio.materials` — per-material penetration losses (the
+  paper notes its buildings mix wood, metal and concrete).
+* :mod:`repro.radio.propagation` — log-distance path loss with spatially
+  correlated shadowing and per-sample fast fading.
+* :mod:`repro.radio.access_point` — Wi-Fi AP with MAC id, TX power and
+  channel.
+* :mod:`repro.radio.device` — smartphone transceiver model: gain offset,
+  response slope, per-AP antenna skew, measurement noise and a sensitivity
+  floor that produces the paper's *missing APs* phenomenon.
+* :mod:`repro.radio.environment` — a :class:`Building` tying it together
+  and producing RSSI samples for a device at a location.
+
+All randomness is either seeded per (building, AP) — environment properties
+that must be identical across devices and visits — or drawn from an
+explicit generator for per-sample effects.
+"""
+
+from repro.radio.geometry import Point, Wall, segments_intersect, count_wall_crossings
+from repro.radio.materials import Material, MATERIALS
+from repro.radio.propagation import LogDistanceModel, ShadowingField
+from repro.radio.access_point import AccessPoint
+from repro.radio.device import DeviceProfile, NOT_VISIBLE_DBM
+from repro.radio.environment import Building
+
+__all__ = [
+    "Point",
+    "Wall",
+    "segments_intersect",
+    "count_wall_crossings",
+    "Material",
+    "MATERIALS",
+    "LogDistanceModel",
+    "ShadowingField",
+    "AccessPoint",
+    "DeviceProfile",
+    "NOT_VISIBLE_DBM",
+    "Building",
+]

@@ -1,0 +1,49 @@
+"""Wi-Fi access-point model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.radio.geometry import Point
+
+
+def _format_mac(index: int) -> str:
+    """Deterministic, readable synthetic MAC id for AP ``index``."""
+    octets = [0x80, 0x8D, 0xB7, (index >> 8) & 0xFF, index & 0xFF, (index * 37) & 0xFF]
+    return ":".join(f"{o:02x}" for o in octets)
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """A fixed Wi-Fi transmitter inside a building.
+
+    Parameters
+    ----------
+    index:
+        Position of this AP in the building's fingerprint vector.
+    position:
+        Plan-view location in meters.
+    tx_power_dbm:
+        Effective isotropic radiated power; typical enterprise APs sit
+        around 15-20 dBm.
+    channel:
+        Wi-Fi channel (1-11 for 2.4 GHz); devices exhibit slightly
+        different antenna responses per channel, which feeds the per-AP
+        device skew.
+    mac:
+        MAC identifier; auto-generated deterministically when omitted.
+    """
+
+    index: int
+    position: Point
+    tx_power_dbm: float = 18.0
+    channel: int = 1
+    mac: str = field(default="")
+
+    def __post_init__(self):
+        if not self.mac:
+            object.__setattr__(self, "mac", _format_mac(self.index))
+        if self.index < 0:
+            raise ValueError("AP index must be non-negative")
+        if not 1 <= self.channel <= 14:
+            raise ValueError(f"invalid Wi-Fi channel {self.channel}")

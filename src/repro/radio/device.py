@@ -1,0 +1,126 @@
+"""Smartphone transceiver heterogeneity model.
+
+Section III of the paper identifies four empirical properties of RSSI
+captured by different phones at the same spot:
+
+1. systematic deviations between devices (gain offsets),
+2. similar *patterns* between some device pairs (shared slope regimes),
+3. non-fixed skews even among similar pairs (per-AP antenna/channel skew),
+4. APs visible to one phone but not another (sensitivity floor → the
+   *missing APs* problem; invisible APs read −100 dBm).
+
+:class:`DeviceProfile` parameterizes exactly these effects.  A measured
+RSSI is produced from the true channel power as::
+
+    measured = slope * true + offset + skew(ap) + N(0, noise)
+    measured = −100           if measured < sensitivity_floor
+
+The per-AP skew is drawn from a generator seeded by (device, AP mac), so it
+is a fixed property of the device/AP pair — reproducible across visits, yet
+different between devices, matching observation 3.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+NOT_VISIBLE_DBM = -100.0
+MAX_RSSI_DBM = 0.0
+
+
+def _stable_seed(*parts: str) -> int:
+    """Deterministic 64-bit seed from string parts (process-independent)."""
+    digest = hashlib.sha256("|".join(parts).encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Transceiver characteristics of one smartphone model.
+
+    Parameters
+    ----------
+    name:
+        Short acronym used throughout the experiments (e.g. ``"HTC"``).
+    manufacturer, model, release_year:
+        Catalog info mirroring the paper's Tables I and II.
+    gain_offset_db:
+        Systematic RSSI offset of this transceiver.
+    response_slope:
+        Linear gain of the RSSI response; 1.0 is a perfectly calibrated
+        radio, values below/above compress/stretch dynamic range.
+    per_ap_skew_db:
+        Standard deviation of the fixed per-AP skew (antenna/channel
+        response), the paper's "skews ... are not fixed" effect.
+    noise_sigma_db:
+        Per-sample measurement noise of this radio.
+    sensitivity_floor_dbm:
+        Weakest signal the radio reports; anything below reads −100
+        ("missing AP").
+    """
+
+    name: str
+    manufacturer: str = ""
+    model: str = ""
+    release_year: int = 0
+    gain_offset_db: float = 0.0
+    response_slope: float = 1.0
+    per_ap_skew_db: float = 1.5
+    noise_sigma_db: float = 1.0
+    sensitivity_floor_dbm: float = -92.0
+
+    def __post_init__(self):
+        if self.response_slope <= 0:
+            raise ValueError("response slope must be positive")
+        if self.noise_sigma_db < 0:
+            raise ValueError("noise sigma must be non-negative")
+        if not -100.0 < self.sensitivity_floor_dbm <= 0.0:
+            raise ValueError("sensitivity floor must be in (-100, 0]")
+
+    def ap_skew(self, ap_mac: str) -> float:
+        """Fixed skew (dB) this device applies to a given AP's signal."""
+        rng = np.random.default_rng(_stable_seed("ap-skew", self.name, ap_mac))
+        return float(rng.normal(0.0, self.per_ap_skew_db))
+
+    def measure(
+        self,
+        true_rssi_dbm: np.ndarray,
+        ap_macs: list[str],
+        rng: np.random.Generator,
+        n_samples: int = 1,
+    ) -> np.ndarray:
+        """Produce ``(n_samples, n_aps)`` measured RSSI from true channel power.
+
+        ``true_rssi_dbm`` holds the device-independent received power per
+        AP; entries at ``NOT_VISIBLE_DBM`` stay invisible.
+        """
+        true_rssi_dbm = np.asarray(true_rssi_dbm, dtype=np.float64)
+        if true_rssi_dbm.ndim != 1 or len(ap_macs) != true_rssi_dbm.shape[0]:
+            raise ValueError("true_rssi_dbm must be 1-D and aligned with ap_macs")
+        skews = np.array([self.ap_skew(mac) for mac in ap_macs])
+        base = self.response_slope * true_rssi_dbm + self.gain_offset_db + skews
+        noise = rng.normal(0.0, self.noise_sigma_db, size=(n_samples, true_rssi_dbm.shape[0]))
+        measured = base[None, :] + noise
+        measured = np.clip(measured, NOT_VISIBLE_DBM, MAX_RSSI_DBM)
+        # Sensitivity gates on the *actual* channel power: a radio whose
+        # floor is above the received power cannot decode the beacon at
+        # all, regardless of how its gain chain would have reported it.
+        # This is what produces the paper's missing-APs phenomenon.
+        undetectable = true_rssi_dbm < self.sensitivity_floor_dbm
+        measured[:, undetectable] = NOT_VISIBLE_DBM
+        # A radio cannot create signal out of thin air: sources that were
+        # truly invisible stay invisible regardless of noise.
+        source_invisible = true_rssi_dbm <= NOT_VISIBLE_DBM
+        measured[:, source_invisible] = NOT_VISIBLE_DBM
+        return measured
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by example scripts)."""
+        return (
+            f"{self.name:7s} {self.manufacturer} {self.model} ({self.release_year}): "
+            f"offset {self.gain_offset_db:+.1f} dB, slope {self.response_slope:.2f}, "
+            f"floor {self.sensitivity_floor_dbm:.0f} dBm, noise {self.noise_sigma_db:.1f} dB"
+        )

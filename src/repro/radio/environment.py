@@ -1,0 +1,158 @@
+"""The :class:`Building` environment: geometry + APs + propagation.
+
+A building owns its walls, access points, path-loss model and one
+shadowing field per AP (seeded from the building seed and the AP index, so
+the multipath environment is a stable property of the place, shared by all
+devices — which is what makes fingerprinting possible at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.radio.access_point import AccessPoint
+from repro.radio.device import NOT_VISIBLE_DBM, DeviceProfile
+from repro.radio.geometry import Point, Wall, polyline_length, polyline_points
+from repro.radio.propagation import LogDistanceModel, ShadowingField
+
+
+@dataclass
+class Building:
+    """A surveyable indoor environment.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in result tables (e.g. ``"Building 1"``).
+    width_m, height_m:
+        Bounding box of the plan.
+    walls:
+        Interior/exterior wall segments.
+    access_points:
+        The Wi-Fi APs whose RSSI forms the fingerprint vector; the
+        fingerprint dimension equals ``len(access_points)``.
+    path_vertices:
+        Polyline along which reference points are laid out (Fig. 4 paths).
+    propagation:
+        Path-loss model; exponent varies per building.
+    shadowing_sigma_db:
+        Std-dev of the per-AP correlated shadowing field.  The paper calls
+        Building 4 "less noisy" — its preset uses a smaller sigma.
+    fast_fading_sigma_db:
+        Std-dev of per-sample fading added on top of device noise.
+    seed:
+        Environment seed; shadowing fields derive from it.
+    """
+
+    name: str
+    width_m: float
+    height_m: float
+    walls: list[Wall] = field(default_factory=list)
+    access_points: list[AccessPoint] = field(default_factory=list)
+    path_vertices: list[Point] = field(default_factory=list)
+    propagation: LogDistanceModel = field(default_factory=LogDistanceModel)
+    shadowing_sigma_db: float = 4.0
+    shadowing_correlation_m: float = 6.0
+    fast_fading_sigma_db: float = 1.5
+    seed: int = 0
+
+    def __post_init__(self):
+        self._drift_db = np.zeros(self.n_aps)
+        self._shadowing: dict[int, ShadowingField] = {}
+        for ap in self.access_points:
+            self._shadowing[ap.index] = ShadowingField(
+                sigma_db=self.shadowing_sigma_db,
+                correlation_m=self.shadowing_correlation_m,
+                seed=(self.seed * 1_000_003 + ap.index * 7919 + 17),
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_aps(self) -> int:
+        return len(self.access_points)
+
+    @property
+    def ap_macs(self) -> list[str]:
+        return [ap.mac for ap in self.access_points]
+
+    def reference_points(self, spacing_m: float = 1.0) -> list[Point]:
+        """Reference points along the survey path (1 m default, as in §VI.A)."""
+        return polyline_points(self.path_vertices, spacing=spacing_m)
+
+    @property
+    def path_length_m(self) -> float:
+        return polyline_length(self.path_vertices)
+
+    # ------------------------------------------------------------------
+    def true_rssi(self, location: Point) -> np.ndarray:
+        """Device-independent received power (dBm) from every AP.
+
+        Values below −100 dBm are reported as −100 (no visibility), the
+        same convention the paper's Fig. 1 uses.
+        """
+        power = np.empty(self.n_aps, dtype=np.float64)
+        for i, ap in enumerate(self.access_points):
+            power[i] = self.propagation.received_power_dbm(
+                ap.tx_power_dbm,
+                ap.position,
+                location,
+                walls=self.walls,
+                shadowing=self._shadowing[ap.index],
+            )
+        power += self._drift_db
+        return np.clip(power, NOT_VISIBLE_DBM, 0.0)
+
+    def apply_environment_drift(self, sigma_db: float, seed: int = 0) -> np.ndarray:
+        """Shift each AP's effective power by N(0, sigma) dB, in place.
+
+        Models the slow environmental change between the offline survey
+        and a later online phase (APs replaced/retuned, furniture moved) —
+        the "dynamic environments" difficulty the paper's introduction
+        raises.  Returns the per-AP drift applied; call with ``sigma_db=0``
+        to reset.
+        """
+        if sigma_db < 0:
+            raise ValueError("drift sigma must be non-negative")
+        if sigma_db == 0.0:
+            self._drift_db = np.zeros(self.n_aps)
+        else:
+            rng = np.random.default_rng([self.seed, seed, 777])
+            self._drift_db = rng.normal(0.0, sigma_db, size=self.n_aps)
+        return self._drift_db.copy()
+
+    def sample_rssi(
+        self,
+        location: Point,
+        device: DeviceProfile,
+        rng: np.random.Generator,
+        n_samples: int = 1,
+    ) -> np.ndarray:
+        """Measured fingerprints: ``(n_samples, n_aps)`` array in dBm.
+
+        Combines the environment truth with per-sample fast fading, then
+        passes the result through the device transceiver model.
+        """
+        truth = self.true_rssi(location)
+        fading = rng.normal(0.0, self.fast_fading_sigma_db, size=(n_samples, self.n_aps))
+        visible = truth > NOT_VISIBLE_DBM
+        samples = np.empty((n_samples, self.n_aps), dtype=np.float64)
+        for s in range(n_samples):
+            faded = np.where(visible, truth + fading[s], NOT_VISIBLE_DBM)
+            samples[s] = device.measure(faded, self.ap_macs, rng, n_samples=1)[0]
+        return samples
+
+    def coverage_fraction(self, location: Point) -> float:
+        """Fraction of APs visible (above −100 dBm) at a location."""
+        truth = self.true_rssi(location)
+        return float((truth > NOT_VISIBLE_DBM).mean())
+
+    def describe(self) -> str:
+        """Human-readable summary used in benchmark headers."""
+        return (
+            f"{self.name}: {self.path_length_m:.0f} m path, "
+            f"{len(self.reference_points())} RPs, {self.n_aps} APs, "
+            f"n={self.propagation.exponent:.1f}, "
+            f"shadowing {self.shadowing_sigma_db:.1f} dB"
+        )

@@ -1,0 +1,132 @@
+"""Minimal 2-D geometry: points, wall segments, intersection counting.
+
+Buildings are modeled in plan view.  The only geometric question the
+propagation model asks is "how many walls does the straight line from AP to
+receiver cross, and of which material" — answered here with a standard
+orientation-based segment-intersection test.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.radio.materials import Material
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2-D point in meters."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def midpoint(self, other: "Point") -> "Point":
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+
+@dataclass(frozen=True)
+class Wall:
+    """A straight wall segment with a material name (see MATERIALS)."""
+
+    start: Point
+    end: Point
+    material: str = "drywall"
+
+    @property
+    def length(self) -> float:
+        return self.start.distance_to(self.end)
+
+
+def _orientation(a: Point, b: Point, c: Point) -> int:
+    """0 = collinear, 1 = clockwise, 2 = counter-clockwise."""
+    cross = (b.y - a.y) * (c.x - b.x) - (b.x - a.x) * (c.y - b.y)
+    if abs(cross) < 1e-12:
+        return 0
+    return 1 if cross > 0 else 2
+
+
+def _on_segment(a: Point, b: Point, c: Point) -> bool:
+    """Whether collinear point ``b`` lies within segment ``ac``."""
+    return (
+        min(a.x, c.x) - 1e-12 <= b.x <= max(a.x, c.x) + 1e-12
+        and min(a.y, c.y) - 1e-12 <= b.y <= max(a.y, c.y) + 1e-12
+    )
+
+
+def segments_intersect(p1: Point, p2: Point, q1: Point, q2: Point) -> bool:
+    """True when segment p1-p2 intersects segment q1-q2 (touching counts)."""
+    o1 = _orientation(p1, p2, q1)
+    o2 = _orientation(p1, p2, q2)
+    o3 = _orientation(q1, q2, p1)
+    o4 = _orientation(q1, q2, p2)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and _on_segment(p1, q1, p2):
+        return True
+    if o2 == 0 and _on_segment(p1, q2, p2):
+        return True
+    if o3 == 0 and _on_segment(q1, p1, q2):
+        return True
+    if o4 == 0 and _on_segment(q1, p2, q2):
+        return True
+    return False
+
+
+def count_wall_crossings(
+    source: Point, target: Point, walls: Iterable[Wall]
+) -> dict[str, int]:
+    """Count walls crossed by the source→target ray, grouped by material."""
+    crossings: dict[str, int] = {}
+    for wall in walls:
+        if segments_intersect(source, target, wall.start, wall.end):
+            crossings[wall.material] = crossings.get(wall.material, 0) + 1
+    return crossings
+
+
+def polyline_points(vertices: list[Point], spacing: float = 1.0) -> list[Point]:
+    """Sample points along a polyline every ``spacing`` meters.
+
+    Used to lay out reference points along a survey path (the paper uses a
+    1 m granularity).  The first vertex is always included; subsequent
+    points are placed at exact multiples of ``spacing`` of path length.
+    """
+    if len(vertices) < 2:
+        return list(vertices)
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+
+    total = sum(a.distance_to(b) for a, b in zip(vertices, vertices[1:]))
+    count = int(math.floor(total / spacing + 1e-9)) + 1
+    points: list[Point] = []
+    for i in range(count):
+        points.append(point_along_polyline(vertices, i * spacing))
+    return points
+
+
+def point_along_polyline(vertices: list[Point], distance: float) -> Point:
+    """The point at arc-length ``distance`` along the polyline."""
+    remaining = distance
+    for a, b in zip(vertices, vertices[1:]):
+        seg = a.distance_to(b)
+        if remaining <= seg or (a, b) == (vertices[-2], vertices[-1]):
+            if seg == 0:
+                return a
+            t = min(remaining / seg, 1.0)
+            return Point(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))
+        remaining -= seg
+    return vertices[-1]
+
+
+def polyline_length(vertices: list[Point]) -> float:
+    """Total arc length of a polyline."""
+    return sum(a.distance_to(b) for a, b in zip(vertices, vertices[1:]))

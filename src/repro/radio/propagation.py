@@ -1,0 +1,119 @@
+"""Path-loss, shadowing and fading models.
+
+The device-independent received power at a location is::
+
+    P_rx(d) = P_tx − PL(d0) − 10·n·log10(d/d0) − Σ wall losses + S(x, y)
+
+where ``n`` is the building's path-loss exponent and ``S`` is a *spatially
+correlated* log-normal shadowing field: nearby locations see similar
+shadowing, and the field is a fixed property of (building, AP) — the same
+for every device and every visit, exactly like the real multipath
+environment the paper measures.  Per-sample fast fading is added separately
+by the building when sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.radio.geometry import Point, count_wall_crossings
+from repro.radio.materials import get_material
+
+
+class ShadowingField:
+    """Smooth pseudo-random field with a target standard deviation.
+
+    Implemented as a sum of ``n_components`` random plane waves (a spectral
+    / random-Fourier-feature approximation of a Gaussian process with an
+    RBF-like kernel).  Deterministic given the seed, cheap to evaluate, and
+    spatially correlated with length scale ``correlation_m``.
+    """
+
+    def __init__(
+        self,
+        sigma_db: float,
+        correlation_m: float = 6.0,
+        n_components: int = 24,
+        seed: int = 0,
+    ):
+        if sigma_db < 0:
+            raise ValueError("shadowing sigma must be non-negative")
+        if correlation_m <= 0:
+            raise ValueError("correlation length must be positive")
+        self.sigma_db = sigma_db
+        self.correlation_m = correlation_m
+        rng = np.random.default_rng(seed)
+        # Wave vectors ~ N(0, 1/l^2) gives an RBF-like spectral density.
+        self._wave_vectors = rng.normal(0.0, 1.0 / correlation_m, size=(n_components, 2))
+        self._phases = rng.uniform(0.0, 2.0 * np.pi, size=n_components)
+        # Var[sum cos] = n/2 for unit amplitudes, so normalize amplitudes.
+        self._amplitude = sigma_db * np.sqrt(2.0 / n_components)
+
+    def __call__(self, x: float, y: float) -> float:
+        """Shadowing in dB at plan position (x, y)."""
+        if self.sigma_db == 0.0:
+            return 0.0
+        phase = self._wave_vectors @ np.array([x, y]) + self._phases
+        return float(self._amplitude * np.cos(phase).sum())
+
+    def grid(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation over a meshgrid (used by visualizations)."""
+        xx, yy = np.meshgrid(xs, ys)
+        coords = np.stack([xx.ravel(), yy.ravel()], axis=1)
+        phase = coords @ self._wave_vectors.T + self._phases
+        return (self._amplitude * np.cos(phase).sum(axis=1)).reshape(xx.shape)
+
+
+@dataclass
+class LogDistanceModel:
+    """Log-distance path loss with wall attenuation.
+
+    Parameters
+    ----------
+    exponent:
+        Path-loss exponent ``n``; free space is 2.0, cluttered indoor
+        offices measure 2.5-4.0.
+    reference_loss_db:
+        Loss at the reference distance (1 m at 2.4 GHz ≈ 40 dB).
+    reference_distance_m:
+        Reference distance ``d0``.
+    """
+
+    exponent: float = 3.0
+    reference_loss_db: float = 40.0
+    reference_distance_m: float = 1.0
+
+    def __post_init__(self):
+        if self.exponent <= 0:
+            raise ValueError("path-loss exponent must be positive")
+        if self.reference_distance_m <= 0:
+            raise ValueError("reference distance must be positive")
+
+    def path_loss_db(self, distance_m: float) -> float:
+        """Distance-dependent loss (no walls, no shadowing)."""
+        d = max(distance_m, self.reference_distance_m)
+        return self.reference_loss_db + 10.0 * self.exponent * np.log10(
+            d / self.reference_distance_m
+        )
+
+    def wall_loss_db(self, source: Point, target: Point, walls) -> float:
+        """Total penetration loss along the direct ray."""
+        crossings = count_wall_crossings(source, target, walls)
+        return sum(get_material(name).loss_db * count for name, count in crossings.items())
+
+    def received_power_dbm(
+        self,
+        tx_power_dbm: float,
+        source: Point,
+        target: Point,
+        walls=(),
+        shadowing: ShadowingField | None = None,
+    ) -> float:
+        """Device-independent received power at ``target``."""
+        power = tx_power_dbm - self.path_loss_db(source.distance_to(target))
+        power -= self.wall_loss_db(source, target, walls)
+        if shadowing is not None:
+            power += shadowing(target.x, target.y)
+        return power

@@ -1,0 +1,54 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This package is the lowest-level substrate of the reproduction: the paper
+trains its models with PyTorch/TensorFlow, neither of which is available in
+this environment, so ``repro.tensor`` provides the equivalent mathematical
+machinery — a broadcast-aware :class:`Tensor` with reverse-mode autograd,
+the primitive operators needed by the neural-network stack
+(:mod:`repro.nn`), and a numerical gradient checker used by the test suite
+to validate every primitive.
+
+Example
+-------
+>>> from repro.tensor import Tensor
+>>> x = Tensor([[1.0, 2.0]], requires_grad=True)
+>>> y = (x * x).sum()
+>>> y.backward()
+>>> x.grad.tolist()
+[[2.0, 4.0]]
+"""
+
+from repro.tensor.tensor import (
+    Tensor,
+    no_grad,
+    is_grad_enabled,
+    cat,
+    stack,
+    where,
+    tensor,
+    zeros,
+    ones,
+    full,
+    arange,
+    randn,
+    rand,
+)
+from repro.tensor.gradcheck import gradcheck, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "cat",
+    "stack",
+    "where",
+    "tensor",
+    "zeros",
+    "ones",
+    "full",
+    "arange",
+    "randn",
+    "rand",
+    "gradcheck",
+    "numerical_gradient",
+]

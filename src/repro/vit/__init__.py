@@ -1,0 +1,26 @@
+"""VITAL's vision transformer (§V.B): patching, encoder, end-to-end model.
+
+The architecture follows the paper's final configuration: P×P patches cut
+from the replicated RSSI image (partial boundary patches discarded), a
+linear patch projection with learned position embeddings, L transformer
+encoder blocks — each a pre-norm multi-head self-attention sub-block plus a
+pre-norm two-layer GELU MLP sub-block whose outputs are *concatenated* to
+"restore any lost features" — followed by a fine-tuning MLP head whose
+last layer has one neuron per reference point.
+"""
+
+from repro.vit.config import VitalConfig
+from repro.vit.patching import extract_patches, n_patches, patch_grid_side
+from repro.vit.model import VitalModel, TransformerEncoderBlock, PatchEmbedding
+from repro.vit.localizer import VitalLocalizer
+
+__all__ = [
+    "VitalConfig",
+    "extract_patches",
+    "n_patches",
+    "patch_grid_side",
+    "VitalModel",
+    "TransformerEncoderBlock",
+    "PatchEmbedding",
+    "VitalLocalizer",
+]

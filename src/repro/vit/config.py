@@ -1,0 +1,120 @@
+"""VITAL hyperparameter configuration.
+
+Two presets matter:
+
+* :meth:`VitalConfig.paper` — the configuration §VI.B settles on after the
+  sensitivity analysis: 206×206 image, 20×20 patches, L=1 encoder block,
+  5 MSA heads, encoder MLP (128, 64), fine-tuning MLP (128, num_RPs).
+* :meth:`VitalConfig.fast` — a reduced-scale configuration with the same
+  architecture shape, sized so the full framework × building × device
+  comparison matrix runs in minutes on a CPU/NumPy substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.dam.pipeline import DamConfig
+from repro.nn.trainer import TrainConfig
+
+
+@dataclass(frozen=True)
+class VitalConfig:
+    """Architecture + training hyperparameters for the VITAL framework.
+
+    Parameters
+    ----------
+    image_size:
+        Side S of the replicated RSSI image (``None`` = native fingerprint
+        length R).
+    patch_size:
+        Side P of the square patches; partial boundary patches are
+        discarded, so ``floor(S/P)**2`` patches result.
+    projection_dim:
+        Width of the linear patch projection; must be divisible by
+        ``num_heads``.
+    num_heads:
+        MSA head count h (paper sensitivity analysis picks 5).
+    encoder_blocks:
+        Number L of transformer encoder blocks (paper: 1).
+    encoder_mlp_units:
+        Units of the encoder MLP sub-block (paper: 128, 64).
+    head_units:
+        Hidden units of the fine-tuning MLP; the output layer with
+        ``num_classes`` neurons is appended automatically (paper: 128).
+    dropout:
+        Dropout rate inside attention and MLPs.
+    dam:
+        DAM configuration used by :class:`repro.vit.VitalLocalizer`.
+    train:
+        Training-loop configuration.
+    """
+
+    image_size: int | None = None
+    patch_size: int = 6
+    projection_dim: int = 60
+    num_heads: int = 5
+    encoder_blocks: int = 1
+    encoder_mlp_units: tuple[int, ...] = (128, 64)
+    head_units: tuple[int, ...] = (128,)
+    dropout: float = 0.1
+    dam: DamConfig = field(default_factory=DamConfig)
+    train: TrainConfig = field(
+        default_factory=lambda: TrainConfig(epochs=40, batch_size=32, lr=2e-3)
+    )
+
+    def __post_init__(self):
+        if self.patch_size < 1:
+            raise ValueError("patch_size must be >= 1")
+        if self.projection_dim % self.num_heads != 0:
+            raise ValueError(
+                f"projection_dim {self.projection_dim} not divisible by "
+                f"num_heads {self.num_heads}"
+            )
+        if self.encoder_blocks < 1:
+            raise ValueError("need at least one encoder block")
+        if not self.encoder_mlp_units:
+            raise ValueError("encoder MLP needs at least one layer")
+        if self.image_size is not None and self.patch_size > self.image_size:
+            raise ValueError("patch_size cannot exceed image_size")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper(cls) -> "VitalConfig":
+        """The full-scale configuration from §VI.B of the paper."""
+        return cls(
+            image_size=206,
+            patch_size=20,
+            projection_dim=60,
+            num_heads=5,
+            encoder_blocks=1,
+            encoder_mlp_units=(128, 64),
+            head_units=(128,),
+            dropout=0.1,
+            dam=DamConfig(image_size=206),
+            train=TrainConfig(epochs=60, batch_size=32, lr=1e-3),
+        )
+
+    @classmethod
+    def fast(cls, image_size: int = 24, epochs: int = 120) -> "VitalConfig":
+        """Reduced-scale preset for CI-time experiments (same shape)."""
+        return cls(
+            image_size=image_size,
+            patch_size=max(2, image_size // 6),
+            projection_dim=60,
+            num_heads=5,
+            encoder_blocks=1,
+            encoder_mlp_units=(128, 64),
+            head_units=(128,),
+            dropout=0.1,
+            dam=DamConfig(dropout_rate=0.10, noise_sigma=0.05, image_size=image_size),
+            train=TrainConfig(epochs=epochs, batch_size=32, lr=1.5e-3),
+        )
+
+    def with_updates(self, **changes) -> "VitalConfig":
+        """Functional update helper used by the hyperparameter sweeps."""
+        return replace(self, **changes)
+
+    def resolved_image_size(self, n_aps: int) -> int:
+        """The concrete image side for a building with ``n_aps`` APs."""
+        return self.image_size if self.image_size is not None else n_aps

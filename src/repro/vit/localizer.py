@@ -1,0 +1,109 @@
+"""High-level VITAL framework: DAM + ViT behind the Localizer interface.
+
+Implements the full offline/online protocol of Fig. 3: fit DAM on the
+pooled multi-device training fingerprints (group training — the paper's
+calibration-free recipe), train the vision transformer on augmented RSSI
+images, then serve online predictions from raw dBm fingerprints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.dam.pipeline import DataAugmentationModule
+from repro.data.fingerprint import FingerprintDataset
+from repro.localization import Localizer
+from repro.vit.config import VitalConfig
+from repro.vit.model import VitalModel
+
+
+class VitalLocalizer(Localizer):
+    """The complete VITAL indoor-localization framework.
+
+    Parameters
+    ----------
+    config:
+        :class:`VitalConfig`; defaults to the fast preset sized for the
+        native fingerprint length.
+    seed:
+        Seed for weight init, batching and augmentation draws.
+    use_dam_augmentation:
+        When ``False`` the stochastic DAM stages (dropout + noise) are
+        skipped during training — this is the "w/o DAM" arm of Fig. 9.
+        Normalization and replication are intrinsic to the image model and
+        always applied.
+    """
+
+    name = "VITAL"
+
+    def __init__(
+        self,
+        config: VitalConfig | None = None,
+        seed: int = 0,
+        use_dam_augmentation: bool = True,
+    ):
+        super().__init__()
+        self.config = config or VitalConfig()
+        self.seed = seed
+        self.use_dam_augmentation = use_dam_augmentation
+        self.dam: DataAugmentationModule | None = None
+        self.model: VitalModel | None = None
+        self.trainer: nn.Trainer | None = None
+        self.history: nn.TrainingHistory | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, train: FingerprintDataset) -> "VitalLocalizer":
+        self._remember_rps(train)
+        rng = np.random.default_rng(self.seed)
+
+        image_size = self.config.resolved_image_size(train.n_aps)
+        dam_config = self.config.dam.with_image_size(image_size)
+        if not self.use_dam_augmentation:
+            dam_config = dam_config.__class__(
+                normalization=dam_config.normalization,
+                dropout_rate=0.0,
+                noise_sigma=0.0,
+                global_noise_sigma=0.0,
+                image_size=dam_config.image_size,
+                resize_mode=dam_config.resize_mode,
+            )
+        self.dam = DataAugmentationModule(dam_config).fit(train.features)
+
+        self.model = VitalModel(
+            config=self.config,
+            image_size=image_size,
+            channels=train.features.shape[2],
+            num_classes=train.n_rps,
+            rng=rng,
+        )
+
+        train_config = self.config.train
+        if train_config.seed is None:
+            train_config = nn.TrainConfig(**{**train_config.__dict__, "seed": self.seed})
+        self.trainer = nn.Trainer(
+            self.model,
+            nn.CrossEntropyLoss(),
+            config=train_config,
+            augment_fn=self.dam.training_batch_fn(as_image=True),
+        )
+        self.history = self.trainer.fit(train.features, train.labels)
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.model is None or self.dam is None:
+            raise RuntimeError("VitalLocalizer.predict called before fit")
+        images = self.dam.process(np.asarray(features), training=False, as_image=True)
+        logits = self.trainer.predict(images)
+        return logits.argmax(axis=1)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Per-RP softmax probabilities (used by introspection examples)."""
+        if self.model is None or self.dam is None:
+            raise RuntimeError("VitalLocalizer.predict_proba called before fit")
+        images = self.dam.process(np.asarray(features), training=False, as_image=True)
+        logits = self.trainer.predict(images)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)

@@ -1,0 +1,184 @@
+"""The VITAL vision-transformer network (§V.B, Fig. 2 and Fig. 3).
+
+Architecture, following the paper's final configuration:
+
+* **PatchEmbedding** — linear projection of flattened P×P patches plus a
+  learned position embedding ("embedded patches").
+* **TransformerEncoderBlock** × L — pre-norm multi-head self-attention
+  with a residual connection, then a pre-norm two-layer GELU MLP; the MSA
+  sub-block output is *concatenated* with the MLP sub-block output ("to
+  restore any lost features" — the paper's deviation from the vanilla ViT
+  residual).
+* **Fine-tuning MLP head** — mean-pool over patch tokens, then dense
+  layers ending in one neuron per reference point.
+
+A note on Eq. 1-3: the paper describes Q as the patched images, K as
+one-hot patch positions and V as one-hot RP locations.  Taken literally
+that is not a trainable architecture (labels are unavailable online); the
+standard reading — and what every ViT implementation does — is Q = XW_Q,
+K = XW_K, V = XW_V over position-embedded patch tokens, which is exactly
+Eq. 3.  We implement that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor, cat
+from repro.vit.config import VitalConfig
+from repro.vit.patching import extract_patches, n_patches
+
+
+class PatchEmbedding(nn.Module):
+    """Flattened-patch linear projection + learned position embedding."""
+
+    def __init__(self, patch_dim: int, num_patches: int, projection_dim: int, rng=None):
+        super().__init__()
+        self.num_patches = num_patches
+        self.projection = nn.Dense(patch_dim, projection_dim, rng=rng)
+        self.position = nn.Parameter(
+            nn.init.truncated_normal((num_patches, projection_dim), std=0.02, rng=rng)
+        )
+
+    def forward(self, patches: Tensor) -> Tensor:
+        if patches.shape[1] != self.num_patches:
+            raise ValueError(
+                f"expected {self.num_patches} patches, got {patches.shape[1]}"
+            )
+        return self.projection(patches) + self.position
+
+
+class TransformerEncoderBlock(nn.Module):
+    """Pre-norm MSA + pre-norm MLP with concatenated sub-block outputs.
+
+    Input tokens of width ``dim`` leave the block with width
+    ``dim + encoder_mlp_units[-1]`` because of the concatenation.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        mlp_units: tuple[int, ...],
+        dropout: float = 0.0,
+        rng=None,
+    ):
+        super().__init__()
+        self.dim = dim
+        self.norm_attention = nn.LayerNorm(dim)
+        self.attention = nn.MultiHeadSelfAttention(dim, num_heads, dropout=dropout, rng=rng)
+        self.norm_mlp = nn.LayerNorm(dim)
+        mlp_layers: list[nn.Module] = []
+        width = dim
+        for units in mlp_units:
+            mlp_layers.append(nn.Dense(width, units, rng=rng))
+            mlp_layers.append(nn.GELU())
+            mlp_layers.append(nn.Dropout(dropout, rng=rng))
+            width = units
+        self.mlp = nn.Sequential(*mlp_layers)
+        self.out_dim = dim + width
+
+    def forward(self, tokens: Tensor) -> Tensor:
+        attended = tokens + self.attention(self.norm_attention(tokens))
+        transformed = self.mlp(self.norm_mlp(attended))
+        return cat([attended, transformed], axis=-1)
+
+
+class VitalModel(nn.Module):
+    """End-to-end VITAL network: RSSI image → RP logits.
+
+    Parameters
+    ----------
+    config:
+        Architecture hyperparameters.
+    image_size:
+        Concrete image side S (the config may leave it to the building's
+        fingerprint length).
+    channels:
+        Image channels (3: min/max/mean).
+    num_classes:
+        Number of reference points.
+    """
+
+    def __init__(
+        self,
+        config: VitalConfig,
+        image_size: int,
+        channels: int,
+        num_classes: int,
+        rng=None,
+    ):
+        super().__init__()
+        if num_classes < 2:
+            raise ValueError("need at least two reference points to classify")
+        self.config = config
+        self.image_size = image_size
+        self.channels = channels
+        self.num_classes = num_classes
+        self.patch_size = min(config.patch_size, image_size)
+        self.num_patches = n_patches(image_size, self.patch_size)
+        patch_dim = self.patch_size * self.patch_size * channels
+
+        self.embedding = PatchEmbedding(
+            patch_dim, self.num_patches, config.projection_dim, rng=rng
+        )
+        self.embed_dropout = nn.Dropout(config.dropout, rng=rng)
+
+        blocks: list[TransformerEncoderBlock] = []
+        width = config.projection_dim
+        for _block in range(config.encoder_blocks):
+            if width % config.num_heads != 0:
+                # Concatenation grows the width; round up to a multiple of
+                # the head count with a linear adapter when stacking L > 1.
+                raise ValueError(
+                    f"token width {width} not divisible by {config.num_heads} heads; "
+                    "choose encoder_mlp_units whose last entry keeps divisibility"
+                )
+            block = TransformerEncoderBlock(
+                width,
+                config.num_heads,
+                config.encoder_mlp_units,
+                dropout=config.dropout,
+                rng=rng,
+            )
+            blocks.append(block)
+            width = block.out_dim
+        self.encoder = nn.ModuleList(blocks)
+        self.final_norm = nn.LayerNorm(width)
+
+        head_layers: list[nn.Module] = []
+        in_width = width
+        for units in config.head_units:
+            head_layers.append(nn.Dense(in_width, units, rng=rng))
+            head_layers.append(nn.GELU())
+            head_layers.append(nn.Dropout(config.dropout, rng=rng))
+            in_width = units
+        head_layers.append(nn.Dense(in_width, num_classes, rng=rng))
+        self.head = nn.Sequential(*head_layers)
+
+    # ------------------------------------------------------------------
+    def forward(self, images: Tensor) -> Tensor:
+        """``(batch, S, S, C)`` images → ``(batch, num_classes)`` logits."""
+        if images.ndim != 4:
+            raise ValueError(f"expected (batch, S, S, C) images, got {images.shape}")
+        patches = extract_patches(images.data, self.patch_size)
+        tokens = self.embedding(Tensor(patches.astype(np.float32)))
+        tokens = self.embed_dropout(tokens)
+        for block in self.encoder:
+            tokens = block(tokens)
+        tokens = self.final_norm(tokens)
+        pooled = tokens.mean(axis=1)  # (batch, width)
+        return self.head(pooled)
+
+    def attention_maps(self) -> list[np.ndarray]:
+        """Per-block attention weights from the last forward pass."""
+        return [block.attention.last_attention for block in self.encoder]
+
+    def __repr__(self) -> str:
+        return (
+            f"VitalModel(image={self.image_size}, patch={self.patch_size}, "
+            f"patches={self.num_patches}, dim={self.config.projection_dim}, "
+            f"heads={self.config.num_heads}, blocks={self.config.encoder_blocks}, "
+            f"classes={self.num_classes}, params={self.num_parameters():,})"
+        )

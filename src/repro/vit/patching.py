@@ -1,0 +1,61 @@
+"""Patch extraction (§V.B).
+
+The R×R image is sliced into P×P patches; N = (S//P)² full patches are
+kept and flattened to (P·P·C)-dim vectors.  The paper notes that image
+sizes producing *partial* boundary patches discard features and hurt
+accuracy — :func:`extract_patches` reproduces exactly that discard rule
+(and the Fig. 5 sweep measures its cost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def patch_grid_side(image_size: int, patch_size: int) -> int:
+    """Number of full patches along one image side."""
+    if patch_size < 1 or image_size < 1:
+        raise ValueError("image_size and patch_size must be positive")
+    if patch_size > image_size:
+        raise ValueError(f"patch {patch_size} larger than image {image_size}")
+    return image_size // patch_size
+
+
+def n_patches(image_size: int, patch_size: int) -> int:
+    """Total patch count N = (S//P)²; the paper's N = (H·W)/(P·P)."""
+    side = patch_grid_side(image_size, patch_size)
+    return side * side
+
+
+def has_partial_patches(image_size: int, patch_size: int) -> bool:
+    """Whether boundary pixels are discarded for this (S, P) pair."""
+    return image_size % patch_size != 0
+
+
+def extract_patches(images: np.ndarray, patch_size: int) -> np.ndarray:
+    """Slice a batch of images into flattened patch sequences.
+
+    Parameters
+    ----------
+    images:
+        ``(batch, S, S, C)`` array.
+    patch_size:
+        Side P of the square patches.
+
+    Returns
+    -------
+    ``(batch, N, P*P*C)`` array with N = (S//P)²; boundary rows/columns
+    that do not fill a whole patch are discarded.
+    """
+    images = np.asarray(images)
+    if images.ndim != 4:
+        raise ValueError(f"expected (batch, H, W, C), got {images.shape}")
+    batch, height, width, channels = images.shape
+    if height != width:
+        raise ValueError(f"RSSI images must be square, got {height}x{width}")
+    side = patch_grid_side(height, patch_size)
+    cropped = images[:, : side * patch_size, : side * patch_size, :]
+    # (B, side, P, side, P, C) -> (B, side, side, P, P, C)
+    blocks = cropped.reshape(batch, side, patch_size, side, patch_size, channels)
+    blocks = blocks.transpose(0, 1, 3, 2, 4, 5)
+    return blocks.reshape(batch, side * side, patch_size * patch_size * channels)

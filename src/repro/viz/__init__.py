@@ -1,0 +1,25 @@
+"""Terminal (ASCII/Unicode) visualization of the paper's figures.
+
+No plotting backend is available offline, so the benchmark harnesses
+render every figure as text: line charts for the Fig. 1 RSSI comparison,
+shaded heatmaps for Figs. 6/7, whisker charts for the Figs. 8/10 box
+plots, slope graphs for Fig. 9 and surface tables for Fig. 5.
+"""
+
+from repro.viz.ascii_plots import (
+    ascii_table,
+    ascii_heatmap,
+    ascii_whisker,
+    ascii_slope,
+    ascii_bar,
+    ascii_series,
+)
+
+__all__ = [
+    "ascii_table",
+    "ascii_heatmap",
+    "ascii_whisker",
+    "ascii_slope",
+    "ascii_bar",
+    "ascii_series",
+]

@@ -1,0 +1,206 @@
+"""Plain-text chart primitives used by the benchmark reports."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SHADES = " ░▒▓█"
+
+
+def _fmt(value, width: int = 7, decimals: int = 2) -> str:
+    if value is None or (isinstance(value, float) and np.isnan(value)):
+        return " " * (width - 1) + "-"
+    return f"{value:{width}.{decimals}f}"
+
+
+def ascii_table(
+    rows: list[list],
+    headers: list[str],
+    title: str = "",
+    decimals: int = 2,
+) -> str:
+    """Render a fixed-width table; floats are formatted uniformly."""
+    formatted: list[list[str]] = []
+    for row in rows:
+        formatted.append(
+            [
+                _fmt(cell, width=max(7, len(str(headers[k]))), decimals=decimals)
+                if isinstance(cell, (int, float, np.floating)) and not isinstance(cell, bool)
+                else str(cell)
+                for k, cell in enumerate(row)
+            ]
+        )
+    widths = [
+        max(len(str(headers[k])), *(len(r[k]) for r in formatted)) if formatted else len(str(headers[k]))
+        for k in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).rjust(widths[k]) for k, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append(" | ".join(row[k].rjust(widths[k]) for k in range(len(headers))))
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    row_labels: list[str],
+    col_labels: list[str],
+    title: str = "",
+    decimals: int = 2,
+) -> str:
+    """Numeric heatmap with Unicode shading (darker = larger value)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    finite = matrix[np.isfinite(matrix)]
+    low = finite.min() if finite.size else 0.0
+    high = finite.max() if finite.size else 1.0
+    span = high - low if high > low else 1.0
+
+    def shade(value: float) -> str:
+        if not np.isfinite(value):
+            return " "
+        level = int(round((value - low) / span * (len(_SHADES) - 1)))
+        return _SHADES[level]
+
+    label_width = max((len(r) for r in row_labels), default=4)
+    cell_width = max(max((len(c) for c in col_labels), default=6), decimals + 4)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * (label_width + 1) + " ".join(c.rjust(cell_width) for c in col_labels)
+    lines.append(header)
+    for i, row_label in enumerate(row_labels):
+        cells = []
+        for j in range(len(col_labels)):
+            value = matrix[i, j]
+            text = _fmt(value, width=cell_width - 1, decimals=decimals).strip()
+            cells.append((shade(value) + text.rjust(cell_width - 1)))
+        lines.append(row_label.rjust(label_width) + " " + " ".join(cells))
+    lines.append(f"(shading: light={low:.2f} … dark={high:.2f})")
+    return "\n".join(lines)
+
+
+def ascii_whisker(
+    entries: list[tuple[str, float, float, float]],
+    title: str = "",
+    width: int = 52,
+    unit: str = "m",
+) -> str:
+    """Min/mean/max whisker chart — the paper's Figs. 8/10 box plots.
+
+    ``entries`` is a list of (label, min, mean, max).
+    """
+    if not entries:
+        raise ValueError("no entries to plot")
+    high = max(e[3] for e in entries)
+    low = 0.0
+    span = high - low if high > low else 1.0
+    label_width = max(len(e[0]) for e in entries)
+
+    def pos(value: float) -> int:
+        return int(round((value - low) / span * (width - 1)))
+
+    lines = []
+    if title:
+        lines.append(title)
+    for label, v_min, v_mean, v_max in entries:
+        row = [" "] * width
+        a, m, b = pos(v_min), pos(v_mean), pos(v_max)
+        for k in range(a, b + 1):
+            row[k] = "─"
+        row[a] = "├"
+        row[b] = "┤"
+        row[m] = "●"
+        lines.append(
+            f"{label.rjust(label_width)} |{''.join(row)}| "
+            f"min={v_min:.2f} mean={v_mean:.2f} max={v_max:.2f} {unit}"
+        )
+    lines.append(f"{' ' * label_width}  0{' ' * (width - 8)}{high:6.2f} {unit}")
+    return "\n".join(lines)
+
+
+def ascii_slope(
+    entries: list[tuple[str, float, float]],
+    left_label: str = "w/o DAM",
+    right_label: str = "w/ DAM",
+    title: str = "",
+) -> str:
+    """Two-column slope graph — the paper's Fig. 9 DAM ablation."""
+    if not entries:
+        raise ValueError("no entries to plot")
+    label_width = max(len(e[0]) for e in entries)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{' ' * label_width} {left_label:>8}      {right_label:>8}")
+    for label, before, after in entries:
+        arrow = "↘" if after < before - 1e-9 else ("↗" if after > before + 1e-9 else "→")
+        delta = after - before
+        lines.append(
+            f"{label.rjust(label_width)} {before:8.2f}  {arrow}  {after:8.2f}   "
+            f"({delta:+.2f} m)"
+        )
+    return "\n".join(lines)
+
+
+def ascii_bar(
+    entries: list[tuple[str, float]],
+    title: str = "",
+    width: int = 48,
+    unit: str = "m",
+) -> str:
+    """Horizontal bar chart."""
+    if not entries:
+        raise ValueError("no entries to plot")
+    high = max(v for _label, v in entries)
+    scale = (width - 1) / high if high > 0 else 1.0
+    label_width = max(len(e[0]) for e in entries)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in entries:
+        bar = "█" * max(1, int(round(value * scale)))
+        lines.append(f"{label.rjust(label_width)} |{bar} {value:.2f} {unit}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: dict[str, np.ndarray],
+    x_labels: list[str] | None = None,
+    title: str = "",
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Multi-series line chart on a character grid (used for Fig. 1)."""
+    if not series:
+        raise ValueError("no series to plot")
+    arrays = {k: np.asarray(v, dtype=np.float64) for k, v in series.items()}
+    length = max(len(v) for v in arrays.values())
+    low = min(v.min() for v in arrays.values())
+    high = max(v.max() for v in arrays.values())
+    span = high - low if high > low else 1.0
+    width = length * 3
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend = []
+    for s_idx, (name, values) in enumerate(arrays.items()):
+        marker = markers[s_idx % len(markers)]
+        legend.append(f"{marker}={name}")
+        for i, value in enumerate(values):
+            row = int(round((high - value) / span * (height - 1)))
+            col = min(i * 3 + 1, width - 1)
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{high:8.1f} ┐" if not y_label else f"{y_label} (top={high:.1f})")
+    for row in grid:
+        lines.append("         |" + "".join(row))
+    lines.append(f"{low:8.1f} ┘")
+    if x_labels:
+        lines.append("          " + "".join(label[:2].ljust(3) for label in x_labels))
+    lines.append("legend: " + "  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""CLI commands and JSON result reporting."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.eval.reporting import (
+    cdf_table,
+    load_result,
+    save_result,
+    summary_table,
+    training_cost_table,
+)
+from repro.eval.runner import ComparisonResult, FrameworkRun
+
+
+def _toy_result():
+    result = ComparisonResult()
+    result.runs.append(
+        FrameworkRun(
+            framework="VITAL",
+            building="Building 1",
+            errors=np.array([0.0, 1.0, 2.0]),
+            per_device={"HTC": 1.0},
+            train_seconds=1.5,
+        )
+    )
+    result.runs.append(
+        FrameworkRun(
+            framework="KNN",
+            building="Building 1",
+            errors=np.array([1.0, 3.0, 5.0]),
+            per_device={"HTC": 3.0},
+            train_seconds=0.1,
+        )
+    )
+    return result
+
+
+class TestReporting:
+    def test_save_load_roundtrip(self, tmp_path):
+        result = _toy_result()
+        path = save_result(result, str(tmp_path / "result.json"))
+        loaded = load_result(path)
+        assert loaded.frameworks() == result.frameworks()
+        np.testing.assert_array_equal(
+            loaded.pooled_errors("VITAL"), result.pooled_errors("VITAL")
+        )
+        assert loaded.run_for("KNN", "Building 1").per_device == {"HTC": 3.0}
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "runs": []}')
+        with pytest.raises(ValueError):
+            load_result(str(path))
+
+    def test_summary_table_contains_frameworks(self):
+        table = summary_table(_toy_result())
+        assert "VITAL" in table and "KNN" in table
+        assert "mean m" in table
+
+    def test_cdf_table_fractions(self):
+        table = cdf_table(_toy_result(), radii=(1.0, 5.0))
+        assert "≤1 m" in table
+        # VITAL: 2/3 within 1 m
+        assert "0.67" in table
+
+    def test_training_cost_table(self):
+        table = training_cost_table(_toy_result())
+        assert "1.5" in table
+
+
+class TestCli:
+    def test_buildings_command(self, capsys):
+        assert cli_main(["buildings"]) == 0
+        out = capsys.readouterr().out
+        assert "Building 1" in out
+        assert "IPHONE" in out
+
+    def test_survey_train_evaluate_pipeline(self, tmp_path, capsys):
+        data_path = str(tmp_path / "survey.npz")
+        weights_path = str(tmp_path / "weights.npz")
+        assert cli_main([
+            "survey", "--building", "1", "--n-aps", "8", "--devices", "base",
+            "--seed", "0", "--out", data_path,
+            "--csv", str(tmp_path / "survey.csv"),
+        ]) == 0
+        assert cli_main([
+            "train", "--data", data_path, "--image-size", "8",
+            "--epochs", "3", "--seed", "0", "--out", weights_path,
+        ]) == 0
+        assert cli_main([
+            "evaluate", "--data", data_path, "--weights", weights_path,
+            "--image-size", "8", "--seed", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean error" in out
+        assert "evaluation:" in out
+
+    def test_compare_command_with_save(self, tmp_path, capsys):
+        save_path = str(tmp_path / "cmp.json")
+        assert cli_main([
+            "compare", "--building", "1", "--frameworks", "KNN,SSD",
+            "--seed", "0", "--save", save_path,
+        ]) == 0
+        loaded = load_result(save_path)
+        assert set(loaded.frameworks()) == {"KNN", "SSD"}
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(["frobnicate"])

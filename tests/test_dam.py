@@ -1,0 +1,224 @@
+"""DAM: normalization, replication, dropout, noise, composed pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.dam import (
+    DamConfig,
+    DataAugmentationModule,
+    MinMaxNormalizer,
+    Standardizer,
+    IdentityNormalizer,
+    images_from_vectors,
+    replicate_to_image,
+    resize_bilinear,
+)
+from repro.dam.normalization import make_normalizer
+from repro.radio.device import NOT_VISIBLE_DBM
+
+
+def _features(n=20, aps=10, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(-95.0, -30.0, size=(n, aps, 1))
+    spread = rng.uniform(0.0, 4.0, size=(n, aps, 1))
+    return np.concatenate([base - spread, base + spread, base], axis=2)
+
+
+class TestMinMaxNormalizer:
+    def test_range_mapped_to_unit(self):
+        norm = MinMaxNormalizer()
+        out = norm.transform(np.array([-100.0, -50.0, 0.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_clipping(self):
+        norm = MinMaxNormalizer()
+        out = norm.transform(np.array([-120.0, 10.0]))
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+    def test_inverse_roundtrip(self):
+        norm = MinMaxNormalizer()
+        values = np.array([-80.0, -40.0])
+        np.testing.assert_allclose(norm.inverse(norm.transform(values)), values)
+
+    def test_missing_value_is_zero(self):
+        assert MinMaxNormalizer().missing_value == 0.0
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxNormalizer(low_dbm=0.0, high_dbm=-100.0)
+
+
+class TestStandardizer:
+    def test_fit_transform_zero_mean_unit_std(self):
+        features = _features()
+        norm = Standardizer().fit(features)
+        out = norm.transform(features)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-6)
+
+    def test_constant_feature_safe(self):
+        features = np.full((5, 3, 3), -50.0)
+        norm = Standardizer().fit(features)
+        out = norm.transform(features)
+        assert np.isfinite(out).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.zeros((2, 2, 3)))
+
+    def test_inverse_roundtrip(self):
+        features = _features(seed=1)
+        norm = Standardizer().fit(features)
+        np.testing.assert_allclose(norm.inverse(norm.transform(features)), features, rtol=1e-9)
+
+    def test_factory(self):
+        assert isinstance(make_normalizer("minmax"), MinMaxNormalizer)
+        assert isinstance(make_normalizer("standard"), Standardizer)
+        assert isinstance(make_normalizer("none"), IdentityNormalizer)
+        with pytest.raises(ValueError):
+            make_normalizer("bogus")
+
+
+class TestReplication:
+    def test_native_size_square(self):
+        vec = np.random.default_rng(0).random((12, 3))
+        image = replicate_to_image(vec)
+        assert image.shape == (12, 12, 3)
+
+    def test_rows_identical(self):
+        vec = np.random.default_rng(1).random((8, 3))
+        image = replicate_to_image(vec)
+        for row in range(8):
+            np.testing.assert_array_equal(image[row], image[0])
+
+    def test_resize_up(self):
+        vec = np.random.default_rng(2).random((8, 3))
+        image = replicate_to_image(vec, image_size=20)
+        assert image.shape == (20, 20, 3)
+
+    def test_resize_down_nearest(self):
+        vec = np.random.default_rng(3).random((16, 3))
+        image = replicate_to_image(vec, image_size=8, mode="nearest")
+        assert image.shape == (8, 8, 3)
+
+    def test_bilinear_endpoint_alignment(self):
+        vec = np.zeros((4, 1))
+        vec[:, 0] = [0.0, 1.0, 2.0, 3.0]
+        image = replicate_to_image(vec, image_size=7)
+        assert image[0, 0, 0] == pytest.approx(0.0)
+        assert image[0, -1, 0] == pytest.approx(3.0)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            replicate_to_image(np.zeros((4, 3)), image_size=8, mode="cubic")
+
+    def test_batch_matches_single(self):
+        vecs = np.random.default_rng(4).random((5, 9, 3))
+        batch = images_from_vectors(vecs, image_size=12)
+        single = replicate_to_image(vecs[2], image_size=12)
+        np.testing.assert_allclose(batch[2], single, rtol=1e-9)
+
+    def test_resize_bilinear_identity(self):
+        image = np.random.default_rng(5).random((6, 6, 3))
+        np.testing.assert_allclose(resize_bilinear(image, 6, 6), image, rtol=1e-9)
+
+    def test_resize_bilinear_validates(self):
+        with pytest.raises(ValueError):
+            resize_bilinear(np.zeros((4, 4)), 2, 2)
+
+
+class TestDamPipeline:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DamConfig(dropout_rate=1.5)
+        with pytest.raises(ValueError):
+            DamConfig(noise_sigma=-1)
+        with pytest.raises(ValueError):
+            DamConfig(image_size=1)
+
+    def test_requires_fit(self):
+        dam = DataAugmentationModule()
+        with pytest.raises(RuntimeError):
+            dam.transform(_features())
+
+    def test_transform_deterministic(self):
+        dam = DataAugmentationModule().fit(_features())
+        a = dam.transform(_features(seed=2))
+        b = dam.transform(_features(seed=2))
+        np.testing.assert_array_equal(a, b)
+
+    def test_augment_drops_expected_fraction(self):
+        config = DamConfig(dropout_rate=0.3, noise_sigma=0.0)
+        features = _features(n=100, aps=30)
+        dam = DataAugmentationModule(config).fit(features)
+        normalized = dam.transform(features)
+        augmented = dam.augment(normalized, np.random.default_rng(0))
+        changed = (augmented != normalized).any(axis=2).mean()
+        assert 0.2 < changed < 0.4
+
+    def test_dropped_values_near_missing(self):
+        config = DamConfig(dropout_rate=0.5, noise_sigma=0.02)
+        features = _features()
+        dam = DataAugmentationModule(config).fit(features)
+        normalized = dam.transform(features)
+        augmented = dam.augment(normalized, np.random.default_rng(1))
+        changed = (augmented != normalized).any(axis=2)
+        dropped_values = augmented[changed]
+        missing = dam.normalizer.missing_value
+        assert (dropped_values >= missing).all()
+        assert dropped_values.mean() < missing + 0.1
+
+    def test_zero_dropout_is_identity(self):
+        config = DamConfig(dropout_rate=0.0, noise_sigma=0.0)
+        features = _features()
+        dam = DataAugmentationModule(config).fit(features)
+        normalized = dam.transform(features)
+        np.testing.assert_array_equal(
+            dam.augment(normalized, np.random.default_rng(0)), normalized
+        )
+
+    def test_global_noise_perturbs_everything(self):
+        config = DamConfig(dropout_rate=0.0, global_noise_sigma=0.05)
+        features = _features()
+        dam = DataAugmentationModule(config).fit(features)
+        normalized = dam.transform(features)
+        augmented = dam.augment(normalized, np.random.default_rng(2))
+        assert (augmented != normalized).all()
+
+    def test_to_images_shape(self):
+        config = DamConfig(image_size=16)
+        features = _features(aps=10)
+        dam = DataAugmentationModule(config).fit(features)
+        images = dam.to_images(dam.transform(features))
+        assert images.shape == (features.shape[0], 16, 16, 3)
+
+    def test_process_training_requires_rng(self):
+        dam = DataAugmentationModule().fit(_features())
+        with pytest.raises(ValueError):
+            dam.process(_features(), training=True)
+
+    def test_process_vector_mode(self):
+        dam = DataAugmentationModule().fit(_features())
+        out = dam.process(_features(), as_image=False)
+        assert out.shape == _features().shape
+
+    def test_training_batch_fn_stochastic_across_calls(self):
+        config = DamConfig(dropout_rate=0.3)
+        features = _features()
+        dam = DataAugmentationModule(config).fit(features)
+        fn = dam.training_batch_fn(as_image=False)
+        rng = np.random.default_rng(3)
+        a = fn(features, rng)
+        b = fn(features, rng)
+        assert not np.array_equal(a, b)
+
+    def test_missing_ap_maps_to_missing_value(self):
+        features = _features()
+        features[0, 0, :] = NOT_VISIBLE_DBM
+        dam = DataAugmentationModule(DamConfig()).fit(features)
+        normalized = dam.transform(features)
+        assert normalized[0, 0, 2] == pytest.approx(dam.normalizer.missing_value)
+
+    def test_with_image_size_helper(self):
+        config = DamConfig(image_size=None).with_image_size(32)
+        assert config.image_size == 32

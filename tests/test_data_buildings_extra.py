@@ -1,0 +1,73 @@
+"""Additional building-preset properties referenced by the paper's setup."""
+
+import numpy as np
+import pytest
+
+from repro.data.buildings import benchmark_buildings
+from repro.radio.materials import MATERIALS
+
+
+class TestMaterialComposition:
+    """§VI.A: each building has 'a very different material composition'."""
+
+    def test_material_sets_differ_across_buildings(self):
+        buildings = benchmark_buildings()
+        compositions = []
+        for building in buildings:
+            compositions.append(frozenset(w.material for w in building.walls))
+        assert len(set(compositions)) >= 3
+
+    def test_building3_contains_metal(self):
+        building = benchmark_buildings()[2]
+        materials = {w.material for w in building.walls}
+        assert "metal" in materials
+
+    def test_all_wall_materials_are_known(self):
+        for building in benchmark_buildings():
+            for wall in building.walls:
+                assert wall.material in MATERIALS
+
+
+class TestPathLossDiversity:
+    def test_exponents_differ(self):
+        exponents = {b.propagation.exponent for b in benchmark_buildings()}
+        assert len(exponents) == 4
+
+    def test_fast_fading_tracks_noise_ranking(self):
+        buildings = benchmark_buildings()
+        # Building 3 noisiest, Building 4 quietest — in fading too.
+        fading = [b.fast_fading_sigma_db for b in buildings]
+        assert fading[2] == max(fading)
+        assert fading[3] == min(fading)
+
+
+class TestSurveyGeometryStability:
+    def test_rp_count_scales_with_spacing(self):
+        building = benchmark_buildings()[0]
+        fine = building.reference_points(0.5)
+        coarse = building.reference_points(2.0)
+        assert len(fine) > len(coarse)
+
+    def test_rps_deterministic(self):
+        a = benchmark_buildings()[1].reference_points()
+        b = benchmark_buildings()[1].reference_points()
+        assert [(p.x, p.y) for p in a] == [(p.x, p.y) for p in b]
+
+    def test_shadowing_field_is_environment_property(self):
+        """Two surveys of the same building see the same shadowing: the
+        true RSSI at a location never changes between visits."""
+        building = benchmark_buildings()[0]
+        location = building.reference_points()[7]
+        np.testing.assert_array_equal(
+            building.true_rssi(location), building.true_rssi(location)
+        )
+
+    def test_rebuilt_building_identical(self):
+        """Building presets are pure functions of their arguments."""
+        from repro.data.buildings import make_building_2
+
+        a = make_building_2()
+        b = make_building_2()
+        loc = a.reference_points()[3]
+        np.testing.assert_array_equal(a.true_rssi(loc), b.true_rssi(loc))
+        assert [ap.mac for ap in a.access_points] == [ap.mac for ap in b.access_points]

@@ -1,0 +1,233 @@
+"""Fingerprint containers, survey collection, splits and IO."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BASE_DEVICES,
+    EXTENDED_DEVICES,
+    SurveyConfig,
+    collect_fingerprints,
+    collect_single_location,
+    export_csv,
+    get_device,
+    load_dataset,
+    make_building_1,
+    save_dataset,
+    split_by_device,
+    train_test_split,
+)
+from repro.data.fingerprint import FingerprintDataset, FingerprintRecord, reduce_samples
+from repro.radio.device import NOT_VISIBLE_DBM
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    building = make_building_1(n_aps=8)
+    return collect_fingerprints(
+        building, BASE_DEVICES[:3], SurveyConfig(n_visits=2, seed=0)
+    )
+
+
+class TestReduceSamples:
+    def test_channels_are_min_max_mean(self):
+        samples = np.array([[-50.0, -80.0], [-60.0, -70.0]])
+        reduced = reduce_samples(samples)
+        np.testing.assert_allclose(reduced[:, 0], [-60.0, -80.0])  # min
+        np.testing.assert_allclose(reduced[:, 1], [-50.0, -70.0])  # max
+        np.testing.assert_allclose(reduced[:, 2], [-55.0, -75.0])  # mean
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            reduce_samples(np.zeros(5))
+
+
+class TestRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FingerprintRecord(np.zeros((4, 2)), 0, "HTC", "B")
+
+    def test_visible_fraction(self):
+        channels = np.full((4, 3), NOT_VISIBLE_DBM)
+        channels[0] = -50.0
+        record = FingerprintRecord(channels, 0, "HTC", "B")
+        assert record.visible_ap_fraction() == pytest.approx(0.25)
+
+
+class TestCollection:
+    def test_record_count(self, small_dataset):
+        building = make_building_1(n_aps=8)
+        n_rps = len(building.reference_points())
+        assert len(small_dataset) == n_rps * 3 * 2  # devices * visits
+
+    def test_feature_shape(self, small_dataset):
+        assert small_dataset.features.shape[1:] == (8, 3)
+
+    def test_reproducible_with_seed(self):
+        building = make_building_1(n_aps=6)
+        a = collect_fingerprints(building, BASE_DEVICES[:2], SurveyConfig(n_visits=1, seed=5))
+        b = collect_fingerprints(building, BASE_DEVICES[:2], SurveyConfig(n_visits=1, seed=5))
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_different_seed_differs(self):
+        building = make_building_1(n_aps=6)
+        a = collect_fingerprints(building, BASE_DEVICES[:2], SurveyConfig(n_visits=1, seed=5))
+        b = collect_fingerprints(building, BASE_DEVICES[:2], SurveyConfig(n_visits=1, seed=6))
+        assert not np.allclose(a.features, b.features)
+
+    def test_min_leq_mean_leq_max(self, small_dataset):
+        features = small_dataset.features
+        assert (features[:, :, 0] <= features[:, :, 2] + 1e-9).all()
+        assert (features[:, :, 2] <= features[:, :, 1] + 1e-9).all()
+
+    def test_empty_devices_raises(self):
+        with pytest.raises(ValueError):
+            collect_fingerprints(make_building_1(n_aps=4), [])
+
+    def test_single_location_bursts(self):
+        building = make_building_1(n_aps=8)
+        out = collect_single_location(
+            building, building.reference_points()[0], BASE_DEVICES[:2], n_samples=10
+        )
+        assert set(out) == {"BLU", "HTC"}
+        assert out["BLU"].shape == (10, 8)
+
+    def test_survey_config_validation(self):
+        with pytest.raises(ValueError):
+            SurveyConfig(samples_per_visit=0)
+        with pytest.raises(ValueError):
+            SurveyConfig(n_visits=0)
+        with pytest.raises(ValueError):
+            SurveyConfig(rp_spacing_m=0)
+
+
+class TestDatasetOps:
+    def test_filter_devices(self, small_dataset):
+        only_htc = small_dataset.filter_devices("HTC")
+        assert set(only_htc.devices.tolist()) == {"HTC"}
+
+    def test_filter_unknown_device_raises(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.filter_devices(["IPHONE"])
+
+    def test_subset_preserves_rp_table(self, small_dataset):
+        sub = small_dataset.subset(np.arange(5))
+        assert sub.n_rps == small_dataset.n_rps
+        assert len(sub) == 5
+
+    def test_merge_roundtrip(self, small_dataset):
+        a = small_dataset.subset(np.arange(10))
+        b = small_dataset.subset(np.arange(10, 25))
+        merged = a.merge(b)
+        assert len(merged) == 25
+
+    def test_merge_different_building_rejected(self, small_dataset):
+        other = FingerprintDataset(
+            features=small_dataset.features[:2],
+            labels=small_dataset.labels[:2],
+            devices=small_dataset.devices[:2],
+            rp_locations=small_dataset.rp_locations,
+            building="Elsewhere",
+        )
+        with pytest.raises(ValueError):
+            small_dataset.merge(other)
+
+    def test_flat_features_layout(self, small_dataset):
+        flat = small_dataset.flat_features()
+        assert flat.shape == (len(small_dataset), 8 * 3)
+
+    def test_mean_channel(self, small_dataset):
+        mean = small_dataset.mean_channel()
+        np.testing.assert_allclose(mean, small_dataset.features[:, :, 2])
+
+    def test_location_of_labels(self, small_dataset):
+        locs = small_dataset.location_of(small_dataset.labels[:4])
+        assert locs.shape == (4, 2)
+
+    def test_record_materialization(self, small_dataset):
+        record = small_dataset.record(0)
+        assert record.building == small_dataset.building
+        assert record.n_aps == 8
+
+    def test_label_out_of_range_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            FingerprintDataset(
+                features=small_dataset.features[:2],
+                labels=np.array([0, 10_000]),
+                devices=small_dataset.devices[:2],
+                rp_locations=small_dataset.rp_locations,
+                building=small_dataset.building,
+            )
+
+
+class TestSplits:
+    def test_split_disjoint_and_complete(self, small_dataset):
+        train, test = train_test_split(small_dataset, 0.2, seed=0)
+        assert len(train) + len(test) == len(small_dataset)
+
+    def test_stratified_split_covers_all_rps(self, small_dataset):
+        train, _test = train_test_split(small_dataset, 0.2, seed=0)
+        assert set(train.labels.tolist()) == set(small_dataset.labels.tolist())
+
+    def test_test_fraction_respected(self, small_dataset):
+        _train, test = train_test_split(small_dataset, 0.25, seed=1)
+        fraction = len(test) / len(small_dataset)
+        assert 0.15 < fraction < 0.35
+
+    def test_unstratified_split(self, small_dataset):
+        train, test = train_test_split(small_dataset, 0.3, seed=2, stratify=False)
+        assert len(train) + len(test) == len(small_dataset)
+
+    def test_invalid_fraction(self, small_dataset):
+        with pytest.raises(ValueError):
+            train_test_split(small_dataset, 0.0)
+
+    def test_split_by_device_disjoint(self, small_dataset):
+        train, test = split_by_device(small_dataset, ["HTC"])
+        assert "HTC" not in set(train.devices.tolist())
+        assert set(test.devices.tolist()) == {"HTC"}
+
+    def test_split_by_device_missing_raises(self, small_dataset):
+        with pytest.raises(ValueError):
+            split_by_device(small_dataset, ["IPHONE"])
+
+    def test_split_all_devices_raises(self, small_dataset):
+        with pytest.raises(ValueError):
+            split_by_device(small_dataset, ["BLU", "HTC", "S7"])
+
+
+class TestIO:
+    def test_npz_roundtrip(self, small_dataset, tmp_path):
+        path = save_dataset(small_dataset, str(tmp_path / "survey"))
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(loaded.features, small_dataset.features)
+        np.testing.assert_array_equal(loaded.labels, small_dataset.labels)
+        assert loaded.building == small_dataset.building
+
+    def test_csv_export_row_count(self, small_dataset, tmp_path):
+        path = export_csv(small_dataset, str(tmp_path / "survey.csv"))
+        with open(path) as handle:
+            lines = handle.readlines()
+        assert len(lines) == len(small_dataset) + 1
+        assert lines[0].startswith("building,device,rp_index")
+
+
+class TestDeviceTables:
+    def test_table_1_base_devices(self):
+        assert [d.name for d in BASE_DEVICES] == ["BLU", "HTC", "S7", "LG", "MOTO", "OP3"]
+
+    def test_table_2_extended_devices(self):
+        assert [d.name for d in EXTENDED_DEVICES] == ["NOKIA", "PIXEL", "IPHONE"]
+
+    def test_get_device(self):
+        assert get_device("S7").manufacturer == "Samsung"
+
+    def test_get_device_unknown(self):
+        with pytest.raises(KeyError):
+            get_device("PLACEHOLDER")
+
+    def test_profiles_are_heterogeneous(self):
+        offsets = {d.gain_offset_db for d in BASE_DEVICES}
+        slopes = {d.response_slope for d in BASE_DEVICES}
+        assert len(offsets) == len(BASE_DEVICES)
+        assert len(slopes) == len(BASE_DEVICES)

@@ -1,0 +1,195 @@
+"""Evaluation harness: metrics, registry, runner plumbing, sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.data import BASE_DEVICES, EXTENDED_DEVICES, make_building_1
+from repro.eval import (
+    EvalProtocol,
+    error_stats,
+    improvement_pct,
+    make_framework,
+    prepare_building_data,
+    run_comparison,
+    run_dam_ablation,
+    sweep_heads_mlp,
+    sweep_image_patch,
+)
+from repro.eval.frameworks import CLASSICAL_NAMES, FRAMEWORK_NAMES
+from repro.eval.metrics import within_radius
+from repro.eval.runner import ComparisonResult, FrameworkRun
+from repro.vit import VitalLocalizer
+
+
+class TestMetrics:
+    def test_error_stats_values(self):
+        stats = error_stats(np.array([0.0, 1.0, 2.0, 3.0]))
+        assert stats.mean == pytest.approx(1.5)
+        assert stats.min == 0.0
+        assert stats.max == 3.0
+        assert stats.median == pytest.approx(1.5)
+        assert stats.count == 4
+
+    def test_empty_errors_rejected(self):
+        with pytest.raises(ValueError):
+            error_stats(np.array([]))
+
+    def test_negative_errors_rejected(self):
+        with pytest.raises(ValueError):
+            error_stats(np.array([-1.0]))
+
+    def test_improvement_pct_paper_arithmetic(self):
+        # Paper: VITAL 1.18 m vs WiDeep 3.73 m -> ~68% improvement.
+        assert improvement_pct(3.73, 1.18) == pytest.approx(68.4, abs=0.5)
+
+    def test_improvement_requires_positive_baseline(self):
+        with pytest.raises(ValueError):
+            improvement_pct(0.0, 1.0)
+
+    def test_within_radius(self):
+        errors = np.array([0.5, 1.0, 2.0, 4.0])
+        assert within_radius(errors, 1.0) == pytest.approx(0.5)
+
+    def test_stats_row_format(self):
+        row = error_stats(np.array([1.0])).row()
+        assert "mean=" in row and "n=1" in row
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", FRAMEWORK_NAMES + CLASSICAL_NAMES)
+    def test_all_names_constructible(self, name):
+        localizer = make_framework(name, seed=0)
+        assert localizer.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_framework("NOSUCH")
+
+    def test_vital_dam_default_on(self):
+        vital = make_framework("VITAL")
+        assert isinstance(vital, VitalLocalizer)
+        assert vital.use_dam_augmentation
+
+    def test_vital_dam_forced_off(self):
+        assert not make_framework("VITAL", with_dam=False).use_dam_augmentation
+
+    def test_baseline_dam_default_off(self):
+        assert not make_framework("SHERPA").uses_dam
+        assert make_framework("SHERPA", with_dam=True).uses_dam
+
+    def test_epochs_override(self):
+        vital = make_framework("VITAL", epochs=7)
+        assert vital.config.train.epochs == 7
+        sherpa = make_framework("SHERPA", epochs=3)
+        assert sherpa.epochs == 3
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError):
+            make_framework("VITAL", scale="gigantic")
+
+
+@pytest.fixture(scope="module")
+def tiny_protocol():
+    return EvalProtocol(seed=0)
+
+
+@pytest.fixture(scope="module")
+def tiny_building():
+    return make_building_1(n_aps=10)
+
+
+class TestRunnerPlumbing:
+    def test_prepare_base_split(self, tiny_building, tiny_protocol):
+        train, test = prepare_building_data(tiny_building, tiny_protocol)
+        base_names = {d.name for d in BASE_DEVICES}
+        assert set(train.devices.tolist()) <= base_names
+        assert set(test.devices.tolist()) <= base_names
+        assert len(train) > len(test)
+
+    def test_prepare_extended_split(self, tiny_building, tiny_protocol):
+        train, test = prepare_building_data(tiny_building, tiny_protocol, extended=True)
+        extended_names = {d.name for d in EXTENDED_DEVICES}
+        assert set(test.devices.tolist()) == extended_names
+        assert not (set(train.devices.tolist()) & extended_names)
+
+    def test_run_comparison_structure(self, tiny_building, tiny_protocol):
+        result = run_comparison(
+            ["KNN", "SSD"], buildings=[tiny_building], protocol=tiny_protocol
+        )
+        assert result.frameworks() == ["KNN", "SSD"]
+        assert result.buildings() == ["Building 1"]
+        run = result.run_for("KNN", "Building 1")
+        assert run.errors.ndim == 1
+        assert run.per_device  # per-device breakdown filled
+
+    def test_mean_error_grid_shape(self, tiny_building, tiny_protocol):
+        result = run_comparison(["KNN", "HLF"], buildings=[tiny_building], protocol=tiny_protocol)
+        frameworks, buildings, grid = result.mean_error_grid()
+        assert grid.shape == (2, 1)
+        assert np.isfinite(grid).all()
+
+    def test_device_grid(self, tiny_building, tiny_protocol):
+        result = run_comparison(["KNN"], buildings=[tiny_building], protocol=tiny_protocol)
+        devices, buildings, grid = result.device_grid("KNN")
+        assert len(devices) >= 1
+        assert grid.shape == (len(devices), 1)
+
+    def test_pooled_errors_concatenates(self, tiny_building, tiny_protocol):
+        result = run_comparison(["KNN"], buildings=[tiny_building], protocol=tiny_protocol)
+        pooled = result.pooled_errors("KNN")
+        assert pooled.shape == result.run_for("KNN", "Building 1").errors.shape
+
+    def test_missing_run_raises(self):
+        result = ComparisonResult()
+        with pytest.raises(KeyError):
+            result.run_for("VITAL", "Building 1")
+        with pytest.raises(KeyError):
+            result.pooled_errors("VITAL")
+
+    def test_dam_ablation_structure(self, tiny_building, tiny_protocol):
+        out = run_dam_ablation(["KNN"], buildings=[tiny_building], protocol=tiny_protocol)
+        assert set(out["KNN"].keys()) == {True, False}
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def sweep_split(self, tiny_building):
+        protocol = EvalProtocol(seed=0)
+        return prepare_building_data(tiny_building, protocol)
+
+    def test_image_patch_sweep_grid(self, sweep_split):
+        train, test = sweep_split
+        result = sweep_image_patch(
+            train, test, image_sizes=[8, 10], patch_sizes=[2, 12], epochs=2
+        )
+        assert result.mean_error.shape == (2, 2)
+        # patch 12 exceeds both images -> NaN column
+        assert np.isnan(result.mean_error[:, 1]).all()
+        assert np.isfinite(result.mean_error[:, 0]).all()
+
+    def test_image_patch_partial_patch_note(self, sweep_split):
+        train, test = sweep_split
+        result = sweep_image_patch(
+            train, test, image_sizes=[10], patch_sizes=[3], epochs=2
+        )
+        assert result.notes[(10, 3)] == "partial patches discarded"
+
+    def test_heads_mlp_sweep_grid(self, sweep_split):
+        train, test = sweep_split
+        result = sweep_heads_mlp(
+            train, test, head_counts=[2, 7], mlp_layer_counts=[1, 2], epochs=2
+        )
+        # 7 does not divide 60 -> NaN row with explanatory note
+        assert np.isnan(result.mean_error[1]).all()
+        assert "divide" in result.notes[(7, 1)]
+        assert np.isfinite(result.mean_error[0]).all()
+
+    def test_best_picks_minimum(self, sweep_split):
+        train, test = sweep_split
+        result = sweep_image_patch(
+            train, test, image_sizes=[10], patch_sizes=[2, 5], epochs=2
+        )
+        row, col, error = result.best()
+        assert row == 10
+        assert col in (2, 5)
+        assert error == np.nanmin(result.mean_error)

@@ -1,0 +1,113 @@
+"""Diagnostic analyses: coverage, ambiguity, walk simulation, drift."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KnnLocalizer
+from repro.data import (
+    BASE_DEVICES,
+    SurveyConfig,
+    collect_fingerprints,
+    get_device,
+    make_building_1,
+    train_test_split,
+)
+from repro.eval.analysis import ap_coverage, rp_ambiguity, walk_path
+
+
+@pytest.fixture(scope="module")
+def building():
+    return make_building_1(n_aps=10)
+
+
+@pytest.fixture(scope="module")
+def dataset(building):
+    return collect_fingerprints(building, BASE_DEVICES[:3], SurveyConfig(n_visits=1, seed=0))
+
+
+class TestApCoverage:
+    def test_one_value_per_rp_in_unit_range(self, dataset):
+        coverage = ap_coverage(dataset)
+        assert coverage.shape == (dataset.n_rps,)
+        assert (coverage >= 0).all() and (coverage <= 1).all()
+
+    def test_coverage_positive_everywhere(self, dataset):
+        assert ap_coverage(dataset).min() > 0.0
+
+
+class TestRpAmbiguity:
+    def test_shape_and_nonnegative(self, dataset):
+        ambiguity = rp_ambiguity(dataset)
+        assert ambiguity.shape == (dataset.n_rps,)
+        assert (ambiguity[np.isfinite(ambiguity)] >= 0).all()
+
+    def test_typical_ambiguity_near_rp_spacing(self, dataset):
+        """In a healthy database the signal-space nearest RP is usually a
+        physical neighbour (1-3 m at 1 m spacing)."""
+        ambiguity = rp_ambiguity(dataset)
+        assert np.nanmedian(ambiguity) <= 3.0
+
+
+class TestWalkPath:
+    @pytest.fixture(scope="class")
+    def localizer(self, dataset):
+        train, _ = train_test_split(dataset, 0.2, seed=0)
+        return KnnLocalizer(seed=0).fit(train)
+
+    def test_walk_visits_every_rp(self, localizer, building):
+        result = walk_path(localizer, building, get_device("HTC"), seed=1)
+        assert len(result.errors_m) == len(building.reference_points())
+        assert result.device == "HTC"
+
+    def test_walk_errors_reasonable(self, localizer, building):
+        result = walk_path(localizer, building, get_device("HTC"), seed=1)
+        assert result.mean_error < 8.0
+
+    def test_walk_fresh_noise_differs_by_seed(self, localizer, building):
+        a = walk_path(localizer, building, get_device("HTC"), seed=1)
+        b = walk_path(localizer, building, get_device("HTC"), seed=2)
+        assert not np.array_equal(a.errors_m, b.errors_m)
+
+    def test_worst_segment_window(self, localizer, building):
+        result = walk_path(localizer, building, get_device("HTC"), seed=1)
+        start, level = result.worst_segment(window=5)
+        assert 0 <= start < len(result.errors_m)
+        assert level >= result.errors_m.mean() - 1e-9
+
+
+class TestEnvironmentDrift:
+    def test_drift_changes_truth(self):
+        building = make_building_1(n_aps=8)
+        location = building.reference_points()[5]
+        before = building.true_rssi(location).copy()
+        drift = building.apply_environment_drift(3.0, seed=1)
+        after = building.true_rssi(location)
+        assert drift.shape == (8,)
+        assert not np.allclose(before, after)
+        building.apply_environment_drift(0.0)
+        np.testing.assert_array_equal(building.true_rssi(location), before)
+
+    def test_drift_deterministic_per_seed(self):
+        building = make_building_1(n_aps=8)
+        a = building.apply_environment_drift(2.0, seed=5)
+        b = building.apply_environment_drift(2.0, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            make_building_1(n_aps=4).apply_environment_drift(-1.0)
+
+    def test_drift_degrades_localization(self):
+        """Train before drift, test after drift: errors must not improve —
+        the dynamic-environments effect the paper's intro motivates."""
+        building = make_building_1(n_aps=10)
+        data = collect_fingerprints(building, BASE_DEVICES[:3], SurveyConfig(n_visits=1, seed=0))
+        train, test = train_test_split(data, 0.2, seed=0)
+        localizer = KnnLocalizer(seed=0).fit(train)
+        clean_error = localizer.errors_m(test).mean()
+
+        building.apply_environment_drift(6.0, seed=3)
+        drifted = collect_fingerprints(building, BASE_DEVICES[:3], SurveyConfig(n_visits=1, seed=9))
+        drift_error = localizer.errors_m(drifted).mean()
+        building.apply_environment_drift(0.0)
+        assert drift_error >= clean_error - 0.2

@@ -1,0 +1,45 @@
+"""Registry policy for the Fig. 9 DAM-integration arms."""
+
+import numpy as np
+import pytest
+
+from repro.data import BASE_DEVICES, SurveyConfig, collect_fingerprints, make_building_1, train_test_split
+from repro.eval import make_framework
+
+
+class TestDamEpochBoost:
+    def test_baseline_dam_arm_gets_double_epochs(self):
+        plain = make_framework("ANVIL")
+        boosted = make_framework("ANVIL", with_dam=True)
+        assert boosted.epochs == 2 * plain.epochs
+
+    def test_sherpa_and_cnnloc_boosted_too(self):
+        assert make_framework("SHERPA", with_dam=True).epochs == 60
+        assert make_framework("CNNLoc", with_dam=True).epochs == 80
+
+    def test_explicit_epochs_override_wins(self):
+        assert make_framework("ANVIL", with_dam=True, epochs=7).epochs == 7
+
+    def test_vital_epochs_unaffected_by_dam_flag(self):
+        with_dam = make_framework("VITAL", with_dam=True)
+        without = make_framework("VITAL", with_dam=False)
+        assert with_dam.config.train.epochs == without.config.train.epochs
+
+
+class TestWiDeepDamIntegration:
+    def test_dam_corrupts_training_inputs_not_gallery(self):
+        """With DAM, WiDeep trains on a corrupted copy of the same size —
+        the failure mode the paper describes — rather than an expanded
+        gallery."""
+        building = make_building_1(n_aps=8)
+        data = collect_fingerprints(building, BASE_DEVICES[:2], SurveyConfig(n_visits=1, seed=0))
+        train, _test = train_test_split(data, 0.2, seed=0)
+
+        plain = make_framework("WiDeep", seed=0).fit(train)
+        with_dam = make_framework("WiDeep", with_dam=True, seed=0).fit(train)
+        # Same GP gallery size in both arms (no expansion).
+        assert plain.classifier._train_x.shape[0] == with_dam.classifier._train_x.shape[0]
+        # But different code geometry (inputs were corrupted).
+        assert not np.allclose(
+            plain.classifier._train_x, with_dam.classifier._train_x
+        )

@@ -1,0 +1,48 @@
+"""Multi-seed robustness runner."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_building_1
+from repro.eval import EvalProtocol
+from repro.eval.multiseed import MultiSeedResult, run_multi_seed
+
+
+class TestMultiSeedRunner:
+    @pytest.fixture(scope="class")
+    def result(self):
+        building = make_building_1(n_aps=8)
+        return run_multi_seed(
+            ["KNN", "HLF"],
+            buildings=[building],
+            seeds=[0, 1, 2],
+            base_protocol=EvalProtocol(),
+        )
+
+    def test_shape_of_aggregate(self, result):
+        assert result.mean_errors.shape == (2, 3)
+        assert len(result.per_seed_results) == 3
+
+    def test_mean_and_std_finite(self, result):
+        for name in ("KNN", "HLF"):
+            assert np.isfinite(result.mean_of_means(name))
+            assert result.std_of_means(name) >= 0.0
+
+    def test_win_rates_sum_to_at_least_one(self, result):
+        total = result.win_rate("KNN") + result.win_rate("HLF")
+        assert total >= 1.0  # ties count for both
+
+    def test_different_seeds_produce_different_runs(self, result):
+        errors_a = result.per_seed_results[0].pooled_errors("KNN")
+        errors_b = result.per_seed_results[1].pooled_errors("KNN")
+        assert errors_a.shape == errors_b.shape
+        assert not np.array_equal(errors_a, errors_b)
+
+    def test_table_renders(self, result):
+        table = result.table()
+        assert "win rate" in table
+        assert "KNN" in table
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_multi_seed(["KNN"], buildings=[], seeds=[])

@@ -1,0 +1,57 @@
+"""Smoke checks that the example scripts stay import- and API-valid.
+
+Full example runs train real models for tens of seconds each; these
+tests only verify each script parses, imports its dependencies, and has
+a ``main`` entry point — catching API drift without the runtime cost.
+(The benchmark suite and integration tests exercise the same code paths
+with real training.)
+"""
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLE_FILES}
+    assert {
+        "quickstart.py",
+        "heterogeneity_analysis.py",
+        "dam_integration.py",
+        "custom_building.py",
+        "embedded_deployment.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+class TestEveryExample:
+    def test_parses(self, path):
+        tree = ast.parse(path.read_text())
+        assert tree is not None
+
+    def test_has_main_and_guard(self, path):
+        source = path.read_text()
+        tree = ast.parse(source)
+        functions = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in functions
+        assert '__name__ == "__main__"' in source
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+
+    def test_imports_resolve(self, path):
+        """Every ``from repro...`` import in the example must resolve."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(module, alias.name), (
+                        f"{path.name}: {node.module}.{alias.name} missing"
+                    )

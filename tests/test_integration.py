@@ -1,0 +1,162 @@
+"""Integration tests: the full offline→online pipeline, end to end.
+
+Scaled-down versions of the paper experiments — small building, few
+devices, short training — asserting the *relationships* the paper reports
+rather than absolute accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import (
+    BASE_DEVICES,
+    EXTENDED_DEVICES,
+    SurveyConfig,
+    collect_fingerprints,
+    make_building_1,
+    make_custom_building,
+    train_test_split,
+)
+from repro.dam import DamConfig
+from repro.eval import EvalProtocol, prepare_building_data, run_comparison
+from repro.nn import TrainConfig
+from repro.radio.geometry import Point
+from repro.vit import VitalConfig, VitalLocalizer
+
+
+@pytest.fixture(scope="module")
+def building():
+    return make_building_1(n_aps=12)
+
+
+@pytest.fixture(scope="module")
+def split(building):
+    data = collect_fingerprints(building, BASE_DEVICES, SurveyConfig(n_visits=1, seed=0))
+    return train_test_split(data, 0.2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trained_vital(split):
+    train, _test = split
+    config = VitalConfig.fast(12, epochs=50)
+    return VitalLocalizer(config, seed=0).fit(train)
+
+
+class TestVitalEndToEnd:
+    def test_localization_beats_chance_by_wide_margin(self, trained_vital, split):
+        _train, test = split
+        errors = trained_vital.errors_m(test)
+        rng = np.random.default_rng(0)
+        random_rp = rng.integers(0, test.n_rps, len(test))
+        chance = np.linalg.norm(
+            test.location_of(test.labels) - test.location_of(random_rp), axis=1
+        ).mean()
+        assert errors.mean() < 0.25 * chance
+
+    def test_predict_proba_is_distribution(self, trained_vital, split):
+        _train, test = split
+        proba = trained_vital.predict_proba(test.features[:5])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-5)
+        assert (proba >= 0).all()
+
+    def test_history_recorded(self, trained_vital):
+        assert trained_vital.history.epochs_run == 50
+        assert trained_vital.history.loss[-1] < trained_vital.history.loss[0]
+
+    def test_online_phase_accepts_single_fingerprint(self, trained_vital, building):
+        device = BASE_DEVICES[0]
+        rng = np.random.default_rng(7)
+        location = building.reference_points()[4]
+        burst = building.sample_rssi(location, device, rng, n_samples=5)
+        from repro.data.fingerprint import reduce_samples
+
+        fingerprint = reduce_samples(burst)[None]  # (1, n_aps, 3)
+        prediction = trained_vital.predict_locations(fingerprint)
+        error = np.linalg.norm(prediction[0] - [location.x, location.y])
+        assert error < 10.0
+
+    def test_model_weights_roundtrip_through_disk(self, trained_vital, split, tmp_path):
+        _train, test = split
+        path = str(tmp_path / "vital")
+        nn.save_state_dict(trained_vital.model, path)
+        before = trained_vital.predict(test.features[:8])
+        nn.load_state_dict(trained_vital.model, path)
+        after = trained_vital.predict(test.features[:8])
+        np.testing.assert_array_equal(before, after)
+
+
+class TestPaperRelationships:
+    """Scaled-down checks of the paper's three headline claims."""
+
+    def test_dam_improves_vital_generalization(self, split):
+        """Fig. 9, VITAL row: DAM on < DAM off in mean error (allow a
+        small tolerance since this is a reduced-scale run)."""
+        train, test = split
+        with_dam = VitalLocalizer(VitalConfig.fast(12, epochs=40), seed=0, use_dam_augmentation=True)
+        without = VitalLocalizer(VitalConfig.fast(12, epochs=40), seed=0, use_dam_augmentation=False)
+        err_with = with_dam.fit(train).errors_m(test).mean()
+        err_without = without.fit(train).errors_m(test).mean()
+        assert err_with < err_without + 0.25
+
+    def test_unseen_device_generalization(self, building):
+        """Fig. 10 protocol: errors on never-trained devices stay sane."""
+        protocol = EvalProtocol(seed=0)
+        train, ext_test = prepare_building_data(building, protocol, extended=True)
+        vital = VitalLocalizer(VitalConfig.fast(12, epochs=50), seed=0).fit(train)
+        ext_errors = vital.errors_m(ext_test)
+        assert ext_errors.mean() < 5.0
+        assert {d for d in ext_test.devices} == {d.name for d in EXTENDED_DEVICES}
+
+    def test_comparison_runner_full_loop(self, building):
+        """One full runner pass over two frameworks on one building."""
+        result = run_comparison(
+            ["VITAL", "KNN"],
+            buildings=[building],
+            protocol=EvalProtocol(seed=0),
+        )
+        vital_stats = result.overall_stats("VITAL")
+        knn_stats = result.overall_stats("KNN")
+        assert vital_stats.mean < knn_stats.mean + 2.0
+        assert vital_stats.count == knn_stats.count
+
+
+class TestCustomEnvironmentWorkflow:
+    """The examples/custom_building.py workflow in miniature."""
+
+    def test_user_defined_building_pipeline(self):
+        building = make_custom_building(
+            "My Lab",
+            width_m=24,
+            height_m=10,
+            n_aps=8,
+            path_vertices=[Point(2, 5), Point(22, 5)],
+            material="brick",
+            seed=9,
+        )
+        data = collect_fingerprints(
+            building, BASE_DEVICES[:2], SurveyConfig(n_visits=2, seed=1)
+        )
+        train, test = train_test_split(data, 0.25, seed=1)
+        vital = VitalLocalizer(VitalConfig.fast(8, epochs=30), seed=1).fit(train)
+        errors = vital.errors_m(test)
+        assert errors.mean() < 6.0
+        assert building.path_length_m == pytest.approx(20.0)
+
+
+class TestSeedStability:
+    def test_same_seed_same_predictions(self, split):
+        train, test = split
+        config = VitalConfig.fast(12, epochs=10)
+        a = VitalLocalizer(config, seed=5).fit(train).predict(test.features)
+        b = VitalLocalizer(config, seed=5).fit(train).predict(test.features)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_model(self, split):
+        train, _test = split
+        config = VitalConfig.fast(12, epochs=10)
+        a = VitalLocalizer(config, seed=1).fit(train)
+        b = VitalLocalizer(config, seed=2).fit(train)
+        wa = a.model.state_dict()["embedding.projection.weight"]
+        wb = b.model.state_dict()["embedding.projection.weight"]
+        assert not np.allclose(wa, wb)

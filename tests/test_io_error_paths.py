@@ -1,0 +1,58 @@
+"""Error paths of persistence layers: dataset npz, weights, results."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import BASE_DEVICES, SurveyConfig, collect_fingerprints, make_building_1
+from repro.data.io import load_dataset, save_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    building = make_building_1(n_aps=6)
+    return collect_fingerprints(building, BASE_DEVICES[:2], SurveyConfig(n_visits=1, seed=0))
+
+
+class TestDatasetFormatGuards:
+    def test_version_mismatch_rejected(self, dataset, tmp_path):
+        path = save_dataset(dataset, str(tmp_path / "d"))
+        with np.load(path) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        payload["version"] = np.array(99)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(str(tmp_path / "nothing.npz"))
+
+    def test_suffix_normalization(self, dataset, tmp_path):
+        save_dataset(dataset, str(tmp_path / "plain"))
+        loaded = load_dataset(str(tmp_path / "plain"))
+        assert len(loaded) == len(dataset)
+
+    def test_devices_roundtrip_as_strings(self, dataset, tmp_path):
+        path = save_dataset(dataset, str(tmp_path / "d2"))
+        loaded = load_dataset(path)
+        assert all(isinstance(d, str) for d in loaded.devices.tolist())
+
+
+class TestWeightsErrorPaths:
+    def test_load_into_wrong_architecture_fails(self, tmp_path):
+        a = nn.Dense(4, 4)
+        path = str(tmp_path / "w")
+        nn.save_state_dict(a, path)
+        b = nn.Dense(4, 5)
+        with pytest.raises(ValueError):
+            nn.load_state_dict(b, path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            nn.load_state_dict(nn.Dense(2, 2), str(tmp_path / "missing"))
+
+    def test_directory_autocreated_on_save(self, tmp_path):
+        nested = str(tmp_path / "a" / "b" / "weights")
+        nn.save_state_dict(nn.Dense(2, 2), nested)
+        nn.load_state_dict(nn.Dense(2, 2), nested)

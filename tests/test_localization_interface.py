@@ -1,0 +1,102 @@
+"""The Localizer ABC and VITAL's implementation of it."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BASE_DEVICES,
+    SurveyConfig,
+    collect_fingerprints,
+    make_building_1,
+    train_test_split,
+)
+from repro.localization import Localizer
+from repro.vit import VitalConfig, VitalLocalizer
+
+
+class _Stub(Localizer):
+    """Minimal concrete Localizer used to exercise the base class."""
+
+    name = "STUB"
+
+    def fit(self, train):
+        self._remember_rps(train)
+        self._constant = int(np.bincount(train.labels).argmax())
+        return self
+
+    def predict(self, features):
+        return np.full(len(features), self._constant, dtype=np.int64)
+
+
+@pytest.fixture(scope="module")
+def split():
+    building = make_building_1(n_aps=8)
+    data = collect_fingerprints(building, BASE_DEVICES[:2], SurveyConfig(n_visits=1, seed=0))
+    return train_test_split(data, 0.2, seed=0)
+
+
+class TestLocalizerBase:
+    def test_abstract_methods_required(self):
+        with pytest.raises(TypeError):
+            Localizer()  # abstract
+
+    def test_rp_locations_before_fit_raises(self):
+        stub = _Stub()
+        with pytest.raises(RuntimeError):
+            _ = stub.rp_locations
+
+    def test_predict_locations_uses_rp_table(self, split):
+        train, test = split
+        stub = _Stub().fit(train)
+        locations = stub.predict_locations(test.features)
+        expected = train.rp_locations[stub._constant]
+        assert (locations == expected).all()
+
+    def test_errors_m_computes_euclidean(self, split):
+        train, test = split
+        stub = _Stub().fit(train)
+        errors = stub.errors_m(test)
+        truth = test.location_of(test.labels)
+        predicted = np.tile(train.rp_locations[stub._constant], (len(test), 1))
+        np.testing.assert_allclose(errors, np.linalg.norm(predicted - truth, axis=1))
+
+    def test_rp_table_is_a_copy(self, split):
+        train, _test = split
+        stub = _Stub().fit(train)
+        stub.rp_locations[0, 0] = 999.0
+        assert train.rp_locations[0, 0] != 999.0
+
+
+class TestVitalLocalizerContract:
+    def test_predict_before_fit_raises(self, split):
+        _train, test = split
+        vital = VitalLocalizer(VitalConfig.fast(8, epochs=1))
+        with pytest.raises(RuntimeError):
+            vital.predict(test.features)
+        with pytest.raises(RuntimeError):
+            vital.predict_proba(test.features)
+
+    def test_without_dam_flag_disables_stochastic_stages(self, split):
+        train, _test = split
+        vital = VitalLocalizer(
+            VitalConfig.fast(8, epochs=1), seed=0, use_dam_augmentation=False
+        ).fit(train)
+        assert vital.dam.config.dropout_rate == 0.0
+        assert vital.dam.config.noise_sigma == 0.0
+
+    def test_with_dam_flag_keeps_config(self, split):
+        train, _test = split
+        vital = VitalLocalizer(VitalConfig.fast(8, epochs=1), seed=0).fit(train)
+        assert vital.dam.config.dropout_rate > 0.0
+
+    def test_image_size_resolves_to_config(self, split):
+        train, _test = split
+        vital = VitalLocalizer(VitalConfig.fast(8, epochs=1), seed=0).fit(train)
+        assert vital.model.image_size == 8
+
+    def test_native_image_size_follows_ap_count(self, split):
+        train, _test = split
+        config = VitalConfig(image_size=None, patch_size=2,
+                             train=__import__("repro.nn", fromlist=["TrainConfig"]).TrainConfig(epochs=1))
+        vital = VitalLocalizer(config, seed=0).fit(train)
+        assert vital.model.image_size == train.n_aps

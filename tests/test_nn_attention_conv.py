@@ -1,0 +1,135 @@
+"""Multi-head self-attention and 1-D convolution correctness."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.conv import conv1d, max_pool1d
+from repro.tensor import Tensor, gradcheck
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape_preserved(self):
+        msa = nn.MultiHeadSelfAttention(dim=24, heads=4)
+        out = msa(Tensor(np.zeros((2, 9, 24), dtype=np.float32)))
+        assert out.shape == (2, 9, 24)
+
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadSelfAttention(dim=10, heads=3)
+
+    def test_wrong_trailing_dim_rejected(self):
+        msa = nn.MultiHeadSelfAttention(dim=8, heads=2)
+        with pytest.raises(ValueError):
+            msa(Tensor(np.zeros((1, 4, 6), dtype=np.float32)))
+
+    def test_attention_weights_rows_sum_to_one(self):
+        msa = nn.MultiHeadSelfAttention(dim=20, heads=5)
+        msa.eval()
+        msa(Tensor(np.random.default_rng(0).standard_normal((2, 6, 20)).astype(np.float32)))
+        weights = msa.last_attention
+        assert weights.shape == (2, 5, 6, 6)
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_gradients_flow_to_all_projections(self):
+        msa = nn.MultiHeadSelfAttention(dim=12, heads=3)
+        out = msa(Tensor(np.random.default_rng(1).standard_normal((2, 4, 12)).astype(np.float32)))
+        out.sum().backward()
+        for name, param in msa.named_parameters():
+            assert param.grad is not None, f"no grad for {name}"
+
+    def test_gradcheck_end_to_end(self):
+        msa = nn.MultiHeadSelfAttention(dim=6, heads=2, rng=np.random.default_rng(0))
+        # Promote parameters to float64 for the numeric check.
+        for param in msa.parameters():
+            param.data = param.data.astype(np.float64)
+        x = Tensor(np.random.default_rng(2).standard_normal((1, 3, 6)), requires_grad=True)
+        assert gradcheck(lambda t: msa(t), [x], atol=1e-3)
+
+    def test_permutation_sensitivity_via_projections(self):
+        """Attention itself is permutation-equivariant; with shared weights,
+        permuting tokens permutes outputs identically."""
+        msa = nn.MultiHeadSelfAttention(dim=8, heads=2, rng=np.random.default_rng(3))
+        msa.eval()
+        x = np.random.default_rng(4).standard_normal((1, 5, 8)).astype(np.float32)
+        out = msa(Tensor(x)).data
+        perm = [4, 3, 2, 1, 0]
+        out_perm = msa(Tensor(x[:, perm])).data
+        np.testing.assert_allclose(out[:, perm], out_perm, atol=1e-4)
+
+
+class TestConv1d:
+    def test_forward_matches_manual(self):
+        x = Tensor(np.arange(5.0).reshape(1, 1, 5))
+        w = Tensor(np.array([[[1.0, 0.0, -1.0]]]))
+        out = conv1d(x, w)
+        np.testing.assert_allclose(out.data[0, 0], [-2.0, -2.0, -2.0])
+
+    def test_padding_extends_length(self):
+        x = Tensor(np.ones((1, 1, 4)))
+        w = Tensor(np.ones((1, 1, 3)))
+        assert conv1d(x, w, padding=1).shape == (1, 1, 4)
+
+    def test_stride_reduces_length(self):
+        x = Tensor(np.ones((1, 1, 8)))
+        w = Tensor(np.ones((1, 1, 2)))
+        assert conv1d(x, w, stride=2).shape == (1, 1, 4)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            conv1d(Tensor(np.ones((1, 2, 5))), Tensor(np.ones((1, 3, 3))))
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(ValueError):
+            conv1d(Tensor(np.ones((1, 1, 3))), Tensor(np.ones((1, 1, 5))))
+
+    def test_bias_added_per_channel(self):
+        x = Tensor(np.zeros((1, 1, 4)))
+        w = Tensor(np.zeros((2, 1, 2)))
+        b = Tensor(np.array([1.0, -1.0]))
+        out = conv1d(x, w, b)
+        np.testing.assert_allclose(out.data[0, 0], 1.0)
+        np.testing.assert_allclose(out.data[0, 1], -1.0)
+
+    def test_gradcheck_full(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((2, 3, 8)), requires_grad=True)
+        w = Tensor(rng.standard_normal((4, 3, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal(4), requires_grad=True)
+        assert gradcheck(lambda a, ww, bb: conv1d(a, ww, bb, stride=2, padding=1), [x, w, b])
+
+    def test_module_shapes_and_params(self):
+        layer = nn.Conv1d(3, 8, kernel_size=5, padding=2)
+        out = layer(Tensor(np.zeros((2, 3, 10), dtype=np.float32)))
+        assert out.shape == (2, 8, 10)
+        assert layer.num_parameters() == 8 * 3 * 5 + 8
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = Tensor(np.array([[[1.0, 3.0, 2.0, 8.0]]]))
+        out = max_pool1d(x, kernel=2)
+        np.testing.assert_allclose(out.data[0, 0], [3.0, 8.0])
+
+    def test_max_pool_gradient_routes_to_argmax(self):
+        x = Tensor(np.array([[[1.0, 3.0, 2.0, 8.0]]]), requires_grad=True)
+        out = max_pool1d(x, kernel=2)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad[0, 0], [0.0, 1.0, 0.0, 1.0])
+
+    def test_max_pool_overlapping_stride(self):
+        x = Tensor(np.array([[[1.0, 5.0, 2.0, 4.0, 3.0]]]))
+        out = max_pool1d(x, kernel=3, stride=1)
+        np.testing.assert_allclose(out.data[0, 0], [5.0, 5.0, 4.0])
+
+    def test_max_pool_kernel_too_large(self):
+        with pytest.raises(ValueError):
+            max_pool1d(Tensor(np.ones((1, 1, 2))), kernel=5)
+
+    def test_global_average_pool(self):
+        out = nn.GlobalAveragePool1d()(Tensor(np.arange(6.0).reshape(1, 2, 3)))
+        np.testing.assert_allclose(out.data, [[1.0, 4.0]])
+
+    def test_max_pool_gradcheck(self):
+        x = Tensor(np.random.default_rng(3).standard_normal((2, 2, 6)), requires_grad=True)
+        assert gradcheck(lambda a: max_pool1d(a, kernel=2), [x])

@@ -1,0 +1,72 @@
+"""Weight initializers and RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import get_rng, seed_all
+from repro.nn import init as init_schemes
+
+
+class TestInitializers:
+    def test_glorot_uniform_bounds(self):
+        w = init_schemes.glorot_uniform((100, 100), rng=np.random.default_rng(0))
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= limit + 1e-7
+
+    def test_glorot_normal_std(self):
+        w = init_schemes.glorot_normal((200, 200), rng=np.random.default_rng(1))
+        expected = np.sqrt(2.0 / 400)
+        assert w.std() == pytest.approx(expected, rel=0.1)
+
+    def test_he_normal_std(self):
+        w = init_schemes.he_normal((300, 50), rng=np.random.default_rng(2))
+        expected = np.sqrt(2.0 / 300)
+        assert w.std() == pytest.approx(expected, rel=0.1)
+
+    def test_he_uniform_bounds(self):
+        w = init_schemes.he_uniform((64, 64), rng=np.random.default_rng(3))
+        limit = np.sqrt(6.0 / 64)
+        assert np.abs(w).max() <= limit + 1e-7
+
+    def test_truncated_normal_clipped_at_two_std(self):
+        w = init_schemes.truncated_normal((1000,), std=0.02, rng=np.random.default_rng(4))
+        assert np.abs(w).max() <= 0.04 + 1e-9
+
+    def test_conv_kernel_fans(self):
+        fan_in, fan_out = init_schemes._fans((16, 3, 5))
+        assert fan_in == 3 * 5
+        assert fan_out == 16 * 5
+
+    def test_vector_fans(self):
+        assert init_schemes._fans((7,)) == (7, 7)
+
+    def test_zeros_ones(self):
+        assert (init_schemes.zeros((2, 2)) == 0).all()
+        assert (init_schemes.ones((2, 2)) == 1).all()
+
+    def test_default_dtype_float32(self):
+        for name in ("glorot_uniform", "glorot_normal", "he_normal", "he_uniform"):
+            w = getattr(init_schemes, name)((4, 4), rng=np.random.default_rng(0))
+            assert w.dtype == np.float32
+
+
+class TestRngPlumbing:
+    def test_seed_all_reproducible(self):
+        seed_all(123)
+        a = get_rng().random(5)
+        seed_all(123)
+        b = get_rng().random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_get_rng_with_int_seeds_fresh(self):
+        a = get_rng(7).random(3)
+        b = get_rng(7).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_get_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert get_rng(rng) is rng
+
+    def test_get_rng_none_returns_global(self):
+        global_rng = seed_all(55)
+        assert get_rng(None) is global_rng

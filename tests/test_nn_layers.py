@@ -1,0 +1,203 @@
+"""Layer behaviour: shapes, modes, parameter registration, normalization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = nn.Dense(8, 4)
+        out = layer(Tensor(np.zeros((5, 8), dtype=np.float32)))
+        assert out.shape == (5, 4)
+
+    def test_no_bias(self):
+        layer = nn.Dense(3, 2, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            nn.Dense(0, 4)
+
+    def test_applies_affine_map(self):
+        layer = nn.Dense(2, 2)
+        layer.weight.data = np.eye(2, dtype=np.float32)
+        layer.bias.data = np.array([1.0, -1.0], dtype=np.float32)
+        out = layer(Tensor(np.array([[2.0, 3.0]], dtype=np.float32)))
+        assert out.data.tolist() == [[3.0, 2.0]]
+
+    def test_3d_input_supported(self):
+        layer = nn.Dense(8, 4)
+        out = layer(Tensor(np.zeros((2, 7, 8), dtype=np.float32)))
+        assert out.shape == (2, 7, 4)
+
+    def test_seeded_init_reproducible(self):
+        a = nn.Dense(4, 4, rng=np.random.default_rng(7))
+        b = nn.Dense(4, 4, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = nn.Dropout(0.5)
+        layer.eval()
+        x = Tensor(np.ones((10, 10)))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+    def test_training_zeroes_roughly_rate(self):
+        layer = nn.Dropout(0.4, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((100, 100))))
+        zero_rate = (out.data == 0).mean()
+        assert 0.35 < zero_rate < 0.45
+
+    def test_scaling_preserves_expectation(self):
+        layer = nn.Dropout(0.3, rng=np.random.default_rng(1))
+        out = layer(Tensor(np.ones((200, 200))))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_rate_zero_identity_even_training(self):
+        layer = nn.Dropout(0.0)
+        x = Tensor(np.ones((5, 5)))
+        np.testing.assert_array_equal(layer(x).data, x.data)
+
+
+class TestActivationsAsModules:
+    @pytest.mark.parametrize(
+        "module,fn",
+        [
+            (nn.ReLU(), lambda x: np.maximum(x, 0)),
+            (nn.Tanh(), np.tanh),
+        ],
+    )
+    def test_matches_numpy(self, module, fn):
+        x = np.linspace(-2, 2, 9)
+        np.testing.assert_allclose(module(Tensor(x)).data, fn(x), rtol=1e-6)
+
+    def test_softmax_axis(self):
+        out = nn.Softmax(axis=0)(Tensor(np.random.default_rng(0).standard_normal((3, 4))))
+        np.testing.assert_allclose(out.data.sum(axis=0), 1.0, rtol=1e-5)
+
+    def test_leaky_relu_negative_slope(self):
+        out = nn.LeakyReLU(alpha=0.1)(Tensor(np.array([-10.0, 10.0])))
+        np.testing.assert_allclose(out.data, [-1.0, 10.0], rtol=1e-6)
+
+    def test_gelu_module(self):
+        x = Tensor(np.array([0.0]))
+        assert nn.GELU()(x).data[0] == pytest.approx(0.0)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        layer = nn.LayerNorm(16)
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 16)) * 5 + 3)
+        out = layer(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gamma_beta_applied(self):
+        layer = nn.LayerNorm(4)
+        layer.gamma.data = np.full(4, 2.0, dtype=np.float32)
+        layer.beta.data = np.full(4, 1.0, dtype=np.float32)
+        out = layer(Tensor(np.random.default_rng(1).standard_normal((3, 4))))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.LayerNorm(8)(Tensor(np.zeros((2, 4))))
+
+    def test_3d_input(self):
+        out = nn.LayerNorm(6)(Tensor(np.random.default_rng(2).standard_normal((2, 5, 6))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-4)
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self):
+        layer = nn.BatchNorm1d(3)
+        x = Tensor(np.random.default_rng(0).standard_normal((64, 3)) * 4 + 2)
+        out = layer(x)
+        np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-4)
+
+    def test_running_stats_update(self):
+        layer = nn.BatchNorm1d(2, momentum=0.5)
+        x = Tensor(np.full((8, 2), 10.0))
+        layer(x)
+        assert layer.running_mean[0] == pytest.approx(5.0)
+
+    def test_eval_uses_running_stats(self):
+        layer = nn.BatchNorm1d(2)
+        for _step in range(50):
+            layer(Tensor(np.random.default_rng(_step).standard_normal((32, 2)) + 5.0))
+        layer.eval()
+        out = layer(Tensor(np.full((4, 2), 5.0)))
+        np.testing.assert_allclose(out.data, 0.0, atol=0.5)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm1d(3)(Tensor(np.zeros((2, 4))))
+
+
+class TestModuleInfrastructure:
+    def test_parameter_registration_recursive(self):
+        model = nn.Sequential(nn.Dense(4, 8), nn.ReLU(), nn.Dense(8, 2))
+        names = [n for n, _p in model.named_parameters()]
+        assert len(names) == 4
+        assert any("layers.0.weight" in n for n in names)
+
+    def test_num_parameters(self):
+        model = nn.Dense(10, 5)
+        assert model.num_parameters() == 10 * 5 + 5
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Dense(2, 2), nn.Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        model = nn.Dense(3, 3)
+        out = model(Tensor(np.ones((2, 3), dtype=np.float32)))
+        out.sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        a = nn.Sequential(nn.Dense(4, 4), nn.ReLU(), nn.Dense(4, 2))
+        b = nn.Sequential(nn.Dense(4, 4), nn.ReLU(), nn.Dense(4, 2))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 4)).astype(np.float32))
+        np.testing.assert_array_equal(a(x).data, b(x).data)
+
+    def test_load_state_dict_missing_key_raises(self):
+        model = nn.Dense(2, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        model = nn.Dense(2, 2)
+        state = model.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_module_list_indexing(self):
+        ml = nn.ModuleList([nn.Dense(2, 2), nn.Dense(2, 3)])
+        assert len(ml) == 2
+        assert ml[1].out_features == 3
+
+    def test_sequential_getitem(self):
+        model = nn.Sequential(nn.Dense(2, 2), nn.ReLU())
+        assert isinstance(model[1], nn.ReLU)
+
+    def test_flatten_and_identity(self):
+        x = Tensor(np.zeros((2, 3, 4)))
+        assert nn.Flatten()(x).shape == (2, 12)
+        assert nn.Identity()(x) is x

@@ -1,0 +1,167 @@
+"""Losses, optimizers, schedulers: values, convergence, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.tensor import Tensor, gradcheck
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_classes(self):
+        loss = nn.CrossEntropyLoss()(Tensor(np.zeros((4, 10))), np.zeros(4, dtype=int))
+        assert float(loss.data) == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss = nn.CrossEntropyLoss()(Tensor(logits), np.array([1, 2]))
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-5)
+
+    def test_gradcheck(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 5)), requires_grad=True)
+        targets = np.array([0, 2, 4, 1])
+        assert gradcheck(lambda a: nn.CrossEntropyLoss()(a, targets), [x])
+
+    def test_label_smoothing_increases_loss_on_confident(self):
+        logits = np.full((1, 4), -10.0)
+        logits[0, 0] = 10.0
+        plain = nn.CrossEntropyLoss()(Tensor(logits), np.array([0]))
+        smoothed = nn.CrossEntropyLoss(smoothing=0.1)(Tensor(logits), np.array([0]))
+        assert float(smoothed.data) > float(plain.data)
+
+    def test_target_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss()(Tensor(np.zeros((2, 3))), np.array([0, 3]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss()(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+    def test_invalid_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss(smoothing=1.0)
+
+
+class TestOtherLosses:
+    def test_mse_value(self):
+        loss = nn.MSELoss()(Tensor(np.array([1.0, 3.0])), np.array([0.0, 0.0]))
+        assert float(loss.data) == pytest.approx(5.0)
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            nn.MSELoss()(Tensor(np.zeros(3)), np.zeros(4))
+
+    def test_mse_gradcheck(self):
+        x = Tensor(np.random.default_rng(1).standard_normal((3, 2)), requires_grad=True)
+        target = np.zeros((3, 2))
+        assert gradcheck(lambda a: nn.MSELoss()(a, target), [x])
+
+    def test_bce_symmetric_at_half(self):
+        loss = nn.BCELoss()(Tensor(np.array([0.5])), np.array([1.0]))
+        assert float(loss.data) == pytest.approx(np.log(2), rel=1e-5)
+
+    def test_bce_clips_extremes(self):
+        loss = nn.BCELoss()(Tensor(np.array([0.0, 1.0])), np.array([0.0, 1.0]))
+        assert np.isfinite(float(loss.data))
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert nn.accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+
+def _quadratic_params():
+    return Parameter(np.array([5.0, -3.0], dtype=np.float64))
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda p: nn.SGD([p], lr=0.1),
+            lambda p: nn.SGD([p], lr=0.05, momentum=0.9),
+            lambda p: nn.Adam([p], lr=0.2),
+            lambda p: nn.AdamW([p], lr=0.2, weight_decay=1e-3),
+        ],
+    )
+    def test_minimizes_quadratic(self, factory):
+        param = _quadratic_params()
+        optimizer = factory(param)
+        for _step in range(200):
+            loss = (param * param).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert np.abs(param.data).max() < 1e-2
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Adam([_quadratic_params()], lr=0.0)
+
+    def test_step_skips_params_without_grad(self):
+        param = _quadratic_params()
+        before = param.data.copy()
+        nn.Adam([param], lr=0.1).step()
+        np.testing.assert_array_equal(param.data, before)
+
+    def test_sgd_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = nn.SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.array([0.0])
+        optimizer.step()
+        assert param.data[0] < 1.0
+
+    def test_adamw_decay_decoupled(self):
+        # With zero gradient, AdamW still decays the weight; Adam does not.
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([1.0]))
+        p1.grad = np.array([0.0])
+        p2.grad = np.array([0.0])
+        nn.Adam([p1], lr=0.1, weight_decay=0.0).step()
+        nn.AdamW([p2], lr=0.1, weight_decay=0.5).step()
+        assert p1.data[0] == pytest.approx(1.0)
+        assert p2.data[0] < 1.0
+
+    def test_adam_bias_correction_first_step(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = nn.Adam([param], lr=0.1)
+        param.grad = np.array([1.0])
+        optimizer.step()
+        # First Adam step should move by ~lr regardless of gradient scale.
+        assert param.data[0] == pytest.approx(0.9, abs=1e-6)
+
+
+class TestSchedulers:
+    def test_step_lr_decays(self):
+        param = _quadratic_params()
+        optimizer = nn.SGD([param], lr=1.0)
+        scheduler = nn.StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_reaches_min(self):
+        param = _quadratic_params()
+        optimizer = nn.SGD([param], lr=1.0)
+        scheduler = nn.CosineAnnealingLR(optimizer, total_epochs=10, min_lr=0.1)
+        for _ in range(10):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.1)
+
+    def test_cosine_monotone_decreasing(self):
+        optimizer = nn.SGD([_quadratic_params()], lr=1.0)
+        scheduler = nn.CosineAnnealingLR(optimizer, total_epochs=8)
+        lrs = [scheduler.step() for _ in range(8)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_invalid_configs(self):
+        optimizer = nn.SGD([_quadratic_params()], lr=1.0)
+        with pytest.raises(ValueError):
+            nn.StepLR(optimizer, step_size=0)
+        with pytest.raises(ValueError):
+            nn.CosineAnnealingLR(optimizer, total_epochs=0)

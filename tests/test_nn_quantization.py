@@ -1,0 +1,100 @@
+"""Post-training quantization: codes, round-trips, accuracy retention."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.quantization import (
+    compression_report,
+    dequantize_state_dict,
+    dequantize_tensor,
+    model_size_bytes,
+    quantize_model,
+    quantize_state_dict,
+    quantize_tensor,
+)
+from repro.tensor import Tensor
+
+
+class TestTensorQuantization:
+    def test_codes_within_int8_range(self):
+        values = np.random.default_rng(0).standard_normal(1000)
+        codes, scale = quantize_tensor(values, bits=8)
+        assert codes.dtype == np.int8
+        assert codes.min() >= -127 and codes.max() <= 127
+
+    def test_roundtrip_error_bounded_by_half_scale(self):
+        values = np.random.default_rng(1).standard_normal(500)
+        codes, scale = quantize_tensor(values, bits=8)
+        restored = dequantize_tensor(codes, scale)
+        assert np.abs(restored - values).max() <= scale / 2 + 1e-7
+
+    def test_peak_value_preserved(self):
+        values = np.array([-4.0, 0.0, 2.0])
+        codes, scale = quantize_tensor(values)
+        restored = dequantize_tensor(codes, scale)
+        assert restored[0] == pytest.approx(-4.0, rel=1e-2)
+
+    def test_zero_tensor_safe(self):
+        codes, scale = quantize_tensor(np.zeros(10))
+        assert scale == 1.0
+        assert (dequantize_tensor(codes, scale) == 0).all()
+
+    def test_higher_bits_lower_error(self):
+        values = np.random.default_rng(2).standard_normal(500)
+        err8 = np.abs(dequantize_tensor(*quantize_tensor(values, 8)) - values).max()
+        err16 = np.abs(dequantize_tensor(*quantize_tensor(values, 16)) - values).max()
+        assert err16 < err8
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones(3), bits=1)
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones(3), bits=32)
+
+
+class TestModelQuantization:
+    def _model(self):
+        return nn.Sequential(
+            nn.Dense(8, 16, rng=np.random.default_rng(0)),
+            nn.ReLU(),
+            nn.Dense(16, 4, rng=np.random.default_rng(1)),
+        )
+
+    def test_state_dict_roundtrip_structure(self):
+        model = self._model()
+        quantized = quantize_state_dict(model)
+        restored = dequantize_state_dict(quantized)
+        assert set(restored) == set(model.state_dict())
+
+    def test_quantize_model_outputs_close(self):
+        model = self._model()
+        x = Tensor(np.random.default_rng(3).standard_normal((5, 8)).astype(np.float32))
+        before = model(x).data.copy()
+        quantize_model(model, bits=8)
+        after = model(x).data
+        assert np.abs(after - before).max() < 0.2
+
+    def test_model_size_accounting(self):
+        model = self._model()
+        params = model.num_parameters()
+        assert model_size_bytes(model, bits=32) == params * 4
+        assert model_size_bytes(model, bits=8) == params
+
+    def test_compression_report_mentions_ratio(self):
+        report = compression_report(self._model(), bits=8)
+        assert "4.0x smaller" in report
+
+    def test_quantized_classifier_keeps_accuracy(self):
+        rng = np.random.default_rng(4)
+        X = rng.standard_normal((128, 8)).astype(np.float32)
+        y = (X[:, 0] > 0).astype(int)
+        model = self._model()
+        # last layer has 4 outputs; use 2-class targets on first two logits
+        head = nn.Sequential(model, nn.Dense(4, 2, rng=np.random.default_rng(5)))
+        trainer = nn.Trainer(head, nn.CrossEntropyLoss(), nn.TrainConfig(epochs=40, lr=1e-2, seed=0))
+        trainer.fit(X, y)
+        base_acc = nn.accuracy(trainer.predict(X), y)
+        quantize_model(head, bits=8)
+        quant_acc = nn.accuracy(trainer.predict(X), y)
+        assert quant_acc >= base_acc - 0.05

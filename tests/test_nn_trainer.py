@@ -1,0 +1,181 @@
+"""Trainer behaviour: convergence, early stopping, augmentation hook."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+def _toy_classification(n=96, d=6, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, d)).astype(np.float32)
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+def _model(d=6, classes=2, seed=0):
+    return nn.Sequential(
+        nn.Dense(d, 16, rng=np.random.default_rng(seed)),
+        nn.ReLU(),
+        nn.Dense(16, classes, rng=np.random.default_rng(seed + 1)),
+    )
+
+
+class TestTrainerFit:
+    def test_loss_decreases(self):
+        X, y = _toy_classification()
+        trainer = nn.Trainer(
+            _model(), nn.CrossEntropyLoss(), nn.TrainConfig(epochs=30, lr=1e-2, seed=0)
+        )
+        history = trainer.fit(X, y)
+        assert history.loss[-1] < history.loss[0]
+
+    def test_overfits_small_dataset(self):
+        X, y = _toy_classification(n=48)
+        trainer = nn.Trainer(
+            _model(), nn.CrossEntropyLoss(), nn.TrainConfig(epochs=80, lr=1e-2, seed=0)
+        )
+        history = trainer.fit(X, y)
+        assert history.train_accuracy[-1] > 0.95
+
+    def test_history_lengths(self):
+        X, y = _toy_classification()
+        trainer = nn.Trainer(
+            _model(), nn.CrossEntropyLoss(), nn.TrainConfig(epochs=5, seed=0)
+        )
+        history = trainer.fit(X, y, val_features=X[:16], val_targets=y[:16])
+        assert history.epochs_run == 5
+        assert len(history.loss) == 5
+        assert len(history.val_loss) == 5
+        assert history.wall_time_s > 0
+
+    def test_empty_dataset_raises(self):
+        trainer = nn.Trainer(_model(), nn.CrossEntropyLoss())
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((0, 6)), np.zeros(0, dtype=int))
+
+    def test_length_mismatch_raises(self):
+        trainer = nn.Trainer(_model(), nn.CrossEntropyLoss())
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((4, 6)), np.zeros(3, dtype=int))
+
+    def test_model_left_in_eval_mode(self):
+        X, y = _toy_classification()
+        model = _model()
+        nn.Trainer(model, nn.CrossEntropyLoss(), nn.TrainConfig(epochs=1, seed=0)).fit(X, y)
+        assert not model.training
+
+    def test_seeded_runs_reproducible(self):
+        X, y = _toy_classification()
+        histories = []
+        for _run in range(2):
+            trainer = nn.Trainer(
+                _model(seed=3),
+                nn.CrossEntropyLoss(),
+                nn.TrainConfig(epochs=5, seed=11),
+            )
+            histories.append(trainer.fit(X, y).loss)
+        np.testing.assert_allclose(histories[0], histories[1], rtol=1e-6)
+
+
+class TestEarlyStopping:
+    def test_stops_when_no_improvement(self):
+        X, y = _toy_classification()
+        # LR of zero: no learning, validation cannot improve.
+        trainer = nn.Trainer(
+            _model(),
+            nn.CrossEntropyLoss(),
+            nn.TrainConfig(epochs=50, lr=1e-12, early_stop_patience=3, seed=0),
+        )
+        history = trainer.fit(X, y, val_features=X, val_targets=y)
+        assert history.stopped_early
+        assert history.epochs_run <= 5
+
+    def test_runs_to_completion_when_improving(self):
+        X, y = _toy_classification()
+        trainer = nn.Trainer(
+            _model(),
+            nn.CrossEntropyLoss(),
+            nn.TrainConfig(epochs=8, lr=1e-2, early_stop_patience=8, seed=0),
+        )
+        history = trainer.fit(X, y, val_features=X, val_targets=y)
+        assert not history.stopped_early
+        assert history.epochs_run == 8
+
+
+class TestAugmentAndPredict:
+    def test_augment_fn_called_with_rng(self):
+        X, y = _toy_classification()
+        calls = []
+
+        def augment(batch, rng):
+            calls.append(batch.shape)
+            return batch
+
+        trainer = nn.Trainer(
+            _model(),
+            nn.CrossEntropyLoss(),
+            nn.TrainConfig(epochs=2, batch_size=32, seed=0),
+            augment_fn=augment,
+        )
+        trainer.fit(X, y)
+        assert len(calls) == 2 * int(np.ceil(len(X) / 32))
+
+    def test_augmentation_not_applied_at_eval(self):
+        X, y = _toy_classification()
+
+        def poison(batch, rng):
+            return np.zeros_like(batch)
+
+        trainer = nn.Trainer(
+            _model(),
+            nn.CrossEntropyLoss(),
+            nn.TrainConfig(epochs=1, seed=0),
+            augment_fn=poison,
+        )
+        trainer.fit(X, y)
+        # Evaluation sees the raw features, so two different inputs must
+        # produce different logits (poisoned batches would all be equal).
+        preds = trainer.predict(X[:8])
+        assert not np.allclose(preds[0], preds[4])
+
+    def test_predict_batching_consistent(self):
+        X, y = _toy_classification()
+        trainer = nn.Trainer(
+            _model(), nn.CrossEntropyLoss(), nn.TrainConfig(epochs=2, seed=0)
+        )
+        trainer.fit(X, y)
+        full = trainer.predict(X, batch_size=len(X))
+        chunked = trainer.predict(X, batch_size=7)
+        np.testing.assert_allclose(full, chunked, rtol=1e-5)
+
+    def test_evaluate_returns_loss_and_accuracy(self):
+        X, y = _toy_classification()
+        trainer = nn.Trainer(
+            _model(), nn.CrossEntropyLoss(), nn.TrainConfig(epochs=20, lr=1e-2, seed=0)
+        )
+        trainer.fit(X, y)
+        loss, acc = trainer.evaluate(X, y)
+        assert loss < 0.7
+        assert acc > 0.8
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        model = _model()
+        path = str(tmp_path / "weights")
+        nn.save_state_dict(model, path)
+        fresh = _model(seed=99)
+        nn.load_state_dict(fresh, path)
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 6)).astype(np.float32))
+        np.testing.assert_array_equal(model(x).data, fresh(x).data)
+
+    def test_npz_suffix_optional(self, tmp_path):
+        model = _model()
+        nn.save_state_dict(model, str(tmp_path / "w.npz"))
+        nn.load_state_dict(_model(seed=1), str(tmp_path / "w"))
+
+    def test_save_parameterless_model_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            nn.save_state_dict(nn.ReLU(), str(tmp_path / "empty"))

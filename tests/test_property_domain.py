@@ -1,0 +1,127 @@
+"""Property-based tests for domain invariants: radio, DAM, patching."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dam import DamConfig, DataAugmentationModule, replicate_to_image
+from repro.radio import DeviceProfile, LogDistanceModel, NOT_VISIBLE_DBM
+from repro.vit.patching import extract_patches, n_patches
+
+
+class TestPropagationProperties:
+    @given(
+        st.floats(min_value=2.0, max_value=4.5),
+        st.floats(min_value=1.0, max_value=50.0),
+        st.floats(min_value=1.0, max_value=50.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_path_loss_monotone(self, exponent, d1, d2):
+        model = LogDistanceModel(exponent=exponent)
+        near, far = sorted([d1, d2])
+        assert model.path_loss_db(near) <= model.path_loss_db(far) + 1e-9
+
+    @given(
+        st.floats(min_value=-95.0, max_value=-20.0),
+        st.floats(min_value=-8.0, max_value=8.0),
+        st.floats(min_value=0.8, max_value=1.2),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_measured_rssi_in_physical_range(self, truth, offset, slope, seed):
+        device = DeviceProfile(
+            name="P",
+            gain_offset_db=offset,
+            response_slope=slope,
+            per_ap_skew_db=2.0,
+            noise_sigma_db=1.5,
+            sensitivity_floor_dbm=-90.0,
+        )
+        out = device.measure(
+            np.array([truth]), ["mac"], np.random.default_rng(seed), n_samples=4
+        )
+        assert (out >= NOT_VISIBLE_DBM).all()
+        assert (out <= 0.0).all()
+        # The floor gates on true channel power: an undetectable source
+        # reads exactly the missing marker on every sample.
+        if truth < device.sensitivity_floor_dbm:
+            assert (out == NOT_VISIBLE_DBM).all()
+
+
+class TestDamProperties:
+    @st.composite
+    def _features(draw):
+        n = draw(st.integers(min_value=2, max_value=12))
+        aps = draw(st.integers(min_value=2, max_value=12))
+        seed = draw(st.integers(min_value=0, max_value=1000))
+        rng = np.random.default_rng(seed)
+        base = rng.uniform(-95, -30, size=(n, aps, 1))
+        return np.concatenate([base - 1, base + 1, base], axis=2)
+
+    @given(_features())
+    @settings(max_examples=40, deadline=None)
+    def test_minmax_output_in_unit_interval(self, features):
+        dam = DataAugmentationModule(DamConfig()).fit(features)
+        out = dam.transform(features)
+        assert (out >= 0.0).all() and (out <= 1.0).all()
+
+    @given(_features(), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_augment_preserves_shape_and_finiteness(self, features, seed):
+        dam = DataAugmentationModule(DamConfig(dropout_rate=0.3)).fit(features)
+        normalized = dam.transform(features)
+        out = dam.augment(normalized, np.random.default_rng(seed))
+        assert out.shape == normalized.shape
+        assert np.isfinite(out).all()
+
+    @given(_features())
+    @settings(max_examples=40, deadline=None)
+    def test_replication_columns_carry_fingerprint(self, features):
+        image = replicate_to_image(features[0])
+        # Every row equals the original fingerprint.
+        for row in range(image.shape[0]):
+            np.testing.assert_array_equal(image[row], features[0])
+
+
+class TestPatchingProperties:
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_patch_count_and_shape(self, image, patch, channels):
+        if patch > image:
+            return
+        batch = np.zeros((2, image, image, channels))
+        patches = extract_patches(batch, patch)
+        assert patches.shape == (2, n_patches(image, patch), patch * patch * channels)
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_patches_cover_at_most_image_area(self, image, patch):
+        if patch > image:
+            return
+        covered = n_patches(image, patch) * patch * patch
+        assert covered <= image * image
+
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_division_covers_everything(self, side):
+        image = side * 4
+        covered = n_patches(image, 4) * 16
+        assert covered == image * image
+
+    @given(st.integers(min_value=2, max_value=16))
+    @settings(max_examples=20, deadline=None)
+    def test_patch_reconstruction_exact_division(self, side):
+        """Patches of an exactly-divisible image reassemble to the image."""
+        rng = np.random.default_rng(side)
+        image = rng.random((1, side * 2, side * 2, 1))
+        patches = extract_patches(image, 2)
+        grid = side
+        rebuilt = (
+            patches.reshape(1, grid, grid, 2, 2, 1)
+            .transpose(0, 1, 3, 2, 4, 5)
+            .reshape(1, side * 2, side * 2, 1)
+        )
+        np.testing.assert_allclose(rebuilt, image)

@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for the autograd engine invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor, cat
+
+_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+def arrays(max_side=5, min_dims=1, max_dims=3):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=min_dims, max_dims=max_dims, max_side=max_side),
+        elements=_floats,
+    )
+
+
+class TestAlgebraicProperties:
+    @given(arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_add_commutative(self, data):
+        a = Tensor(data)
+        b = Tensor(data[::-1].copy().reshape(data.shape))
+        np.testing.assert_allclose((a + b).data, (b + a).data)
+
+    @given(arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_double_negation(self, data):
+        np.testing.assert_allclose((-(-Tensor(data))).data, data)
+
+    @given(arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_mul_by_one_identity(self, data):
+        np.testing.assert_allclose((Tensor(data) * 1.0).data, data)
+
+    @given(arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_sub_self_is_zero(self, data):
+        t = Tensor(data)
+        np.testing.assert_allclose((t - t).data, 0.0, atol=1e-12)
+
+    @given(arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_relu_idempotent(self, data):
+        once = Tensor(data).relu()
+        twice = once.relu()
+        np.testing.assert_allclose(once.data, twice.data)
+
+    @given(arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_tanh_bounded_and_odd(self, data):
+        t = Tensor(data).tanh()
+        assert (np.abs(t.data) <= 1.0).all()
+        np.testing.assert_allclose((-Tensor(data)).tanh().data, -t.data, atol=1e-12)
+
+    @given(arrays(min_dims=2, max_dims=2))
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_is_distribution(self, data):
+        out = Tensor(data).softmax(axis=-1).data
+        assert (out >= 0).all()
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-6)
+
+    @given(arrays(min_dims=2, max_dims=2))
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_shift_invariant(self, data):
+        a = Tensor(data).softmax(axis=-1).data
+        b = Tensor(data + 100.0).softmax(axis=-1).data
+        np.testing.assert_allclose(a, b, atol=1e-6)
+
+
+class TestShapeProperties:
+    @given(arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_reshape_roundtrip(self, data):
+        t = Tensor(data)
+        flat = t.reshape(-1)
+        back = flat.reshape(*data.shape)
+        np.testing.assert_array_equal(back.data, data)
+
+    @given(arrays(min_dims=2, max_dims=3))
+    @settings(max_examples=50, deadline=None)
+    def test_transpose_involution(self, data):
+        t = Tensor(data)
+        np.testing.assert_array_equal(t.T.T.data, data)
+
+    @given(arrays(min_dims=1, max_dims=2))
+    @settings(max_examples=50, deadline=None)
+    def test_cat_then_split_identity(self, data):
+        t = Tensor(data)
+        joined = cat([t, t], axis=0)
+        assert joined.shape[0] == 2 * data.shape[0]
+        np.testing.assert_array_equal(joined.data[: data.shape[0]], data)
+
+    @given(arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_sum_equals_numpy(self, data):
+        np.testing.assert_allclose(Tensor(data).sum().item(), data.sum(), rtol=1e-9)
+
+
+class TestGradientProperties:
+    @given(arrays(max_side=4, min_dims=1, max_dims=2))
+    @settings(max_examples=30, deadline=None)
+    def test_sum_gradient_is_ones(self, data):
+        t = Tensor(data, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones_like(data))
+
+    @given(arrays(max_side=4, min_dims=1, max_dims=2))
+    @settings(max_examples=30, deadline=None)
+    def test_linear_gradient_is_coefficient(self, data):
+        t = Tensor(data, requires_grad=True)
+        (t * 3.0).sum().backward()
+        np.testing.assert_allclose(t.grad, 3.0)
+
+    @given(arrays(max_side=4, min_dims=1, max_dims=2))
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_linearity(self, data):
+        # grad of (f + g) = grad f + grad g, with f = x^2, g = 2x
+        t1 = Tensor(data.copy(), requires_grad=True)
+        ((t1 * t1) + (t1 * 2.0)).sum().backward()
+        expected = 2.0 * data + 2.0
+        np.testing.assert_allclose(t1.grad, expected, rtol=1e-9)
+
+    @given(arrays(max_side=3, min_dims=2, max_dims=2))
+    @settings(max_examples=30, deadline=None)
+    def test_detach_blocks_gradient(self, data):
+        t = Tensor(data, requires_grad=True)
+        (t.detach() * 5.0).sum()
+        assert t.grad is None

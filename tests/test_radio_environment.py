@@ -1,0 +1,151 @@
+"""Building environment: RSSI sampling, reproducibility, heterogeneity."""
+
+import numpy as np
+import pytest
+
+from repro.data.buildings import (
+    benchmark_buildings,
+    make_building_1,
+    make_building_2,
+    make_building_3,
+    make_building_4,
+    make_custom_building,
+)
+from repro.data.devices import BASE_DEVICES, get_device
+from repro.radio.device import NOT_VISIBLE_DBM
+from repro.radio.geometry import Point
+
+
+class TestBenchmarkBuildings:
+    def test_four_buildings(self):
+        assert len(benchmark_buildings()) == 4
+
+    def test_path_lengths_match_paper_range(self):
+        lengths = [b.path_length_m for b in benchmark_buildings()]
+        assert lengths == pytest.approx([62.0, 70.0, 80.0, 88.0], abs=0.5)
+
+    def test_rp_granularity_one_meter(self):
+        building = make_building_1()
+        rps = building.reference_points(1.0)
+        assert len(rps) == int(round(building.path_length_m)) + 1
+        gaps = [rps[i].distance_to(rps[i + 1]) for i in range(len(rps) - 1)]
+        assert max(gaps) <= 1.5  # corner points can be slightly closer
+
+    def test_different_ap_counts(self):
+        counts = {b.n_aps for b in benchmark_buildings()}
+        assert len(counts) == 4
+
+    def test_ap_scale_shrinks(self):
+        small = benchmark_buildings(ap_scale=0.5)
+        full = benchmark_buildings(ap_scale=1.0)
+        assert all(s.n_aps < f.n_aps for s, f in zip(small, full))
+
+    def test_building4_least_noisy(self):
+        buildings = benchmark_buildings()
+        assert buildings[3].shadowing_sigma_db == min(b.shadowing_sigma_db for b in buildings)
+        assert buildings[2].shadowing_sigma_db == max(b.shadowing_sigma_db for b in buildings)
+
+    def test_aps_inside_bounds(self):
+        for building in benchmark_buildings():
+            for ap in building.access_points:
+                assert 0 <= ap.position.x <= building.width_m
+                assert 0 <= ap.position.y <= building.height_m
+
+    def test_path_inside_bounds(self):
+        for building in benchmark_buildings():
+            for point in building.reference_points():
+                assert 0 <= point.x <= building.width_m
+                assert 0 <= point.y <= building.height_m
+
+    def test_describe_mentions_name(self):
+        assert "Building 3" in make_building_3().describe()
+
+
+class TestCustomBuilding:
+    def test_factory_builds(self):
+        building = make_custom_building(
+            "Lab", 20, 10, n_aps=6, path_vertices=[Point(1, 1), Point(18, 1)]
+        )
+        assert building.n_aps == 6
+        assert building.path_length_m == pytest.approx(17.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_custom_building("X", 10, 10, n_aps=0, path_vertices=[Point(0, 0), Point(1, 1)])
+        with pytest.raises(ValueError):
+            make_custom_building("X", 10, 10, n_aps=3, path_vertices=[Point(0, 0)])
+
+
+class TestTrueRssi:
+    def test_range_clipped(self):
+        building = make_building_1()
+        truth = building.true_rssi(building.reference_points()[0])
+        assert (truth >= NOT_VISIBLE_DBM).all()
+        assert (truth <= 0.0).all()
+
+    def test_deterministic(self):
+        building = make_building_1()
+        location = building.reference_points()[5]
+        np.testing.assert_array_equal(building.true_rssi(location), building.true_rssi(location))
+
+    def test_signal_decays_away_from_ap(self):
+        building = make_custom_building(
+            "Open", 60, 10, n_aps=1, path_vertices=[Point(1, 5), Point(59, 5)],
+            shadowing_sigma_db=0.0,
+        )
+        ap = building.access_points[0].position
+        near = building.true_rssi(Point(ap.x + 1, ap.y))
+        far = building.true_rssi(Point(ap.x + 30, ap.y))
+        assert near[0] > far[0]
+
+    def test_fingerprints_differ_across_locations(self):
+        building = make_building_2()
+        rps = building.reference_points()
+        a = building.true_rssi(rps[0])
+        b = building.true_rssi(rps[30])
+        assert not np.allclose(a, b)
+
+
+class TestSampling:
+    def test_sample_shape(self):
+        building = make_building_1()
+        device = get_device("HTC")
+        out = building.sample_rssi(
+            building.reference_points()[0], device, np.random.default_rng(0), n_samples=5
+        )
+        assert out.shape == (5, building.n_aps)
+
+    def test_samples_fluctuate(self):
+        building = make_building_1()
+        device = get_device("HTC")
+        out = building.sample_rssi(
+            building.reference_points()[0], device, np.random.default_rng(0), n_samples=10
+        )
+        visible = out[:, out.mean(axis=0) > NOT_VISIBLE_DBM]
+        assert visible.std(axis=0).max() > 0.1
+
+    def test_devices_disagree_at_same_spot(self):
+        building = make_building_1()
+        location = building.reference_points()[10]
+        means = []
+        for device in BASE_DEVICES[:3]:
+            out = building.sample_rssi(location, device, np.random.default_rng(1), n_samples=10)
+            means.append(out.mean(axis=0))
+        assert not np.allclose(means[0], means[1], atol=0.5)
+        assert not np.allclose(means[1], means[2], atol=0.5)
+
+    def test_sensitive_device_sees_more_aps(self):
+        """The HTC (floor −96) must see at least as many APs as BLU (−84)."""
+        building = make_building_1()
+        location = building.reference_points()[20]
+        rng = np.random.default_rng(2)
+        htc = building.sample_rssi(location, get_device("HTC"), rng, n_samples=5)
+        blu = building.sample_rssi(location, get_device("BLU"), rng, n_samples=5)
+        htc_visible = (htc.mean(axis=0) > NOT_VISIBLE_DBM).sum()
+        blu_visible = (blu.mean(axis=0) > NOT_VISIBLE_DBM).sum()
+        assert htc_visible >= blu_visible
+
+    def test_coverage_fraction_bounds(self):
+        building = make_building_4()
+        fraction = building.coverage_fraction(building.reference_points()[0])
+        assert 0.0 <= fraction <= 1.0

@@ -1,0 +1,105 @@
+"""Geometry primitives: intersections, polylines, wall counting."""
+
+import math
+
+import pytest
+
+from repro.radio.geometry import (
+    Point,
+    Wall,
+    count_wall_crossings,
+    point_along_polyline,
+    polyline_length,
+    polyline_points,
+    segments_intersect,
+)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_iteration_unpacks(self):
+        x, y = Point(1.5, 2.5)
+        assert (x, y) == (1.5, 2.5)
+
+    def test_midpoint(self):
+        mid = Point(0, 0).midpoint(Point(2, 4))
+        assert (mid.x, mid.y) == (1.0, 2.0)
+
+
+class TestSegmentIntersection:
+    def test_crossing_segments(self):
+        assert segments_intersect(Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0))
+
+    def test_parallel_segments(self):
+        assert not segments_intersect(Point(0, 0), Point(2, 0), Point(0, 1), Point(2, 1))
+
+    def test_touching_endpoint_counts(self):
+        assert segments_intersect(Point(0, 0), Point(1, 1), Point(1, 1), Point(2, 0))
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect(Point(0, 0), Point(3, 0), Point(1, 0), Point(2, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0))
+
+    def test_t_junction(self):
+        assert segments_intersect(Point(0, 0), Point(2, 0), Point(1, -1), Point(1, 0))
+
+
+class TestWallCrossings:
+    def test_counts_by_material(self):
+        walls = [
+            Wall(Point(1, -1), Point(1, 1), "concrete"),
+            Wall(Point(2, -1), Point(2, 1), "concrete"),
+            Wall(Point(3, -1), Point(3, 1), "wood"),
+        ]
+        crossings = count_wall_crossings(Point(0, 0), Point(4, 0), walls)
+        assert crossings == {"concrete": 2, "wood": 1}
+
+    def test_no_crossings(self):
+        walls = [Wall(Point(10, 10), Point(11, 11), "metal")]
+        assert count_wall_crossings(Point(0, 0), Point(1, 0), walls) == {}
+
+    def test_wall_length(self):
+        assert Wall(Point(0, 0), Point(0, 5)).length == pytest.approx(5.0)
+
+
+class TestPolyline:
+    def test_length(self):
+        verts = [Point(0, 0), Point(3, 0), Point(3, 4)]
+        assert polyline_length(verts) == pytest.approx(7.0)
+
+    def test_points_spacing(self):
+        verts = [Point(0, 0), Point(5, 0)]
+        points = polyline_points(verts, spacing=1.0)
+        assert len(points) == 6
+        assert points[3].x == pytest.approx(3.0)
+
+    def test_points_through_corner(self):
+        verts = [Point(0, 0), Point(2, 0), Point(2, 2)]
+        points = polyline_points(verts, spacing=1.0)
+        assert len(points) == 5
+        assert (points[-1].x, points[-1].y) == (pytest.approx(2.0), pytest.approx(2.0))
+
+    def test_fractional_spacing(self):
+        points = polyline_points([Point(0, 0), Point(1, 0)], spacing=0.25)
+        assert len(points) == 5
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            polyline_points([Point(0, 0), Point(1, 0)], spacing=0)
+
+    def test_single_vertex_passthrough(self):
+        assert polyline_points([Point(1, 1)]) == [Point(1, 1)]
+
+    def test_point_along_beyond_end_clamps(self):
+        verts = [Point(0, 0), Point(1, 0)]
+        end = point_along_polyline(verts, 99.0)
+        assert end.x == pytest.approx(1.0)
+
+    def test_point_along_midsegment(self):
+        verts = [Point(0, 0), Point(4, 0), Point(4, 4)]
+        p = point_along_polyline(verts, 6.0)
+        assert (p.x, p.y) == (pytest.approx(4.0), pytest.approx(2.0))

@@ -1,0 +1,202 @@
+"""Propagation physics: path loss, shadowing, device transceiver model."""
+
+import numpy as np
+import pytest
+
+from repro.radio import (
+    AccessPoint,
+    DeviceProfile,
+    LogDistanceModel,
+    NOT_VISIBLE_DBM,
+    Point,
+    ShadowingField,
+    Wall,
+)
+from repro.radio.materials import MATERIALS, get_material
+
+
+class TestMaterials:
+    def test_known_materials_present(self):
+        for name in ("wood", "metal", "concrete", "drywall", "glass", "brick"):
+            assert name in MATERIALS
+
+    def test_metal_attenuates_most(self):
+        losses = {name: m.loss_db for name, m in MATERIALS.items()}
+        assert losses["metal"] == max(losses.values())
+
+    def test_unknown_material_error_lists_known(self):
+        with pytest.raises(KeyError, match="concrete"):
+            get_material("adamantium")
+
+
+class TestLogDistanceModel:
+    def test_reference_loss_at_d0(self):
+        model = LogDistanceModel(exponent=3.0, reference_loss_db=40.0)
+        assert model.path_loss_db(1.0) == pytest.approx(40.0)
+
+    def test_loss_monotonic_in_distance(self):
+        model = LogDistanceModel(exponent=3.0)
+        distances = np.linspace(1, 60, 30)
+        losses = [model.path_loss_db(d) for d in distances]
+        assert all(a < b for a, b in zip(losses, losses[1:]))
+
+    def test_ten_times_distance_adds_10n_db(self):
+        model = LogDistanceModel(exponent=2.8)
+        delta = model.path_loss_db(20.0) - model.path_loss_db(2.0)
+        assert delta == pytest.approx(28.0)
+
+    def test_below_reference_clamps(self):
+        model = LogDistanceModel()
+        assert model.path_loss_db(0.01) == model.path_loss_db(1.0)
+
+    def test_higher_exponent_more_loss(self):
+        low = LogDistanceModel(exponent=2.0).path_loss_db(30.0)
+        high = LogDistanceModel(exponent=4.0).path_loss_db(30.0)
+        assert high > low
+
+    def test_wall_loss_accumulates(self):
+        model = LogDistanceModel()
+        walls = [
+            Wall(Point(1, -1), Point(1, 1), "concrete"),
+            Wall(Point(2, -1), Point(2, 1), "metal"),
+        ]
+        loss = model.wall_loss_db(Point(0, 0), Point(3, 0), walls)
+        assert loss == pytest.approx(
+            MATERIALS["concrete"].loss_db + MATERIALS["metal"].loss_db
+        )
+
+    def test_received_power_composition(self):
+        model = LogDistanceModel(exponent=3.0, reference_loss_db=40.0)
+        power = model.received_power_dbm(18.0, Point(0, 0), Point(10, 0))
+        assert power == pytest.approx(18.0 - 40.0 - 30.0)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            LogDistanceModel(exponent=0.0)
+
+
+class TestShadowingField:
+    def test_deterministic_given_seed(self):
+        a = ShadowingField(sigma_db=4.0, seed=7)
+        b = ShadowingField(sigma_db=4.0, seed=7)
+        assert a(3.0, 4.0) == b(3.0, 4.0)
+
+    def test_different_seeds_differ(self):
+        a = ShadowingField(sigma_db=4.0, seed=1)
+        b = ShadowingField(sigma_db=4.0, seed=2)
+        assert a(3.0, 4.0) != b(3.0, 4.0)
+
+    def test_zero_sigma_is_zero(self):
+        field = ShadowingField(sigma_db=0.0, seed=0)
+        assert field(10.0, 10.0) == 0.0
+
+    def test_empirical_std_near_sigma(self):
+        field = ShadowingField(sigma_db=5.0, correlation_m=4.0, seed=3)
+        xs = np.linspace(0, 200, 120)
+        values = field.grid(xs, xs)
+        assert 3.0 < values.std() < 7.0
+
+    def test_spatial_correlation_nearby(self):
+        field = ShadowingField(sigma_db=5.0, correlation_m=8.0, seed=4)
+        a = field(10.0, 10.0)
+        b = field(10.2, 10.0)
+        assert abs(a - b) < 1.0
+
+    def test_grid_matches_scalar(self):
+        field = ShadowingField(sigma_db=3.0, seed=5)
+        grid = field.grid(np.array([1.0, 2.0]), np.array([3.0]))
+        assert grid[0, 0] == pytest.approx(field(1.0, 3.0))
+        assert grid[0, 1] == pytest.approx(field(2.0, 3.0))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ShadowingField(sigma_db=-1.0)
+        with pytest.raises(ValueError):
+            ShadowingField(sigma_db=1.0, correlation_m=0.0)
+
+
+class TestDeviceProfile:
+    def _device(self, **kwargs):
+        defaults = dict(
+            name="TEST",
+            gain_offset_db=2.0,
+            response_slope=0.95,
+            per_ap_skew_db=1.0,
+            noise_sigma_db=0.5,
+            sensitivity_floor_dbm=-90.0,
+        )
+        defaults.update(kwargs)
+        return DeviceProfile(**defaults)
+
+    def test_measure_shape(self):
+        device = self._device()
+        out = device.measure(
+            np.array([-50.0, -60.0]), ["a", "b"], np.random.default_rng(0), n_samples=7
+        )
+        assert out.shape == (7, 2)
+
+    def test_offset_shifts_mean(self):
+        quiet = self._device(noise_sigma_db=0.0, per_ap_skew_db=0.0, response_slope=1.0)
+        out = quiet.measure(np.array([-50.0]), ["a"], np.random.default_rng(0))
+        assert out[0, 0] == pytest.approx(-48.0)
+
+    def test_slope_compresses_range(self):
+        device = self._device(
+            noise_sigma_db=0.0, per_ap_skew_db=0.0, gain_offset_db=0.0, response_slope=0.5
+        )
+        out = device.measure(np.array([-40.0, -80.0]), ["a", "b"], np.random.default_rng(0))
+        assert out[0, 0] - out[0, 1] == pytest.approx(20.0)
+
+    def test_sensitivity_floor_hides_weak_aps(self):
+        device = self._device(sensitivity_floor_dbm=-70.0, noise_sigma_db=0.0, per_ap_skew_db=0.0)
+        out = device.measure(np.array([-90.0]), ["a"], np.random.default_rng(0))
+        assert out[0, 0] == NOT_VISIBLE_DBM
+
+    def test_invisible_sources_stay_invisible(self):
+        device = self._device(gain_offset_db=50.0)
+        out = device.measure(np.array([NOT_VISIBLE_DBM]), ["a"], np.random.default_rng(0))
+        assert out[0, 0] == NOT_VISIBLE_DBM
+
+    def test_ap_skew_deterministic_per_pair(self):
+        device = self._device()
+        assert device.ap_skew("aa:bb") == device.ap_skew("aa:bb")
+        assert device.ap_skew("aa:bb") != device.ap_skew("cc:dd")
+
+    def test_different_devices_different_skews(self):
+        a = self._device(name="A")
+        b = self._device(name="B")
+        assert a.ap_skew("aa:bb") != b.ap_skew("aa:bb")
+
+    def test_measured_range_clipped(self):
+        device = self._device(gain_offset_db=100.0)
+        out = device.measure(np.array([-10.0]), ["a"], np.random.default_rng(0))
+        assert out[0, 0] <= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._device(response_slope=0.0)
+        with pytest.raises(ValueError):
+            self._device(noise_sigma_db=-1.0)
+        with pytest.raises(ValueError):
+            self._device(sensitivity_floor_dbm=-150.0)
+
+    def test_misaligned_macs_raise(self):
+        device = self._device()
+        with pytest.raises(ValueError):
+            device.measure(np.array([-50.0, -60.0]), ["a"], np.random.default_rng(0))
+
+
+class TestAccessPoint:
+    def test_auto_mac_deterministic(self):
+        a = AccessPoint(index=3, position=Point(0, 0))
+        b = AccessPoint(index=3, position=Point(5, 5))
+        assert a.mac == b.mac
+        assert len(a.mac.split(":")) == 6
+
+    def test_distinct_macs_per_index(self):
+        macs = {AccessPoint(index=i, position=Point(0, 0)).mac for i in range(50)}
+        assert len(macs) == 50
+
+    def test_invalid_channel(self):
+        with pytest.raises(ValueError):
+            AccessPoint(index=0, position=Point(0, 0), channel=0)

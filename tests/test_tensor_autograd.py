@@ -1,0 +1,205 @@
+"""Gradient correctness: every primitive checked against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, cat, gradcheck, is_grad_enabled, no_grad, stack, where
+
+
+def _t(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.standard_normal(shape) * scale, requires_grad=True)
+
+
+def _positive(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.random(shape) + 0.5, requires_grad=True)
+
+
+class TestGradcheckPrimitives:
+    def test_add(self):
+        assert gradcheck(lambda a, b: a + b, [_t((3, 4)), _t((3, 4), seed=1)])
+
+    def test_add_broadcast(self):
+        assert gradcheck(lambda a, b: a + b, [_t((3, 4)), _t((4,), seed=1)])
+
+    def test_mul(self):
+        assert gradcheck(lambda a, b: a * b, [_t((2, 3)), _t((2, 3), seed=1)])
+
+    def test_mul_broadcast_leading(self):
+        assert gradcheck(lambda a, b: a * b, [_t((2, 3, 4)), _t((3, 4), seed=1)])
+
+    def test_div(self):
+        assert gradcheck(lambda a, b: a / b, [_t((3,)), _positive((3,), seed=1)])
+
+    def test_pow(self):
+        assert gradcheck(lambda a: a**3, [_t((4,))])
+
+    def test_matmul_2d(self):
+        assert gradcheck(lambda a, b: a @ b, [_t((3, 4)), _t((4, 2), seed=1)])
+
+    def test_matmul_batched(self):
+        assert gradcheck(lambda a, b: a @ b, [_t((2, 3, 4)), _t((2, 4, 2), seed=1)])
+
+    def test_matmul_broadcast_batch(self):
+        assert gradcheck(lambda a, b: a @ b, [_t((2, 2, 3, 4)), _t((4, 2), seed=1)])
+
+    def test_matmul_vector_rhs(self):
+        assert gradcheck(lambda a, b: a @ b, [_t((3, 4)), _t((4,), seed=1)])
+
+    def test_exp(self):
+        assert gradcheck(lambda a: a.exp(), [_t((3, 3))])
+
+    def test_log(self):
+        assert gradcheck(lambda a: a.log(), [_positive((4,))])
+
+    def test_sqrt(self):
+        assert gradcheck(lambda a: a.sqrt(), [_positive((4,))])
+
+    def test_tanh(self):
+        assert gradcheck(lambda a: a.tanh(), [_t((5,))])
+
+    def test_sigmoid(self):
+        assert gradcheck(lambda a: a.sigmoid(), [_t((5,))])
+
+    def test_gelu(self):
+        assert gradcheck(lambda a: a.gelu(), [_t((6,))])
+
+    def test_erf(self):
+        assert gradcheck(lambda a: a.erf(), [_t((6,))])
+
+    def test_relu_away_from_kink(self):
+        x = Tensor(np.array([-2.0, -0.7, 0.9, 2.3]), requires_grad=True)
+        assert gradcheck(lambda a: a.relu(), [x])
+
+    def test_abs_away_from_kink(self):
+        x = Tensor(np.array([-2.0, -0.7, 0.9, 2.3]), requires_grad=True)
+        assert gradcheck(lambda a: a.abs(), [x])
+
+    def test_clip_interior(self):
+        x = Tensor(np.array([0.2, 0.5, 0.7]), requires_grad=True)
+        assert gradcheck(lambda a: a.clip(0.0, 1.0), [x])
+
+    def test_sum_axis(self):
+        assert gradcheck(lambda a: a.sum(axis=1), [_t((3, 4))])
+
+    def test_sum_keepdims(self):
+        assert gradcheck(lambda a: a.sum(axis=0, keepdims=True), [_t((3, 4))])
+
+    def test_mean(self):
+        assert gradcheck(lambda a: a.mean(axis=-1), [_t((2, 5))])
+
+    def test_var(self):
+        assert gradcheck(lambda a: a.var(axis=-1), [_t((2, 5))])
+
+    def test_max_unique(self):
+        x = Tensor(np.array([[1.0, 5.0, 2.0], [9.0, 0.0, 3.0]]), requires_grad=True)
+        assert gradcheck(lambda a: a.max(axis=1), [x])
+
+    def test_softmax(self):
+        assert gradcheck(lambda a: a.softmax(axis=-1), [_t((3, 5))])
+
+    def test_log_softmax(self):
+        assert gradcheck(lambda a: a.log_softmax(axis=-1), [_t((3, 5))])
+
+    def test_logsumexp(self):
+        assert gradcheck(lambda a: a.logsumexp(axis=-1), [_t((3, 5))])
+
+    def test_reshape(self):
+        assert gradcheck(lambda a: a.reshape(6), [_t((2, 3))])
+
+    def test_transpose(self):
+        assert gradcheck(lambda a: a.transpose((1, 0, 2)), [_t((2, 3, 4))])
+
+    def test_getitem(self):
+        assert gradcheck(lambda a: a[1:3], [_t((5,))])
+
+    def test_pad(self):
+        assert gradcheck(lambda a: a.pad(((1, 2), (0, 1))), [_t((2, 3))])
+
+    def test_cat(self):
+        assert gradcheck(lambda a, b: cat([a, b], axis=1), [_t((2, 3)), _t((2, 2), seed=1)])
+
+    def test_stack(self):
+        assert gradcheck(lambda a, b: stack([a, b], axis=0), [_t((3,)), _t((3,), seed=1)])
+
+    def test_where(self):
+        cond = np.array([True, False, True])
+        assert gradcheck(
+            lambda a, b: where(cond, a, b), [_t((3,)), _t((3,), seed=1)]
+        )
+
+    def test_composite_expression(self):
+        def fn(a, b):
+            return ((a @ b).gelu() + a.sum(axis=1, keepdims=True)).softmax(axis=-1)
+
+        assert gradcheck(fn, [_t((3, 3)), _t((3, 3), seed=1)])
+
+
+class TestBackwardMechanics:
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        assert x.grad.tolist() == [7.0]
+
+    def test_backward_requires_scalar_without_grad_arg(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_with_explicit_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 2).backward(np.array([1.0, 10.0]))
+        assert x.grad.tolist() == [2.0, 20.0]
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_gradient(self):
+        # f = (x+x) * (x*x); df/dx = 2*x^2*... check numerically
+        x = Tensor(np.array([1.5]), requires_grad=True)
+        y = (x + x) * (x * x)
+        y.backward()
+        # f = 2x^3 -> f' = 6x^2
+        assert x.grad[0] == pytest.approx(6 * 1.5**2)
+
+    def test_no_grad_blocks_tape(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_state_on_exception(self):
+        try:
+            with no_grad():
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert is_grad_enabled()
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.backward()
+        assert x.grad.tolist() == [1.0]
+
+    def test_grad_dtype_matches_data(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        (x * 2).sum().backward()
+        assert x.grad.dtype == np.float32
+
+    def test_gradcheck_rejects_float32(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        with pytest.raises(ValueError):
+            gradcheck(lambda a: a * 2, [x])

@@ -1,0 +1,129 @@
+"""Edge cases of the tensor engine beyond the main op suites."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, cat, no_grad, where
+
+
+class TestBroadcastGradients:
+    def test_scalar_plus_matrix_grad_sums(self):
+        scalar = Tensor(np.array(2.0), requires_grad=True)
+        matrix = Tensor(np.ones((3, 4)), requires_grad=True)
+        (scalar + matrix).sum().backward()
+        assert scalar.grad == pytest.approx(12.0)
+        np.testing.assert_array_equal(matrix.grad, np.ones((3, 4)))
+
+    def test_row_vector_broadcast_grad(self):
+        row = Tensor(np.ones((1, 4)), requires_grad=True)
+        matrix = Tensor(np.ones((3, 4)), requires_grad=True)
+        (row * matrix).sum().backward()
+        np.testing.assert_array_equal(row.grad, np.full((1, 4), 3.0))
+
+    def test_column_vector_broadcast_grad(self):
+        col = Tensor(np.ones((3, 1)), requires_grad=True)
+        matrix = Tensor(np.ones((3, 4)), requires_grad=True)
+        (col * matrix).sum().backward()
+        np.testing.assert_array_equal(col.grad, np.full((3, 1), 4.0))
+
+    def test_deep_broadcast_to_3d(self):
+        bias = Tensor(np.zeros(5), requires_grad=True)
+        batch = Tensor(np.ones((2, 3, 5)))
+        (batch + bias).sum().backward()
+        np.testing.assert_array_equal(bias.grad, np.full(5, 6.0))
+
+
+class TestExpandDims:
+    def test_positive_axis(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.expand_dims(0).shape == (1, 2, 3)
+        assert t.expand_dims(1).shape == (2, 1, 3)
+
+    def test_negative_axis(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.expand_dims(-1).shape == (2, 3, 1)
+
+    def test_gradient_flows(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        t.expand_dims(0).sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones((2, 2)))
+
+
+class TestMixedGradRequirements:
+    def test_only_grad_input_accumulates(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.full(3, 2.0), requires_grad=False)
+        (a * b).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.full(3, 2.0))
+        assert b.grad is None
+
+    def test_cat_mixed_requirements(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=False)
+        cat([a, b]).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.ones(2))
+        assert b.grad is None
+
+    def test_where_grad_masks_correctly(self):
+        a = Tensor(np.ones(4), requires_grad=True)
+        b = Tensor(np.zeros(4), requires_grad=True)
+        cond = np.array([True, True, False, False])
+        where(cond, a, b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1, 1, 0, 0])
+        np.testing.assert_array_equal(b.grad, [0, 0, 1, 1])
+
+
+class TestNoGradInteractions:
+    def test_parameters_created_under_no_grad_are_frozen(self):
+        with no_grad():
+            t = Tensor(np.ones(3), requires_grad=True)
+        assert not t.requires_grad
+
+    def test_graph_across_no_grad_boundary(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = a * 2.0
+        with no_grad():
+            c = b * 10.0  # constant branch, no tape
+        d = b + 1.0
+        d.sum().backward()
+        np.testing.assert_array_equal(a.grad, np.full(3, 2.0))
+        assert not c.requires_grad
+
+
+class TestDtypePropagation:
+    def test_float32_ops_stay_float32(self):
+        a = Tensor(np.ones(3, dtype=np.float32))
+        assert (a * 2.0).dtype == np.float32
+        assert a.exp().dtype == np.float32
+
+    def test_astype_forward_and_backward(self):
+        a = Tensor(np.ones(3, dtype=np.float64), requires_grad=True)
+        b = a.astype(np.float32)
+        assert b.dtype == np.float32
+        b.sum().backward()
+        assert a.grad.dtype == np.float64
+
+    def test_copy_is_independent(self):
+        a = Tensor(np.ones(3))
+        b = a.copy()
+        b.data[0] = 99.0
+        assert a.data[0] == 1.0
+
+
+class TestNumericalStability:
+    def test_softmax_extreme_logits(self):
+        logits = Tensor(np.array([[1e4, -1e4, 0.0]]))
+        out = logits.softmax(axis=-1)
+        assert np.isfinite(out.data).all()
+        assert out.data[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_no_nan_on_large_negative(self):
+        out = Tensor(np.array([[-1e5, 0.0]])).log_softmax(axis=-1)
+        assert np.isfinite(out.data[0, 1])
+
+    def test_cross_entropy_gradient_bounded(self):
+        from repro import nn
+
+        logits = Tensor(np.array([[50.0, -50.0]]), requires_grad=True)
+        nn.CrossEntropyLoss()(logits, np.array([1])).backward()
+        assert np.abs(logits.grad).max() <= 1.0 + 1e-6

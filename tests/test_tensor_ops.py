@@ -1,0 +1,235 @@
+"""Forward-value and shape tests for the autograd tensor primitives."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, cat, stack, where, zeros, ones, full, arange
+
+
+class TestConstruction:
+    def test_int_input_promoted_to_float(self):
+        t = Tensor([1, 2, 3])
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_float64_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+
+    def test_repr_mentions_requires_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        assert "requires_grad=True" in repr(t)
+
+    def test_detach_breaks_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        assert not t.detach().requires_grad
+
+    def test_item_scalar(self):
+        assert Tensor([[3.5]]).item() == pytest.approx(3.5)
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+
+class TestArithmetic:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        assert out.tolist() == [4.0, 6.0]
+
+    def test_add_scalar_broadcast(self):
+        out = Tensor([1.0, 2.0]) + 10
+        assert out.tolist() == [11.0, 12.0]
+
+    def test_radd(self):
+        out = 10 + Tensor([1.0])
+        assert out.tolist() == [11.0]
+
+    def test_sub(self):
+        out = Tensor([5.0]) - Tensor([2.0])
+        assert out.tolist() == [3.0]
+
+    def test_rsub(self):
+        out = 10 - Tensor([4.0])
+        assert out.tolist() == [6.0]
+
+    def test_mul(self):
+        out = Tensor([2.0, 3.0]) * Tensor([4.0, 5.0])
+        assert out.tolist() == [8.0, 15.0]
+
+    def test_div(self):
+        out = Tensor([8.0]) / Tensor([2.0])
+        assert out.tolist() == [4.0]
+
+    def test_rdiv(self):
+        out = 8.0 / Tensor([2.0])
+        assert out.tolist() == [4.0]
+
+    def test_neg(self):
+        assert (-Tensor([1.0, -2.0])).tolist() == [-1.0, 2.0]
+
+    def test_pow(self):
+        assert (Tensor([3.0]) ** 2).tolist() == [9.0]
+
+    def test_pow_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor([3.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.eye(2) * 2.0)
+        b = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        out = a @ b
+        np.testing.assert_allclose(out.data, [[2.0, 4.0], [6.0, 8.0]])
+
+    def test_matmul_batched(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.standard_normal((2, 3, 4, 5)))
+        b = Tensor(rng.standard_normal((2, 3, 5, 6)))
+        out = a @ b
+        assert out.shape == (2, 3, 4, 6)
+        np.testing.assert_allclose(out.data, a.data @ b.data, rtol=1e-5)
+
+    def test_comparison_returns_bool_array(self):
+        mask = Tensor([1.0, -1.0]) > 0
+        assert mask.dtype == bool
+        assert mask.tolist() == [True, False]
+
+
+class TestElementwise:
+    def test_exp_log_roundtrip(self):
+        x = Tensor([0.5, 1.0, 2.0])
+        np.testing.assert_allclose(x.exp().log().data, x.data, rtol=1e-6)
+
+    def test_sqrt(self):
+        np.testing.assert_allclose(Tensor([4.0, 9.0]).sqrt().data, [2.0, 3.0])
+
+    def test_tanh_range(self):
+        out = Tensor(np.linspace(-5, 5, 11)).tanh()
+        assert (np.abs(out.data) <= 1.0).all()
+
+    def test_sigmoid_midpoint(self):
+        assert Tensor([0.0]).sigmoid().item() == pytest.approx(0.5)
+
+    def test_relu(self):
+        out = Tensor([-1.0, 0.0, 2.0]).relu()
+        assert out.tolist() == [0.0, 0.0, 2.0]
+
+    def test_gelu_matches_definition(self):
+        from scipy.special import erf
+
+        x = np.linspace(-3, 3, 13)
+        expected = x * 0.5 * (1 + erf(x / np.sqrt(2)))
+        np.testing.assert_allclose(Tensor(x).gelu().data, expected, rtol=1e-6)
+
+    def test_abs(self):
+        assert Tensor([-2.0, 3.0]).abs().tolist() == [2.0, 3.0]
+
+    def test_clip(self):
+        out = Tensor([-5.0, 0.5, 5.0]).clip(0.0, 1.0)
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+
+class TestReductions:
+    def test_sum_all(self):
+        assert Tensor([[1.0, 2.0], [3.0, 4.0]]).sum().item() == 10.0
+
+    def test_sum_axis_keepdims(self):
+        out = Tensor(np.ones((2, 3))).sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+
+    def test_mean(self):
+        assert Tensor([2.0, 4.0]).mean().item() == 3.0
+
+    def test_mean_axis_tuple(self):
+        out = Tensor(np.ones((2, 3, 4))).mean(axis=(0, 2))
+        assert out.shape == (3,)
+        np.testing.assert_allclose(out.data, 1.0)
+
+    def test_var_matches_numpy(self):
+        x = np.random.default_rng(1).standard_normal((4, 5))
+        np.testing.assert_allclose(Tensor(x).var().item(), x.var(), rtol=1e-6)
+
+    def test_max_axis(self):
+        out = Tensor([[1.0, 5.0], [7.0, 2.0]]).max(axis=1)
+        assert out.tolist() == [5.0, 7.0]
+
+    def test_min(self):
+        assert Tensor([3.0, -1.0, 2.0]).min().item() == -1.0
+
+    def test_logsumexp_stable_large_values(self):
+        x = Tensor(np.array([1000.0, 1000.0]))
+        expected = 1000.0 + np.log(2.0)
+        assert x.logsumexp(axis=0).item() == pytest.approx(expected)
+
+    def test_softmax_rows_sum_to_one(self):
+        out = Tensor(np.random.default_rng(2).standard_normal((4, 7))).softmax(axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, rtol=1e-6)
+
+    def test_log_softmax_consistency(self):
+        x = Tensor(np.random.default_rng(3).standard_normal((3, 5)))
+        np.testing.assert_allclose(
+            x.log_softmax(axis=-1).data, np.log(x.softmax(axis=-1).data), rtol=1e-5
+        )
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        out = Tensor(np.arange(6.0)).reshape(2, 3)
+        assert out.shape == (2, 3)
+
+    def test_reshape_tuple_argument(self):
+        out = Tensor(np.arange(6.0)).reshape((3, 2))
+        assert out.shape == (3, 2)
+
+    def test_flatten(self):
+        assert Tensor(np.zeros((2, 3))).flatten().shape == (6,)
+
+    def test_transpose_default(self):
+        assert Tensor(np.zeros((2, 3, 4))).T.shape == (4, 3, 2)
+
+    def test_transpose_axes(self):
+        out = Tensor(np.zeros((2, 3, 4))).transpose((0, 2, 1))
+        assert out.shape == (2, 4, 3)
+
+    def test_swapaxes(self):
+        assert Tensor(np.zeros((2, 3))).swapaxes(0, 1).shape == (3, 2)
+
+    def test_squeeze(self):
+        assert Tensor(np.zeros((1, 3, 1))).squeeze().shape == (3,)
+
+    def test_getitem_slice(self):
+        out = Tensor(np.arange(10.0))[2:5]
+        assert out.tolist() == [2.0, 3.0, 4.0]
+
+    def test_getitem_fancy(self):
+        out = Tensor(np.arange(12.0).reshape(3, 4))[np.arange(3), np.array([0, 1, 2])]
+        assert out.tolist() == [0.0, 5.0, 10.0]
+
+    def test_pad(self):
+        out = Tensor(np.ones((2, 2))).pad(((1, 1), (0, 0)))
+        assert out.shape == (4, 2)
+        assert out.data[0].tolist() == [0.0, 0.0]
+
+
+class TestFreeFunctions:
+    def test_cat(self):
+        out = cat([Tensor([1.0]), Tensor([2.0, 3.0])], axis=0)
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_stack(self):
+        out = stack([Tensor([1.0, 2.0]), Tensor([3.0, 4.0])], axis=0)
+        assert out.shape == (2, 2)
+
+    def test_where(self):
+        out = where(np.array([True, False]), Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_factories(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert ones(2).tolist() == [1.0, 1.0]
+        assert full((2,), 7.0).tolist() == [7.0, 7.0]
+        assert arange(3).tolist() == [0.0, 1.0, 2.0]

@@ -1,0 +1,75 @@
+"""Attention-based interpretability: which APs does VITAL look at?
+
+The replicated RSSI image has AP features along columns, so a patch
+column maps back to a contiguous AP range; aggregating the encoder's
+attention over patch columns yields a per-AP-band saliency. These tests
+exercise that mapping end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BASE_DEVICES,
+    SurveyConfig,
+    collect_fingerprints,
+    make_building_1,
+    train_test_split,
+)
+from repro.vit import VitalConfig, VitalLocalizer
+from repro.vit.patching import patch_grid_side
+
+
+def column_attention(localizer: VitalLocalizer, features: np.ndarray) -> np.ndarray:
+    """Mean attention received per patch column, shape (grid_side,).
+
+    Averages the first encoder block's attention weights over batch,
+    heads and query positions, then folds the patch grid to columns.
+    """
+    localizer.predict(features)
+    weights = localizer.model.attention_maps()[0]  # (B, h, N, N)
+    received = weights.mean(axis=(0, 1, 2))  # (N,) attention received per key patch
+    side = patch_grid_side(localizer.model.image_size, localizer.model.patch_size)
+    return received.reshape(side, side).mean(axis=0)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    building = make_building_1(n_aps=12)
+    data = collect_fingerprints(building, BASE_DEVICES[:3], SurveyConfig(n_visits=1, seed=0))
+    train, test = train_test_split(data, 0.2, seed=0)
+    localizer = VitalLocalizer(VitalConfig.fast(12, epochs=25), seed=0).fit(train)
+    return localizer, test
+
+
+class TestColumnAttention:
+    def test_column_profile_shape(self, setup):
+        localizer, test = setup
+        profile = column_attention(localizer, test.features[:8])
+        side = patch_grid_side(localizer.model.image_size, localizer.model.patch_size)
+        assert profile.shape == (side,)
+
+    def test_attention_is_distribution_over_patches(self, setup):
+        localizer, test = setup
+        localizer.predict(test.features[:4])
+        weights = localizer.model.attention_maps()[0]
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, rtol=1e-4)
+
+    def test_column_profile_sums_to_expected_mass(self, setup):
+        localizer, test = setup
+        profile = column_attention(localizer, test.features[:8])
+        side = profile.shape[0]
+        # Total received attention across all patches is 1; columns carry
+        # it in side-sized groups.
+        assert profile.sum() * side == pytest.approx(1.0, rel=1e-3)
+
+    def test_trained_attention_not_uniform(self, setup):
+        """After training, attention should have learned structure: the
+        received-attention distribution over patches deviates from
+        uniform."""
+        localizer, test = setup
+        localizer.predict(test.features[:16])
+        weights = localizer.model.attention_maps()[0]
+        received = weights.mean(axis=(0, 1, 2))
+        uniform = 1.0 / received.shape[0]
+        assert np.abs(received - uniform).max() > 0.1 * uniform

@@ -1,0 +1,105 @@
+"""Additional VitalLocalizer behaviours: attention, proba, config edges."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BASE_DEVICES,
+    SurveyConfig,
+    collect_fingerprints,
+    make_building_1,
+    train_test_split,
+)
+from repro.nn import TrainConfig
+from repro.vit import VitalConfig, VitalLocalizer
+
+
+@pytest.fixture(scope="module")
+def split():
+    building = make_building_1(n_aps=8)
+    data = collect_fingerprints(building, BASE_DEVICES[:2], SurveyConfig(n_visits=1, seed=0))
+    return train_test_split(data, 0.2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def vital(split):
+    train, _test = split
+    return VitalLocalizer(VitalConfig.fast(8, epochs=20), seed=0).fit(train)
+
+
+class TestAttentionIntrospection:
+    def test_attention_available_after_predict(self, vital, split):
+        _train, test = split
+        vital.predict(test.features[:2])
+        maps = vital.model.attention_maps()
+        assert maps[0] is not None
+        batch, heads, seq, seq2 = maps[0].shape
+        assert heads == vital.config.num_heads
+        assert seq == seq2 == vital.model.num_patches
+
+    def test_attention_rows_are_distributions(self, vital, split):
+        _train, test = split
+        vital.predict(test.features[:1])
+        weights = vital.model.attention_maps()[0]
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, rtol=1e-4)
+
+
+class TestPredictProba:
+    def test_proba_argmax_matches_predict(self, vital, split):
+        _train, test = split
+        proba = vital.predict_proba(test.features[:10])
+        predictions = vital.predict(test.features[:10])
+        np.testing.assert_array_equal(proba.argmax(axis=1), predictions)
+
+    def test_proba_shape(self, vital, split):
+        train, test = split
+        proba = vital.predict_proba(test.features[:3])
+        assert proba.shape == (3, train.n_rps)
+
+
+class TestImageResizePath:
+    def test_upscaled_image_config_trains(self, split):
+        """image_size larger than the AP count exercises bilinear resize."""
+        train, test = split
+        config = VitalConfig(
+            image_size=16,
+            patch_size=4,
+            train=TrainConfig(epochs=5, batch_size=32, lr=1e-3),
+        )
+        config = config.with_updates(dam=config.dam.with_image_size(16))
+        localizer = VitalLocalizer(config, seed=0).fit(train)
+        assert localizer.model.image_size == 16
+        errors = localizer.errors_m(test)
+        assert np.isfinite(errors).all()
+
+    def test_downscaled_image_config_trains(self, split):
+        train, test = split
+        config = VitalConfig(
+            image_size=6,
+            patch_size=2,
+            train=TrainConfig(epochs=5, batch_size=32, lr=1e-3),
+        )
+        config = config.with_updates(dam=config.dam.with_image_size(6))
+        localizer = VitalLocalizer(config, seed=0).fit(train)
+        errors = localizer.errors_m(test)
+        assert np.isfinite(errors).all()
+
+
+class TestEncoderStacking:
+    def test_two_encoder_blocks_rejected_on_indivisible_width(self, split):
+        """With mlp (128, 64) the concatenated width 124 is not divisible
+        by 5 heads, so L=2 must fail loudly, not silently."""
+        train, _test = split
+        config = VitalConfig.fast(8, epochs=1).with_updates(encoder_blocks=2)
+        with pytest.raises(ValueError, match="divisible"):
+            VitalLocalizer(config, seed=0).fit(train)
+
+    def test_two_encoder_blocks_work_with_divisible_width(self, split):
+        """mlp ending at 40 keeps width 60+40=100 divisible by 5."""
+        train, test = split
+        config = VitalConfig.fast(8, epochs=3).with_updates(
+            encoder_blocks=2, encoder_mlp_units=(64, 40)
+        )
+        localizer = VitalLocalizer(config, seed=0).fit(train)
+        assert len(list(localizer.model.encoder)) == 2
+        assert np.isfinite(localizer.errors_m(test)).all()

@@ -1,0 +1,105 @@
+"""ASCII visualization: structure and content of rendered charts."""
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    ascii_bar,
+    ascii_heatmap,
+    ascii_series,
+    ascii_slope,
+    ascii_table,
+    ascii_whisker,
+)
+
+
+class TestTable:
+    def test_contains_headers_and_values(self):
+        out = ascii_table([["VITAL", 1.18], ["ANVIL", 1.9]], ["framework", "mean"], title="T")
+        assert "T" in out
+        assert "framework" in out
+        assert "VITAL" in out
+        assert "1.18" in out
+
+    def test_column_alignment(self):
+        out = ascii_table([["a", 1.0]], ["col", "value"])
+        lines = out.splitlines()
+        assert len(lines[0]) == len(lines[1])  # header and separator align
+
+
+class TestHeatmap:
+    def test_dimensions(self):
+        matrix = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = ascii_heatmap(matrix, ["r1", "r2"], ["c1", "c2"], title="H")
+        lines = out.splitlines()
+        assert lines[0] == "H"
+        assert len(lines) == 1 + 1 + 2 + 1  # title, header, rows, legend
+
+    def test_handles_nan(self):
+        matrix = np.array([[1.0, np.nan]])
+        out = ascii_heatmap(matrix, ["r"], ["a", "b"])
+        assert "-" in out
+
+    def test_shading_range_in_legend(self):
+        out = ascii_heatmap(np.array([[1.0, 5.0]]), ["r"], ["a", "b"])
+        assert "1.00" in out and "5.00" in out
+
+
+class TestWhisker:
+    def test_contains_stats(self):
+        out = ascii_whisker([("VITAL", 0.2, 1.05, 4.4)], title="W")
+        assert "min=0.20" in out
+        assert "mean=1.05" in out
+        assert "max=4.40" in out
+
+    def test_marker_characters_present(self):
+        out = ascii_whisker([("X", 1.0, 2.0, 3.0)])
+        assert "●" in out and "├" in out and "┤" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_whisker([])
+
+
+class TestSlope:
+    def test_improvement_arrow_down(self):
+        out = ascii_slope([("VITAL", 1.5, 1.0)])
+        assert "↘" in out
+        assert "-0.50" in out
+
+    def test_regression_arrow_up(self):
+        out = ascii_slope([("WiDeep", 3.0, 4.0)])
+        assert "↗" in out
+
+    def test_labels_present(self):
+        out = ascii_slope([("A", 1.0, 1.0)], left_label="before", right_label="after")
+        assert "before" in out and "after" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_slope([])
+
+
+class TestBarAndSeries:
+    def test_bar_lengths_monotone(self):
+        out = ascii_bar([("a", 1.0), ("b", 2.0)])
+        line_a, line_b = out.splitlines()
+        assert line_b.count("█") > line_a.count("█")
+
+    def test_bar_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar([])
+
+    def test_series_includes_legend(self):
+        out = ascii_series({"HTC": np.array([-50.0, -60.0]), "S7": np.array([-55.0, -58.0])})
+        assert "o=HTC" in out
+        assert "x=S7" in out
+
+    def test_series_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series({})
+
+    def test_series_height_respected(self):
+        out = ascii_series({"a": np.array([0.0, 1.0])}, height=5)
+        grid_lines = [line for line in out.splitlines() if line.startswith("         |")]
+        assert len(grid_lines) == 5
