@@ -1,0 +1,53 @@
+"""Inference throughput baseline: fused engine vs. the autograd tape.
+
+Records single-sample latency (p50/p99), batch throughput and the
+fused-vs-tape speedup for the Fig.-7 (fast-scale) VITAL configuration to
+``BENCH_inference.json`` — the perf trajectory every future PR regresses
+against.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_inference_throughput.py [--quick]
+
+or as part of the benchmark suite (``pytest benchmarks/``); a ``--quick``
+style smoke mode keeps the CI cost at a few seconds.
+"""
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+from repro.infer import format_summary, run_inference_benchmark, write_benchmark
+
+
+def run(quick: bool = False, out: str | None = None) -> dict:
+    result = run_inference_benchmark(quick=quick)
+    print()
+    print(format_summary(result))
+    destination = out or os.path.join(REPO_ROOT, "BENCH_inference.json")
+    print(f"wrote {write_benchmark(result, destination)}")
+    return result
+
+
+def test_inference_throughput_baseline():
+    """Acceptance gate: fused logits match the tape forward within 1e-5
+    and single-sample latency improves by at least 3x."""
+    quick = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+    result = run(quick=quick)
+    assert result["equivalence"]["max_abs_diff"] < 1e-5
+    assert result["equivalence"]["argmax_match"]
+    assert result["single_sample"]["speedup_fused_vs_tape"] >= 3.0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: shrink iteration counts to run in seconds")
+    parser.add_argument("--out", default=None,
+                        help="result path (default: <repo>/BENCH_inference.json)")
+    args = parser.parse_args()
+    result = run(quick=args.quick, out=args.out)
+    ok = (result["equivalence"]["max_abs_diff"] < 1e-5
+          and result["equivalence"]["argmax_match"]
+          and result["single_sample"]["speedup_fused_vs_tape"] >= 3.0)
+    sys.exit(0 if ok else 1)

@@ -2,11 +2,12 @@
 
 Commands
 --------
-``survey``    simulate an offline fingerprint survey and save it
-``train``     train VITAL on a saved survey and save the weights
-``evaluate``  localization-error report of saved weights on a survey
-``compare``   run the framework comparison on one benchmark building
-``buildings`` list the benchmark buildings and device tables
+``survey``      simulate an offline fingerprint survey and save it
+``train``       train VITAL on a saved survey and save the weights
+``evaluate``    localization-error report of saved weights on a survey
+``compare``     run the framework comparison on one benchmark building
+``buildings``   list the benchmark buildings and device tables
+``infer-bench`` fused-inference throughput benchmark → BENCH_inference.json
 
 Every command is deterministic given ``--seed``.
 """
@@ -59,6 +60,23 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--save", help="write the result JSON here")
 
     sub.add_parser("buildings", help="list benchmark buildings and devices")
+
+    bench = sub.add_parser(
+        "infer-bench",
+        help="benchmark the fused inference engine vs the autograd tape",
+    )
+    bench.add_argument("--image-size", type=int, default=24)
+    bench.add_argument("--num-classes", type=int, default=32)
+    bench.add_argument("--max-batch", type=int, default=32)
+    bench.add_argument("--iters", type=int, default=100,
+                       help="single-sample timing iterations")
+    bench.add_argument("--samples", type=int, default=256,
+                       help="batch-throughput workload size")
+    bench.add_argument("--quick", action="store_true",
+                       help="smoke mode: shrink iteration counts to run in seconds")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--out", default="BENCH_inference.json",
+                       help="result JSON path (default: BENCH_inference.json)")
     return parser
 
 
@@ -159,6 +177,23 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_infer_bench(args) -> int:
+    from repro.infer import format_summary, run_inference_benchmark, write_benchmark
+
+    result = run_inference_benchmark(
+        image_size=args.image_size,
+        num_classes=args.num_classes,
+        max_batch=args.max_batch,
+        single_iters=args.iters,
+        batch_samples=args.samples,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    print(format_summary(result))
+    print(f"wrote {write_benchmark(result, args.out)}")
+    return 0
+
+
 def _cmd_buildings(_args) -> int:
     from repro.data import ALL_DEVICES
     from repro.data.buildings import benchmark_buildings
@@ -181,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "compare": _cmd_compare,
         "buildings": _cmd_buildings,
+        "infer-bench": _cmd_infer_bench,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,33 @@
+"""Tape-free fused inference engine for the VITAL reproduction.
+
+Training runs on the :mod:`repro.tensor` autograd tape; serving must not.
+This package compiles trained models into pure-NumPy programs over flat
+contiguous float32 weights:
+
+* :class:`InferenceSession` — the dedicated ViT engine: packed Q/K/V
+  matmul, LayerNorm affine folding, cached patch gather grid, preallocated
+  scratch buffers, micro-batched ``predict_many``.
+* :func:`compile_module` / :func:`compile_chain` — a generic compiler for
+  sequential dense stacks (the neural baselines).
+* :func:`run_inference_benchmark` — the latency/throughput benchmark
+  recorded in ``BENCH_inference.json`` (CLI: ``repro infer-bench``).
+"""
+
+from repro.infer.benchmark import (
+    format_summary,
+    run_inference_benchmark,
+    write_benchmark,
+)
+from repro.infer.compile import CompiledModule, UnsupportedModuleError, compile_chain, compile_module
+from repro.infer.session import InferenceSession
+
+__all__ = [
+    "InferenceSession",
+    "CompiledModule",
+    "UnsupportedModuleError",
+    "compile_chain",
+    "compile_module",
+    "run_inference_benchmark",
+    "write_benchmark",
+    "format_summary",
+]

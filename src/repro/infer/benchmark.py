@@ -1,0 +1,207 @@
+"""Inference throughput benchmark: fused engine vs. the autograd tape.
+
+Measures three serving lanes on the same model and inputs:
+
+* ``tape``    — ``model(Tensor(x))`` with gradients recording, i.e. what a
+  naive deployment of the training code pays per prediction;
+* ``no_grad`` — the module forward inside ``no_grad()`` (the substrate's
+  closure-free fast path, still allocating per op);
+* ``fused``   — :class:`repro.infer.InferenceSession`.
+
+Results are written to ``BENCH_inference.json`` so every future PR has a
+recorded trajectory to regress against.  Schema (``repro.infer.bench.v1``)::
+
+    {
+      "schema": "repro.infer.bench.v1",
+      "config": {model geometry, iteration counts, seed},
+      "single_sample": {
+        "tape"|"no_grad"|"fused": {"p50_ms", "p99_ms", "mean_ms"},
+        "speedup_fused_vs_tape": float,   # acceptance floor: >= 3.0
+        "speedup_fused_vs_no_grad": float
+      },
+      "batch": {"batch_size", per-lane samples_per_s, "speedup_fused_vs_tape"},
+      "equivalence": {"max_abs_diff", "argmax_match"}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.infer.session import InferenceSession
+from repro.tensor import Tensor, no_grad
+from repro.vit.config import VitalConfig
+from repro.vit.model import VitalModel
+
+DEFAULT_OUTPUT = "BENCH_inference.json"
+
+
+def _percentiles(samples_ms: list[float]) -> dict[str, float]:
+    arr = np.asarray(samples_ms)
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p99_ms": float(np.percentile(arr, 99)),
+        "mean_ms": float(arr.mean()),
+    }
+
+
+def _time_repeated(fn, iterations: int, warmup: int = 3) -> list[float]:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(iterations):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1e3)
+    return samples
+
+
+def run_inference_benchmark(
+    image_size: int = 24,
+    num_classes: int = 32,
+    max_batch: int = 32,
+    single_iters: int = 100,
+    batch_samples: int = 256,
+    seed: int = 0,
+    quick: bool = False,
+    config: VitalConfig | None = None,
+) -> dict:
+    """Benchmark the three serving lanes; returns the result record.
+
+    ``quick=True`` shrinks iteration counts so the benchmark runs in
+    seconds (CI smoke mode) while keeping the full measurement shape.
+    """
+    if quick:
+        single_iters = min(single_iters, 10)
+        batch_samples = min(batch_samples, 2 * max_batch)
+
+    config = config or VitalConfig.fast(image_size)
+    rng = np.random.default_rng(seed)
+    model = VitalModel(
+        config,
+        image_size=image_size,
+        channels=3,
+        num_classes=num_classes,
+        rng=rng,
+    )
+    session = InferenceSession(model, max_batch=max_batch)
+
+    single = rng.standard_normal((1, image_size, image_size, 3)).astype(np.float32)
+    batch = rng.standard_normal((batch_samples, image_size, image_size, 3)).astype(np.float32)
+
+    # --- numerical equivalence gate before timing anything
+    model.eval()
+    with no_grad():
+        reference = model(Tensor(batch)).data
+    fused = session.predict_many(batch)
+    max_abs_diff = float(np.abs(reference - fused).max())
+    argmax_match = bool((reference.argmax(axis=1) == fused.argmax(axis=1)).all())
+
+    # --- single-sample latency.  The tape lane is an eval-mode forward with
+    # gradients recording — closures, parent references and all — i.e. what
+    # serving costs when the training code path is reused verbatim.
+    model.eval()
+
+    def tape_one():
+        model(Tensor(single))
+
+    def no_grad_one():
+        with no_grad():
+            model(Tensor(single))
+
+    def fused_one():
+        session.predict(single)
+
+    lanes = {
+        "tape": _time_repeated(tape_one, single_iters),
+        "no_grad": _time_repeated(no_grad_one, single_iters),
+        "fused": _time_repeated(fused_one, single_iters),
+    }
+    single_sample = {name: _percentiles(samples) for name, samples in lanes.items()}
+    single_sample["speedup_fused_vs_tape"] = (
+        single_sample["tape"]["p50_ms"] / single_sample["fused"]["p50_ms"]
+    )
+    single_sample["speedup_fused_vs_no_grad"] = (
+        single_sample["no_grad"]["p50_ms"] / single_sample["fused"]["p50_ms"]
+    )
+
+    # --- batch throughput
+    batch_iters = 3 if quick else 10
+
+    def tape_batch():
+        for begin in range(0, len(batch), max_batch):
+            model(Tensor(batch[begin : begin + max_batch]))
+
+    def fused_batch():
+        session.predict_many(batch)
+
+    tape_s = np.median(_time_repeated(tape_batch, batch_iters, warmup=1)) / 1e3
+    fused_s = np.median(_time_repeated(fused_batch, batch_iters, warmup=1)) / 1e3
+
+    result = {
+        "schema": "repro.infer.bench.v1",
+        "config": {
+            "image_size": image_size,
+            "patch_size": model.patch_size,
+            "num_patches": model.num_patches,
+            "projection_dim": config.projection_dim,
+            "num_heads": config.num_heads,
+            "encoder_blocks": config.encoder_blocks,
+            "num_classes": num_classes,
+            "parameters": model.num_parameters(),
+            "max_batch": max_batch,
+            "single_iters": single_iters,
+            "batch_samples": batch_samples,
+            "seed": seed,
+            "quick": quick,
+        },
+        "single_sample": single_sample,
+        "batch": {
+            "batch_size": max_batch,
+            "tape_samples_per_s": float(len(batch) / tape_s),
+            "fused_samples_per_s": float(len(batch) / fused_s),
+            "speedup_fused_vs_tape": float(tape_s / fused_s),
+        },
+        "equivalence": {
+            "max_abs_diff": max_abs_diff,
+            "argmax_match": argmax_match,
+        },
+    }
+    return result
+
+
+def write_benchmark(result: dict, path: str = DEFAULT_OUTPUT) -> str:
+    """Write the benchmark record as pretty JSON; returns the path."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_summary(result: dict) -> str:
+    """Human-readable summary of a benchmark record."""
+    single = result["single_sample"]
+    batch = result["batch"]
+    eq = result["equivalence"]
+    lines = [
+        "inference throughput benchmark "
+        f"(image={result['config']['image_size']}, "
+        f"params={result['config']['parameters']:,})",
+        f"  single-sample p50:  tape {single['tape']['p50_ms']:.2f} ms | "
+        f"no_grad {single['no_grad']['p50_ms']:.2f} ms | "
+        f"fused {single['fused']['p50_ms']:.2f} ms",
+        f"  fused speedup:      {single['speedup_fused_vs_tape']:.1f}x vs tape, "
+        f"{single['speedup_fused_vs_no_grad']:.1f}x vs no_grad",
+        f"  batch throughput:   tape {batch['tape_samples_per_s']:.0f}/s | "
+        f"fused {batch['fused_samples_per_s']:.0f}/s "
+        f"({batch['speedup_fused_vs_tape']:.1f}x)",
+        f"  equivalence:        max|Δlogit| = {eq['max_abs_diff']:.2e}, "
+        f"argmax match = {eq['argmax_match']}",
+    ]
+    return "\n".join(lines)

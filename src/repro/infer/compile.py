@@ -1,0 +1,207 @@
+"""Generic tape-free compiler for sequential :class:`repro.nn.Module` stacks.
+
+:func:`compile_module` walks a module tree (``Sequential`` / ``ModuleList``
+containers and leaf layers) in forward order and emits a flat list of pure
+NumPy ops over contiguous float32 weight exports.  LayerNorm and eval-mode
+BatchNorm1d are folded into the dense layer that follows them; Dropout and
+Identity disappear entirely.  This covers the dense baseline networks
+(SHERPA's feature extractor, WiDeep's autoencoder encoder, MLP heads);
+the ViT has its own dedicated engine in
+:class:`repro.infer.InferenceSession`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+from scipy import special as _special
+
+from repro import nn
+from repro.infer.ops import contiguous_f32, fold_norm_into_dense
+
+_Op = Callable[[np.ndarray], np.ndarray]
+
+
+class UnsupportedModuleError(TypeError):
+    """Raised when a module cannot be compiled to a tape-free program."""
+
+
+def _flatten(module: nn.Module) -> list[nn.Module]:
+    """Leaf layers of a Sequential/ModuleList tree in forward order."""
+    if isinstance(module, nn.Sequential):
+        leaves: list[nn.Module] = []
+        for child in module.layers:
+            leaves.extend(_flatten(child))
+        return leaves
+    if isinstance(module, nn.ModuleList):
+        leaves = []
+        for child in module:
+            leaves.extend(_flatten(child))
+        return leaves
+    return [module]
+
+
+def _activation_op(layer: nn.Module) -> _Op | None:
+    if isinstance(layer, nn.ReLU):
+        return lambda x: np.maximum(x, 0.0)
+    if isinstance(layer, nn.GELU):
+        return lambda x: x * (0.5 * (1.0 + _special.erf(x * np.float32(2**-0.5))))
+    if isinstance(layer, nn.Tanh):
+        return np.tanh
+    if isinstance(layer, nn.Sigmoid):
+        return _special.expit
+    if isinstance(layer, nn.LeakyReLU):
+        alpha = np.float32(layer.alpha)
+        return lambda x: np.where(x > 0, x, x * alpha)
+    if isinstance(layer, nn.Softmax):
+        axis = layer.axis
+
+        def softmax(x):
+            shifted = x - x.max(axis=axis, keepdims=True)
+            np.exp(shifted, out=shifted)
+            shifted /= shifted.sum(axis=axis, keepdims=True)
+            return shifted
+
+        return softmax
+    return None
+
+
+def _dense_op(weight: np.ndarray, bias: np.ndarray | None) -> _Op:
+    if bias is None:
+        return lambda x: x @ weight
+    return lambda x: x @ weight + bias
+
+
+def _norm_op(gamma, beta, eps: float) -> _Op:
+    def norm(x):
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = np.square(centered).mean(axis=-1, keepdims=True)
+        return centered / np.sqrt(var + eps) * gamma + beta
+
+    return norm
+
+
+def _affine_free_norm_op(eps: float) -> _Op:
+    def norm(x):
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = np.square(centered).mean(axis=-1, keepdims=True)
+        return centered / np.sqrt(var + eps)
+
+    return norm
+
+
+class CompiledModule:
+    """A tape-free program compiled from a sequential module stack."""
+
+    def __init__(self, ops: list[_Op], source: str):
+        self._ops = ops
+        self.source = source
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Forward plain NumPy features through the compiled program."""
+        x = np.asarray(features, dtype=np.float32)
+        for op in self._ops:
+            x = op(x)
+        return x
+
+    def predict_many(self, features: np.ndarray, max_batch: int = 256) -> np.ndarray:
+        """Micro-batched forward for large server-style workloads."""
+        x = np.asarray(features, dtype=np.float32)
+        if len(x) <= max_batch:
+            return self.predict(x)
+        chunks = [self.predict(x[b : b + max_batch]) for b in range(0, len(x), max_batch)]
+        return np.concatenate(chunks, axis=0)
+
+    def __call__(self, features: np.ndarray) -> np.ndarray:
+        return self.predict(features)
+
+    def __repr__(self) -> str:
+        return f"CompiledModule({self.source}, ops={len(self._ops)})"
+
+
+def compile_chain(modules: Iterable[nn.Module], source: str = "chain") -> CompiledModule:
+    """Compile an explicit sequence of modules applied one after another."""
+    leaves: list[nn.Module] = []
+    for module in modules:
+        leaves.extend(_flatten(module))
+
+    ops: list[_Op] = []
+    index = 0
+    while index < len(leaves):
+        layer = leaves[index]
+        if isinstance(layer, (nn.Dropout, nn.Identity)):
+            index += 1
+            continue
+        if isinstance(layer, nn.Flatten):
+            ops.append(lambda x: x.reshape(len(x), -1))
+            index += 1
+            continue
+        if isinstance(layer, nn.Dense):
+            ops.append(_dense_op(
+                contiguous_f32(layer.weight.data),
+                contiguous_f32(layer.bias.data) if layer.bias is not None else None,
+            ))
+            index += 1
+            continue
+        if isinstance(layer, nn.LayerNorm):
+            # Fold the affine parameters into an immediately following Dense.
+            following = leaves[index + 1] if index + 1 < len(leaves) else None
+            if isinstance(following, nn.Dense):
+                w, b = fold_norm_into_dense(
+                    layer.gamma.data,
+                    layer.beta.data,
+                    following.weight.data,
+                    following.bias.data if following.bias is not None else None,
+                )
+                ops.append(_affine_free_norm_op(layer.eps))
+                ops.append(_dense_op(w, b))
+                index += 2
+            else:
+                ops.append(_norm_op(
+                    contiguous_f32(layer.gamma.data),
+                    contiguous_f32(layer.beta.data),
+                    layer.eps,
+                ))
+                index += 1
+            continue
+        if isinstance(layer, nn.BatchNorm1d):
+            # Eval-mode batch norm is a per-feature affine map; precompute it.
+            scale = layer.gamma.data / np.sqrt(layer.running_var + layer.eps)
+            shift = layer.beta.data - layer.running_mean * scale
+            following = leaves[index + 1] if index + 1 < len(leaves) else None
+            if isinstance(following, nn.Dense):
+                w, b = fold_norm_into_dense(
+                    scale,
+                    shift,
+                    following.weight.data,
+                    following.bias.data if following.bias is not None else None,
+                )
+                ops.append(_dense_op(w, b))
+                index += 2
+            else:
+                ops.append(_dense_op_affine(contiguous_f32(scale), contiguous_f32(shift)))
+                index += 1
+            continue
+        activation = _activation_op(layer)
+        if activation is not None:
+            ops.append(activation)
+            index += 1
+            continue
+        raise UnsupportedModuleError(
+            f"cannot compile layer {layer!r}; supported: Dense, activations, "
+            "LayerNorm, BatchNorm1d (eval), Dropout, Flatten, Identity "
+            "(use InferenceSession for the ViT)"
+        )
+    return CompiledModule(ops, source)
+
+
+def _dense_op_affine(scale: np.ndarray, shift: np.ndarray) -> _Op:
+    return lambda x: x * scale + shift
+
+
+def compile_module(module: nn.Module) -> CompiledModule:
+    """Compile a Sequential/ModuleList module tree into a tape-free program."""
+    return compile_chain([module], source=type(module).__name__)

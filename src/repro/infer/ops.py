@@ -1,0 +1,86 @@
+"""Allocation-lean NumPy kernels for the tape-free inference engine.
+
+Every kernel writes into caller-provided scratch buffers (``out=`` /
+in-place) so a compiled forward pass allocates no large intermediates.
+The math mirrors the :class:`repro.tensor.Tensor` primitives bit-for-bit
+modulo float32 rounding: the equivalence tests pin fused logits to the
+reference forward within 1e-5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special as _special
+
+_INV_SQRT2 = np.float32(1.0 / np.sqrt(2.0))
+
+
+def contiguous_f32(array: np.ndarray) -> np.ndarray:
+    """Copy ``array`` into a fresh C-contiguous float32 array."""
+    return np.ascontiguousarray(np.asarray(array), dtype=np.float32)
+
+
+def fold_norm_into_dense(
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold LayerNorm affine parameters into the following dense layer.
+
+    ``LN(x) @ W + c`` with ``LN(x) = g * n(x) + b`` (``n`` the affine-free
+    normalization) equals ``n(x) @ (g[:, None] * W) + (b @ W + c)``; the
+    fold is exact, so the engine only ever computes ``n(x)`` and one
+    matmul.  Folding runs in float64 and rounds once to float32.
+    """
+    w64 = np.asarray(weight, dtype=np.float64)
+    g64 = np.asarray(gamma, dtype=np.float64)
+    b64 = np.asarray(beta, dtype=np.float64)
+    folded_w = g64[:, None] * w64
+    folded_b = b64 @ w64
+    if bias is not None:
+        folded_b = folded_b + np.asarray(bias, dtype=np.float64)
+    return contiguous_f32(folded_w), contiguous_f32(folded_b)
+
+
+def layer_norm_(x: np.ndarray, eps: float, out: np.ndarray) -> np.ndarray:
+    """Affine-free LayerNorm over the trailing axis, written into ``out``.
+
+    The learnable gain/shift are folded into the next matmul by
+    :func:`fold_norm_into_dense`, so the kernel only centers and scales.
+    """
+    mean = x.mean(axis=-1, keepdims=True)
+    np.subtract(x, mean, out=out)
+    var = np.einsum("...d,...d->...", out, out)[..., None]
+    var /= x.shape[-1]
+    var += eps
+    np.sqrt(var, out=var)
+    out /= var
+    return out
+
+
+def softmax_(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the trailing axis, fully in place."""
+    x -= x.max(axis=-1, keepdims=True)
+    np.exp(x, out=x)
+    x /= x.sum(axis=-1, keepdims=True)
+    return x
+
+
+def gelu_(x: np.ndarray, tmp: np.ndarray) -> np.ndarray:
+    """Exact erf-based GELU applied in place to ``x`` using scratch ``tmp``."""
+    np.multiply(x, _INV_SQRT2, out=tmp)
+    _special.erf(tmp, out=tmp)
+    tmp += 1.0
+    tmp *= 0.5
+    x *= tmp
+    return x
+
+
+def dense_(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None,
+           out: np.ndarray) -> np.ndarray:
+    """``x @ weight + bias`` written into ``out`` (strided ``out`` is fine)."""
+    np.matmul(x, weight, out=out)
+    if bias is not None:
+        out += bias
+    return out

@@ -1,0 +1,323 @@
+"""Tape-free fused inference engine for :class:`repro.vit.VitalModel`.
+
+An :class:`InferenceSession` compiles a trained model once into flat,
+C-contiguous float32 weight arrays plus a preallocated set of scratch
+buffers, then serves predictions without touching the autograd tape at
+all:
+
+* the three Q/K/V projections of every attention block are packed into a
+  single ``(D, 3D)`` matmul;
+* LayerNorm gain/shift parameters are folded into the matmul that follows
+  each normalization (:func:`repro.infer.ops.fold_norm_into_dense`);
+* the patch-extraction gather grid is taken from the same per-geometry
+  cache the model uses (:func:`repro.vit.patching.patch_index_grid`);
+* every large intermediate lives in a scratch buffer sized for the
+  configured micro-batch and is reused across calls.
+
+``predict`` serves one micro-batch; ``predict_many`` chunks an arbitrary
+workload through the same buffers, which is the server-style entry point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.infer.ops import (
+    contiguous_f32,
+    dense_,
+    fold_norm_into_dense,
+    gelu_,
+    layer_norm_,
+    softmax_,
+)
+from repro.vit.model import VitalModel
+from repro.vit.patching import patch_index_grid
+
+
+def _collect_dense_chain(sequential: nn.Sequential, what: str) -> list[nn.Dense]:
+    """Extract the Dense layers of a Dense/GELU/Dropout sequential chain."""
+    denses: list[nn.Dense] = []
+    for layer in sequential.layers:
+        if isinstance(layer, nn.Dense):
+            denses.append(layer)
+        elif not isinstance(layer, (nn.GELU, nn.Dropout, nn.Identity)):
+            raise TypeError(
+                f"cannot compile {what}: unsupported layer {layer!r} "
+                "(expected Dense/GELU/Dropout)"
+            )
+    return denses
+
+
+class _BlockProgram:
+    """Compiled weights + scratch buffers of one transformer encoder block."""
+
+    def __init__(self, block, max_batch: int):
+        dim = block.dim
+        heads = block.attention.heads
+        head_dim = block.attention.head_dim
+
+        attn = block.attention
+        # Pack Q/K/V into one (D, 3D) matmul and fold the pre-norm affine in.
+        packed_w = np.concatenate(
+            [attn.query.weight.data, attn.key.weight.data, attn.value.weight.data],
+            axis=1,
+        )
+        packed_b = np.concatenate(
+            [attn.query.bias.data, attn.key.bias.data, attn.value.bias.data]
+        )
+        self.w_qkv, self.b_qkv = fold_norm_into_dense(
+            block.norm_attention.gamma.data,
+            block.norm_attention.beta.data,
+            packed_w,
+            packed_b,
+        )
+        self.w_out = contiguous_f32(attn.out.weight.data)
+        self.b_out = contiguous_f32(attn.out.bias.data)
+        self.scale = np.float32(attn.scale)
+        self.eps_attn = block.norm_attention.eps
+        self.eps_mlp = block.norm_mlp.eps
+
+        mlp_denses = _collect_dense_chain(block.mlp, "encoder MLP")
+        self.mlp_weights: list[tuple[np.ndarray, np.ndarray]] = []
+        for index, dense in enumerate(mlp_denses):
+            if index == 0:
+                w, b = fold_norm_into_dense(
+                    block.norm_mlp.gamma.data,
+                    block.norm_mlp.beta.data,
+                    dense.weight.data,
+                    dense.bias.data if dense.bias is not None else None,
+                )
+            else:
+                w = contiguous_f32(dense.weight.data)
+                b = contiguous_f32(dense.bias.data) if dense.bias is not None else None
+            self.mlp_weights.append((w, b))
+
+        self.dim = dim
+        self.heads = heads
+        self.head_dim = head_dim
+        self.mlp_widths = [w.shape[1] for w, _b in self.mlp_weights]
+        self.out_dim = block.out_dim
+        self._buffers_for = None
+        self._max_batch = max_batch
+
+    def _allocate(self, seq: int) -> None:
+        """Scratch buffers for ``(max_batch, seq)`` inputs, reused per call."""
+        B, D, h, hd = self._max_batch, self.dim, self.heads, self.head_dim
+        f32 = np.float32
+        self.normed = np.empty((B, seq, D), dtype=f32)
+        # qkv viewed as (B, N, 3, h, hd) so q/k/v split into head layout
+        # without copies; the packed weight column order matches.
+        self.qkv = np.empty((B, seq, 3 * D), dtype=f32)
+        self.scores = np.empty((B, h, seq, seq), dtype=f32)
+        self.context = np.empty((B, h, seq, hd), dtype=f32)
+        self.merged = np.empty((B, seq, D), dtype=f32)
+        self.mlp_bufs = [np.empty((B, seq, u), dtype=f32) for u in self.mlp_widths[:-1]]
+        self.gelu_tmp = np.empty((B, seq, max(self.mlp_widths)), dtype=f32)
+        self.block_out = np.empty((B, seq, self.out_dim), dtype=f32)
+        self._buffers_for = seq
+
+    def run(self, tokens: np.ndarray) -> np.ndarray:
+        """One fused encoder block over ``(b, N, D)`` tokens; returns a
+        ``(b, N, out_dim)`` view into this block's output buffer."""
+        b, seq, _dim = tokens.shape
+        if self._buffers_for != seq:
+            self._allocate(seq)
+        D, h, hd = self.dim, self.heads, self.head_dim
+
+        normed = self.normed[:b]
+        qkv = self.qkv[:b]
+        scores = self.scores[:b]
+        context = self.context[:b]
+        merged = self.merged[:b]
+        out = self.block_out[:b]
+        attended = out[..., :D]
+
+        # --- attention sub-block (pre-norm folded into the packed matmul)
+        layer_norm_(tokens, self.eps_attn, out=normed)
+        dense_(normed, self.w_qkv, self.b_qkv, out=qkv)
+        split = qkv.reshape(b, seq, 3, h, hd)
+        q = split[:, :, 0].transpose(0, 2, 1, 3)  # (b, h, N, hd) views
+        k = split[:, :, 1].transpose(0, 2, 1, 3)
+        v = split[:, :, 2].transpose(0, 2, 1, 3)
+        np.matmul(q, k.transpose(0, 1, 3, 2), out=scores)
+        scores *= self.scale
+        softmax_(scores)
+        np.matmul(scores, v, out=context)
+        np.copyto(merged.reshape(b, seq, h, hd), context.transpose(0, 2, 1, 3))
+        dense_(merged, self.w_out, self.b_out, out=attended)
+        attended += tokens  # residual
+
+        # --- MLP sub-block (pre-norm folded into the first dense)
+        layer_norm_(attended, self.eps_mlp, out=normed)
+        x = normed
+        for index, (w, bias) in enumerate(self.mlp_weights):
+            last = index == len(self.mlp_weights) - 1
+            target = out[..., D:] if last else self.mlp_bufs[index][:b]
+            dense_(x, w, bias, out=target)
+            gelu_(target, self.gelu_tmp[:b, :, : target.shape[-1]])
+            x = target
+        # `out` already holds [attended | transformed] — the concatenation
+        # was written in place, no np.concatenate needed.
+        return out
+
+
+class InferenceSession:
+    """Compiled, tape-free forward engine for a trained ``VitalModel``.
+
+    Parameters
+    ----------
+    model:
+        The trained model; its weights are copied into flat float32 arrays
+        at construction (later training steps do not affect the session).
+    max_batch:
+        Micro-batch capacity of the scratch buffers.  ``predict`` serves at
+        most this many samples per call; ``predict_many`` chunks any
+        workload through it.
+    """
+
+    def __init__(self, model: VitalModel, max_batch: int = 32):
+        if not isinstance(model, VitalModel):
+            raise TypeError(
+                f"InferenceSession compiles VitalModel, got {type(model).__name__}; "
+                "use repro.infer.compile_module for sequential baseline models"
+            )
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_batch = int(max_batch)
+        self.image_size = model.image_size
+        self.channels = model.channels
+        self.patch_size = model.patch_size
+        self.num_patches = model.num_patches
+        self.num_classes = model.num_classes
+
+        # Same per-geometry cached gather grid the model itself uses.
+        self.patch_grid = patch_index_grid(self.image_size, self.patch_size, self.channels)
+        patch_dim = self.patch_grid.shape[1]
+
+        # --- embedding: projection bias + position embedding fused into one add
+        self.w_embed = contiguous_f32(model.embedding.projection.weight.data)
+        pos = model.embedding.position.data.astype(np.float64)
+        bias = model.embedding.projection.bias.data.astype(np.float64)
+        self.pos_bias = contiguous_f32(pos + bias)  # (N, D)
+
+        self.blocks = [_BlockProgram(block, self.max_batch) for block in model.encoder]
+
+        # --- head: final norm folded into the first head dense
+        head_denses = _collect_dense_chain(model.head, "head MLP")
+        self.head_weights: list[tuple[np.ndarray, np.ndarray]] = []
+        for index, dense in enumerate(head_denses):
+            if index == 0:
+                w, b = fold_norm_into_dense(
+                    model.final_norm.gamma.data,
+                    model.final_norm.beta.data,
+                    dense.weight.data,
+                    dense.bias.data if dense.bias is not None else None,
+                )
+            else:
+                w = contiguous_f32(dense.weight.data)
+                b = contiguous_f32(dense.bias.data) if dense.bias is not None else None
+            self.head_weights.append((w, b))
+        self.eps_final = model.final_norm.eps
+        self.final_width = model.final_norm.features
+
+        # --- scratch buffers shared across calls
+        B, N = self.max_batch, self.num_patches
+        f32 = np.float32
+        self._patches = np.empty((B, N, patch_dim), dtype=f32)
+        self._tokens = np.empty((B, N, self.w_embed.shape[1]), dtype=f32)
+        self._final_normed = np.empty((B, N, self.final_width), dtype=f32)
+        self._pooled = np.empty((B, self.final_width), dtype=f32)
+        head_widths = [w.shape[1] for w, _b in self.head_weights]
+        self._head_bufs = [np.empty((B, u), dtype=f32) for u in head_widths]
+        self._head_tmp = np.empty((B, max(head_widths)), dtype=f32)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_state_dict(
+        cls,
+        config,
+        image_size: int,
+        channels: int,
+        num_classes: int,
+        state: dict[str, np.ndarray],
+        max_batch: int = 32,
+    ) -> "InferenceSession":
+        """Build a session straight from saved weights (``nn.load_arrays``)."""
+        model = VitalModel(config, image_size=image_size, channels=channels,
+                           num_classes=num_classes)
+        model.load_state_dict(state)
+        return cls(model, max_batch=max_batch)
+
+    # ------------------------------------------------------------------
+    def _coerce(self, images) -> np.ndarray:
+        x = np.asarray(images, dtype=np.float32)
+        if x.ndim == 3:
+            x = x[None]
+        if x.ndim != 4 or x.shape[1] != self.image_size or x.shape[2] != self.image_size \
+                or x.shape[3] != self.channels:
+            raise ValueError(
+                f"expected (batch, {self.image_size}, {self.image_size}, "
+                f"{self.channels}) images, got {np.shape(images)}"
+            )
+        return x
+
+    def predict(self, images) -> np.ndarray:
+        """Logits for one micro-batch of ``(b, S, S, C)`` images, b ≤ max_batch."""
+        x = self._coerce(images)
+        b = len(x)
+        if b > self.max_batch:
+            raise ValueError(
+                f"batch {b} exceeds max_batch {self.max_batch}; use predict_many"
+            )
+        flat = x.reshape(b, -1)
+        patches = self._patches[:b]
+        np.take(flat, self.patch_grid, axis=1, out=patches)
+
+        tokens = self._tokens[:b]
+        np.matmul(patches, self.w_embed, out=tokens)
+        tokens += self.pos_bias
+
+        out = tokens
+        for block in self.blocks:
+            out = block.run(out)
+
+        normed = self._final_normed[:b]
+        layer_norm_(out, self.eps_final, out=normed)
+        pooled = self._pooled[:b]
+        np.mean(normed, axis=1, out=pooled)
+
+        x2d = pooled
+        for index, (w, bias) in enumerate(self.head_weights):
+            target = self._head_bufs[index][:b]
+            dense_(x2d, w, bias, out=target)
+            if index < len(self.head_weights) - 1:
+                gelu_(target, self._head_tmp[:b, : target.shape[-1]])
+            x2d = target
+        return x2d.copy()
+
+    def predict_many(self, images, max_batch: int | None = None) -> np.ndarray:
+        """Logits for an arbitrary workload, chunked through the scratch
+        buffers ``max_batch`` samples at a time."""
+        if max_batch is not None and max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        x = self._coerce(images)
+        chunk = min(self.max_batch, max_batch or self.max_batch)
+        out = np.empty((len(x), self.num_classes), dtype=np.float32)
+        for begin in range(0, len(x), chunk):
+            out[begin : begin + chunk] = self.predict(x[begin : begin + chunk])
+        return out
+
+    def predict_labels(self, images) -> np.ndarray:
+        """Argmax reference-point indices for an arbitrary workload."""
+        return self.predict_many(images).argmax(axis=1)
+
+    def __call__(self, images) -> np.ndarray:
+        return self.predict_many(images)
+
+    def __repr__(self) -> str:
+        return (
+            f"InferenceSession(image={self.image_size}, patches={self.num_patches}, "
+            f"blocks={len(self.blocks)}, classes={self.num_classes}, "
+            f"max_batch={self.max_batch})"
+        )

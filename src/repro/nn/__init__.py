@@ -11,12 +11,12 @@ from repro.nn.module import Module, Parameter, Sequential, ModuleList
 from repro.nn.layers import Dense, Dropout, Flatten, Identity
 from repro.nn.activations import ReLU, GELU, Tanh, Sigmoid, Softmax, LeakyReLU
 from repro.nn.norm import LayerNorm, BatchNorm1d
-from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.attention import MultiHeadSelfAttention, record_attention, is_recording_attention
 from repro.nn.conv import Conv1d, GlobalAveragePool1d, MaxPool1d
 from repro.nn.losses import CrossEntropyLoss, MSELoss, BCELoss, accuracy
 from repro.nn.optim import SGD, Adam, AdamW, StepLR, CosineAnnealingLR
 from repro.nn.trainer import Trainer, TrainConfig, TrainingHistory
-from repro.nn.serialization import save_state_dict, load_state_dict
+from repro.nn.serialization import save_state_dict, load_state_dict, load_arrays
 from repro.nn.quantization import (
     quantize_tensor,
     dequantize_tensor,
@@ -47,6 +47,8 @@ __all__ = [
     "LayerNorm",
     "BatchNorm1d",
     "MultiHeadSelfAttention",
+    "record_attention",
+    "is_recording_attention",
     "Conv1d",
     "GlobalAveragePool1d",
     "MaxPool1d",
@@ -64,6 +66,7 @@ __all__ = [
     "TrainingHistory",
     "save_state_dict",
     "load_state_dict",
+    "load_arrays",
     "quantize_tensor",
     "dequantize_tensor",
     "quantize_state_dict",

@@ -3,13 +3,45 @@
 Attention(Q, K, V) = softmax(Q K^T / sqrt(d_k)) V with Q = X W_Q,
 K = X W_K, V = X W_V; heads are computed in parallel, concatenated, and
 mixed by an output projection W_O (Eq. 4).
+
+Attention-weight retention is **opt-in**: serving a forward pass must not
+silently pin an (B, h, N, N) array on every attention module.  Enable it
+per-module with ``collect_attention=True`` or temporarily for any model
+with the :func:`record_attention` context manager.
 """
 
 from __future__ import annotations
 
+import contextlib
+
 from repro.nn.layers import Dense, Dropout
 from repro.nn.module import Module
 from repro.tensor import Tensor
+
+_ATTENTION_RECORDING = 0
+
+
+@contextlib.contextmanager
+def record_attention():
+    """Temporarily retain attention weights on every MSA forward pass.
+
+    Usage::
+
+        with record_attention():
+            model(images)
+        maps = model.attention_maps()
+    """
+    global _ATTENTION_RECORDING
+    _ATTENTION_RECORDING += 1
+    try:
+        yield
+    finally:
+        _ATTENTION_RECORDING -= 1
+
+
+def is_recording_attention() -> bool:
+    """Whether a :func:`record_attention` region is currently active."""
+    return _ATTENTION_RECORDING > 0
 
 
 class MultiHeadSelfAttention(Module):
@@ -25,9 +57,15 @@ class MultiHeadSelfAttention(Module):
         satisfies by construction).
     dropout:
         Dropout applied to the attention weights during training.
+    collect_attention:
+        Retain the softmax weights of every forward pass on
+        ``last_attention``.  Off by default: retention holds a
+        (batch, heads, seq, seq) array alive per module, which inference
+        workloads must not pay for.
     """
 
-    def __init__(self, dim: int, heads: int, dropout: float = 0.0, rng=None):
+    def __init__(self, dim: int, heads: int, dropout: float = 0.0, rng=None,
+                 collect_attention: bool = False):
         super().__init__()
         if dim % heads != 0:
             raise ValueError(f"embedding dim {dim} not divisible by heads {heads}")
@@ -40,6 +78,7 @@ class MultiHeadSelfAttention(Module):
         self.value = Dense(dim, dim, rng=rng)
         self.out = Dense(dim, dim, rng=rng)
         self.attn_dropout = Dropout(dropout, rng=rng)
+        self.collect_attention = collect_attention
         self._last_attention = None
 
     def forward(self, x: Tensor) -> Tensor:
@@ -57,7 +96,8 @@ class MultiHeadSelfAttention(Module):
 
         scores = (q @ k.transpose((0, 1, 3, 2))) * self.scale  # (B, h, N, N)
         weights = scores.softmax(axis=-1)
-        self._last_attention = weights.data  # retained for introspection/tests
+        if self.collect_attention or _ATTENTION_RECORDING:
+            self._last_attention = weights.data
         weights = self.attn_dropout(weights)
 
         context = weights @ v  # (B, h, N, D/h)
@@ -66,10 +106,11 @@ class MultiHeadSelfAttention(Module):
 
     @property
     def last_attention(self):
-        """Attention weights from the most recent forward pass.
+        """Attention weights from the most recent *recorded* forward pass.
 
         Shape (batch, heads, seq, seq); useful for visualizing which APs
-        the model attends to.
+        the model attends to.  ``None`` unless the pass ran with
+        ``collect_attention=True`` or inside :func:`record_attention`.
         """
         return self._last_attention
 

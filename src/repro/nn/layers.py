@@ -7,7 +7,7 @@ import numpy as np
 from repro.nn import init as init_schemes
 from repro.nn.module import Module, Parameter
 from repro.nn.rng import get_rng
-from repro.tensor import Tensor
+from repro.tensor import Tensor, is_grad_enabled
 
 
 class Dense(Module):
@@ -68,7 +68,9 @@ class Dropout(Module):
         self._rng = rng
 
     def forward(self, x: Tensor) -> Tensor:
-        if not self.training or self.rate == 0.0:
+        # True no-op on every inference path: eval mode, zero rate, or any
+        # no_grad() region — no mask allocation, no extra Tensor nodes.
+        if not self.training or self.rate == 0.0 or not is_grad_enabled():
             return x
         rng = get_rng(self._rng)
         keep = 1.0 - self.rate

@@ -8,11 +8,12 @@ and flat ``state_dict`` serialization for free.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterator
 
 import numpy as np
 
-from repro.tensor import Tensor
+from repro.tensor import Tensor, no_grad
 
 
 class Parameter(Tensor):
@@ -73,6 +74,23 @@ class Module:
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.zero_grad()
+
+    @contextlib.contextmanager
+    def frozen(self):
+        """Inference region: eval mode + ``no_grad()``, restored on exit.
+
+        ``with model.frozen(): logits = model(x)`` is the canonical way to
+        run the tape-free module forward; training/eval flags of every
+        submodule are put back exactly as they were.
+        """
+        modes = [(module, module.training) for module in self.modules()]
+        self.eval()
+        try:
+            with no_grad():
+                yield self
+        finally:
+            for module, mode in modes:
+                object.__setattr__(module, "training", mode)
 
     # -- serialization ----------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:

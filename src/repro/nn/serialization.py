@@ -23,10 +23,18 @@ def save_state_dict(model: Module, path: str) -> None:
     np.savez(path if path.endswith(".npz") else path + ".npz", **state)
 
 
-def load_state_dict(model: Module, path: str) -> Module:
-    """Load parameters saved by :func:`save_state_dict` into ``model``."""
+def load_arrays(path: str) -> dict[str, np.ndarray]:
+    """Read a ``.npz`` weight archive into a flat ``name -> array`` dict.
+
+    Useful when the arrays are consumed directly — e.g. compiled into a
+    :class:`repro.infer.InferenceSession` — without instantiating a model.
+    """
     resolved = path if path.endswith(".npz") else path + ".npz"
     with np.load(resolved) as archive:
-        state = {name: archive[name] for name in archive.files}
-    model.load_state_dict(state)
+        return {name: archive[name] for name in archive.files}
+
+
+def load_state_dict(model: Module, path: str) -> Module:
+    """Load parameters saved by :func:`save_state_dict` into ``model``."""
+    model.load_state_dict(load_arrays(path))
     return model

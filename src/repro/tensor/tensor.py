@@ -163,7 +163,10 @@ class Tensor:
     # autograd machinery
     # ------------------------------------------------------------------
     def _make(self, data: np.ndarray, parents: tuple["Tensor", ...]) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        if not _GRAD_ENABLED:
+            # Tape-free fast path: no parent bookkeeping, no closure slots.
+            return Tensor(data)
+        requires = any(p.requires_grad for p in parents)
         return Tensor(data, requires_grad=requires, _parents=tuple(p for p in parents if p.requires_grad))
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -398,9 +401,9 @@ class Tensor:
         return out
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out = self._make(np.where(mask, self.data, 0.0), (self,))
+        out = self._make(np.maximum(self.data, 0.0), (self,))
         if out.requires_grad:
+            mask = self.data > 0
 
             def backward(grad):
                 self._accumulate(grad * mask)

@@ -51,10 +51,12 @@ class VitalLocalizer(Localizer):
         self.model: VitalModel | None = None
         self.trainer: nn.Trainer | None = None
         self.history: nn.TrainingHistory | None = None
+        self._session = None  # compiled InferenceSession, built on demand
 
     # ------------------------------------------------------------------
     def fit(self, train: FingerprintDataset) -> "VitalLocalizer":
         self._remember_rps(train)
+        self._session = None  # weights change; any compiled engine is stale
         rng = np.random.default_rng(self.seed)
 
         image_size = self.config.resolved_image_size(train.n_aps)
@@ -91,19 +93,39 @@ class VitalLocalizer(Localizer):
         return self
 
     # ------------------------------------------------------------------
+    def compile_inference(self, max_batch: int = 32):
+        """Compile (and cache) the tape-free fused serving engine.
+
+        After this call :meth:`predict` / :meth:`predict_proba` run through
+        :class:`repro.infer.InferenceSession` instead of the module forward.
+        Refitting invalidates the compiled engine automatically.
+        """
+        if self.model is None:
+            raise RuntimeError("VitalLocalizer.compile_inference called before fit")
+        from repro.infer import InferenceSession
+
+        self._session = InferenceSession(self.model, max_batch=max_batch)
+        return self._session
+
+    def _logits(self, features: np.ndarray) -> np.ndarray:
+        images = self.dam.process(np.asarray(features), training=False, as_image=True)
+        # The fused engine never materializes attention weights, so while a
+        # record_attention() region is active route through the module
+        # forward to keep introspection working on compiled localizers.
+        if self._session is not None and not nn.is_recording_attention():
+            return self._session.predict_many(images)
+        return self.trainer.predict(images)
+
     def predict(self, features: np.ndarray) -> np.ndarray:
         if self.model is None or self.dam is None:
             raise RuntimeError("VitalLocalizer.predict called before fit")
-        images = self.dam.process(np.asarray(features), training=False, as_image=True)
-        logits = self.trainer.predict(images)
-        return logits.argmax(axis=1)
+        return self._logits(features).argmax(axis=1)
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         """Per-RP softmax probabilities (used by introspection examples)."""
         if self.model is None or self.dam is None:
             raise RuntimeError("VitalLocalizer.predict_proba called before fit")
-        images = self.dam.process(np.asarray(features), training=False, as_image=True)
-        logits = self.trainer.predict(images)
+        logits = self._logits(features)
         shifted = logits - logits.max(axis=1, keepdims=True)
         exp = np.exp(shifted)
         return exp / exp.sum(axis=1, keepdims=True)

@@ -27,7 +27,7 @@ import numpy as np
 from repro import nn
 from repro.tensor import Tensor, cat
 from repro.vit.config import VitalConfig
-from repro.vit.patching import extract_patches, n_patches
+from repro.vit.patching import n_patches, patch_index_grid
 
 
 class PatchEmbedding(nn.Module):
@@ -119,6 +119,10 @@ class VitalModel(nn.Module):
         self.patch_size = min(config.patch_size, image_size)
         self.num_patches = n_patches(image_size, self.patch_size)
         patch_dim = self.patch_size * self.patch_size * channels
+        # Patch-extraction gather indices depend only on the image geometry;
+        # compute them once here and reuse on every forward (the fused
+        # inference engine shares the same cached grid).
+        self._patch_grid = patch_index_grid(image_size, self.patch_size, channels)
 
         self.embedding = PatchEmbedding(
             patch_dim, self.num_patches, config.projection_dim, rng=rng
@@ -162,8 +166,16 @@ class VitalModel(nn.Module):
         """``(batch, S, S, C)`` images → ``(batch, num_classes)`` logits."""
         if images.ndim != 4:
             raise ValueError(f"expected (batch, S, S, C) images, got {images.shape}")
-        patches = extract_patches(images.data, self.patch_size)
-        tokens = self.embedding(Tensor(patches.astype(np.float32)))
+        data = images.data
+        if data.shape[1:] != (self.image_size, self.image_size, self.channels):
+            raise ValueError(
+                f"expected (batch, {self.image_size}, {self.image_size}, "
+                f"{self.channels}) images, got {data.shape}"
+            )
+        if data.dtype != np.float32:
+            data = data.astype(np.float32)
+        patches = data.reshape(len(data), -1)[:, self._patch_grid]
+        tokens = self.embedding(Tensor(patches))
         tokens = self.embed_dropout(tokens)
         for block in self.encoder:
             tokens = block(tokens)
@@ -172,8 +184,19 @@ class VitalModel(nn.Module):
         return self.head(pooled)
 
     def attention_maps(self) -> list[np.ndarray]:
-        """Per-block attention weights from the last forward pass."""
-        return [block.attention.last_attention for block in self.encoder]
+        """Per-block attention weights from the last *recorded* forward pass.
+
+        Retention is opt-in: run the forward inside
+        ``with repro.nn.record_attention():`` (or construct the attention
+        modules with ``collect_attention=True``), otherwise this raises.
+        """
+        maps = [block.attention.last_attention for block in self.encoder]
+        if any(m is None for m in maps):
+            raise RuntimeError(
+                "no attention weights recorded; wrap the forward pass in "
+                "repro.nn.record_attention() to enable retention"
+            )
+        return maps
 
     def __repr__(self) -> str:
         return (

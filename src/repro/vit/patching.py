@@ -9,6 +9,8 @@ accuracy — :func:`extract_patches` reproduces exactly that discard rule
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 
@@ -32,6 +34,31 @@ def has_partial_patches(image_size: int, patch_size: int) -> bool:
     return image_size % patch_size != 0
 
 
+@functools.lru_cache(maxsize=64)
+def patch_index_grid(image_size: int, patch_size: int, channels: int) -> np.ndarray:
+    """Gather indices mapping a flat ``(S*S*C,)`` image to its patches.
+
+    Returns an int ``(N, P*P*C)`` array ``grid`` such that for a batch of
+    images flattened to ``(B, S*S*C)``, ``flat[:, grid]`` is exactly
+    ``extract_patches(images, patch_size)``.  The grid depends only on the
+    image geometry, so it is computed once per ``(S, P, C)`` and cached;
+    both :class:`repro.vit.VitalModel` and the fused inference engine reuse
+    the same cache instead of recomputing reshape/transpose index math per
+    forward call.
+    """
+    side = patch_grid_side(image_size, patch_size)
+    flat = np.arange(image_size * image_size * channels, dtype=np.intp)
+    pixels = flat.reshape(image_size, image_size, channels)
+    cropped = pixels[: side * patch_size, : side * patch_size, :]
+    blocks = cropped.reshape(side, patch_size, side, patch_size, channels)
+    blocks = blocks.transpose(0, 2, 1, 3, 4)
+    grid = np.ascontiguousarray(
+        blocks.reshape(side * side, patch_size * patch_size * channels)
+    )
+    grid.setflags(write=False)
+    return grid
+
+
 def extract_patches(images: np.ndarray, patch_size: int) -> np.ndarray:
     """Slice a batch of images into flattened patch sequences.
 
@@ -53,9 +80,5 @@ def extract_patches(images: np.ndarray, patch_size: int) -> np.ndarray:
     batch, height, width, channels = images.shape
     if height != width:
         raise ValueError(f"RSSI images must be square, got {height}x{width}")
-    side = patch_grid_side(height, patch_size)
-    cropped = images[:, : side * patch_size, : side * patch_size, :]
-    # (B, side, P, side, P, C) -> (B, side, side, P, P, C)
-    blocks = cropped.reshape(batch, side, patch_size, side, patch_size, channels)
-    blocks = blocks.transpose(0, 1, 3, 2, 4, 5)
-    return blocks.reshape(batch, side * side, patch_size * patch_size * channels)
+    grid = patch_index_grid(height, patch_size, channels)
+    return images.reshape(batch, -1)[:, grid]

@@ -7,6 +7,8 @@ from repro.data import make_building_1
 from repro.eval import EvalProtocol
 from repro.eval.multiseed import MultiSeedResult, run_multi_seed
 
+pytestmark = pytest.mark.slow  # trains models end to end
+
 
 class TestMultiSeedRunner:
     @pytest.fixture(scope="class")

@@ -1,0 +1,239 @@
+"""Numerical equivalence and tape-freeness of the fused inference engine."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.infer import (
+    CompiledModule,
+    InferenceSession,
+    UnsupportedModuleError,
+    compile_chain,
+    compile_module,
+)
+from repro.tensor import Tensor, no_grad
+from repro.vit import VitalConfig, VitalModel
+
+#: Randomized model geometries: (image_size, patch_size, projection_dim,
+#: heads, blocks, encoder_mlp_units, head_units, classes).  The two-block
+#: row exercises the width-growing concatenation path.
+CONFIGS = [
+    (24, 4, 60, 5, 1, (128, 64), (128,), 17),
+    (12, 3, 24, 4, 1, (32, 16), (32,), 5),
+    (20, 4, 60, 5, 2, (32, 40), (64,), 9),
+    (9, 2, 30, 3, 1, (24,), (16, 8), 4),
+]
+
+
+def _build(seed, image_size, patch, dim, heads, blocks, mlp, head, classes):
+    config = VitalConfig(
+        image_size=image_size,
+        patch_size=patch,
+        projection_dim=dim,
+        num_heads=heads,
+        encoder_blocks=blocks,
+        encoder_mlp_units=mlp,
+        head_units=head,
+    )
+    model = VitalModel(config, image_size=image_size, channels=3,
+                       num_classes=classes, rng=np.random.default_rng(seed))
+    model.eval()
+    return model
+
+
+class TestVitEquivalence:
+    @pytest.mark.parametrize("index,geometry", enumerate(CONFIGS))
+    def test_fused_matches_reference(self, index, geometry):
+        image_size = geometry[0]
+        model = _build(index, *geometry)
+        rng = np.random.default_rng(100 + index)
+        images = rng.standard_normal((11, image_size, image_size, 3)).astype(np.float32)
+
+        with no_grad():
+            reference = model(Tensor(images)).data
+        session = InferenceSession(model, max_batch=4)  # forces chunked serving
+        fused = session.predict_many(images)
+
+        np.testing.assert_allclose(fused, reference, atol=1e-5, rtol=1e-5)
+        np.testing.assert_array_equal(fused.argmax(axis=1), reference.argmax(axis=1))
+
+    def test_single_sample_and_3d_input(self):
+        model = _build(0, *CONFIGS[0])
+        session = InferenceSession(model, max_batch=2)
+        image = np.random.default_rng(3).standard_normal((24, 24, 3)).astype(np.float32)
+        with no_grad():
+            reference = model(Tensor(image[None])).data
+        np.testing.assert_allclose(session.predict(image), reference, atol=1e-5)
+
+    def test_predict_labels(self):
+        model = _build(1, *CONFIGS[1])
+        session = InferenceSession(model)
+        images = np.random.default_rng(4).standard_normal((6, 12, 12, 3)).astype(np.float32)
+        with no_grad():
+            reference = model(Tensor(images)).data.argmax(axis=1)
+        np.testing.assert_array_equal(session.predict_labels(images), reference)
+
+    def test_weights_are_snapshot(self):
+        """Mutating the model after compilation must not affect the session."""
+        model = _build(2, *CONFIGS[1])
+        images = np.random.default_rng(5).standard_normal((3, 12, 12, 3)).astype(np.float32)
+        session = InferenceSession(model)
+        before = session.predict_many(images)
+        for param in model.parameters():
+            param.data = param.data + 1.0
+        np.testing.assert_array_equal(session.predict_many(images), before)
+
+    def test_rejects_oversized_batch_and_bad_shapes(self):
+        model = _build(3, *CONFIGS[1])
+        session = InferenceSession(model, max_batch=2)
+        good = np.zeros((4, 12, 12, 3), dtype=np.float32)
+        with pytest.raises(ValueError, match="max_batch"):
+            session.predict(good)
+        assert session.predict_many(good).shape == (4, model.num_classes)
+        with pytest.raises(ValueError, match="images"):
+            session.predict(np.zeros((1, 10, 10, 3), dtype=np.float32))
+        with pytest.raises(ValueError, match="images"):
+            session.predict(np.zeros((1, 12, 12, 4), dtype=np.float32))
+        with pytest.raises(ValueError, match="max_batch"):
+            session.predict_many(good, max_batch=0)
+        with pytest.raises(TypeError, match="VitalModel"):
+            InferenceSession(nn.Dense(4, 2))
+
+    def test_model_rejects_channel_mismatch(self):
+        """The gather-based forward must not silently interleave wrong
+        pixels when the channel count disagrees with the model."""
+        model = _build(9, *CONFIGS[1])
+        with pytest.raises(ValueError, match="images"):
+            model(Tensor(np.zeros((2, 12, 12, 4), dtype=np.float32)))
+        with pytest.raises(ValueError, match="images"):
+            model(Tensor(np.zeros((2, 12, 12, 2), dtype=np.float32)))
+
+    def test_from_state_dict_roundtrip(self):
+        geometry = CONFIGS[1]
+        model = _build(7, *geometry)
+        config = model.config
+        state = model.state_dict()
+        session = InferenceSession.from_state_dict(
+            config, model.image_size, model.channels, model.num_classes, state
+        )
+        images = np.random.default_rng(8).standard_normal((4, 12, 12, 3)).astype(np.float32)
+        with no_grad():
+            reference = model(Tensor(images)).data
+        np.testing.assert_allclose(session.predict_many(images), reference, atol=1e-5)
+
+
+class TestCompiledBaselines:
+    def _sherpa_like(self, rng):
+        """The SHERPA-style dense baseline: backbone + classifier chain."""
+        backbone = nn.Sequential(
+            nn.Dense(30, 32, rng=rng), nn.ReLU(), nn.Dropout(0.1),
+            nn.Dense(32, 16, rng=rng), nn.ReLU(), nn.Dropout(0.1),
+        )
+        classifier = nn.Dense(16, 8, rng=rng)
+        return backbone, classifier
+
+    def test_chain_matches_reference_forward(self):
+        rng = np.random.default_rng(11)
+        backbone, classifier = self._sherpa_like(rng)
+        backbone.eval(), classifier.eval()
+        x = rng.standard_normal((13, 30)).astype(np.float32)
+        with no_grad():
+            reference = classifier(backbone(Tensor(x))).data
+        compiled = compile_chain([backbone, classifier], source="sherpa")
+        np.testing.assert_allclose(compiled.predict(x), reference, atol=1e-5, rtol=1e-5)
+        np.testing.assert_array_equal(
+            compiled.predict(x).argmax(axis=1), reference.argmax(axis=1)
+        )
+
+    def test_layernorm_folding(self):
+        rng = np.random.default_rng(12)
+        model = nn.Sequential(
+            nn.Dense(10, 12, rng=rng), nn.GELU(),
+            nn.LayerNorm(12), nn.Dense(12, 6, rng=rng), nn.Tanh(),
+            nn.LayerNorm(6),  # trailing norm not followed by Dense
+        )
+        model.eval()
+        x = rng.standard_normal((9, 10)).astype(np.float32)
+        with no_grad():
+            reference = model(Tensor(x)).data
+        compiled = compile_module(model)
+        np.testing.assert_allclose(compiled.predict(x), reference, atol=1e-5, rtol=1e-5)
+
+    def test_batchnorm_eval_folding(self):
+        rng = np.random.default_rng(13)
+        model = nn.Sequential(nn.Dense(8, 8, rng=rng), nn.BatchNorm1d(8),
+                              nn.Dense(8, 3, rng=rng))
+        bn = model[1]
+        bn.running_mean = rng.standard_normal(8).astype(np.float32)
+        bn.running_var = (rng.random(8).astype(np.float32) + 0.5)
+        model.eval()
+        x = rng.standard_normal((7, 8)).astype(np.float32)
+        with no_grad():
+            reference = model(Tensor(x)).data
+        compiled = compile_module(model)
+        np.testing.assert_allclose(compiled.predict(x), reference, atol=1e-5, rtol=1e-5)
+
+    def test_predict_many_chunks(self):
+        rng = np.random.default_rng(14)
+        model = nn.Sequential(nn.Dense(6, 4, rng=rng), nn.Sigmoid())
+        model.eval()
+        x = rng.standard_normal((25, 6)).astype(np.float32)
+        compiled = compile_module(model)
+        np.testing.assert_allclose(
+            compiled.predict_many(x, max_batch=4), compiled.predict(x), atol=1e-6
+        )
+
+    def test_unsupported_layer_raises(self):
+        model = nn.Sequential(nn.Conv1d(3, 4, kernel_size=3))
+        with pytest.raises(UnsupportedModuleError):
+            compile_module(model)
+
+
+class TestTapeFreeness:
+    def test_no_grad_forward_builds_no_closures(self):
+        """Under no_grad() every op result is a leaf: no parents, no
+        backward closure, no requires_grad."""
+        model = _build(5, *CONFIGS[1])
+        images = Tensor(np.zeros((2, 12, 12, 3), dtype=np.float32))
+        with no_grad():
+            out = model(images)
+        assert out.requires_grad is False
+        assert out._parents == ()
+        assert out._backward is None
+
+    def test_no_grad_primitive_ops_are_leaves(self):
+        a = Tensor(np.ones((3, 3)), requires_grad=True)
+        with no_grad():
+            for result in (a + a, a * 2.0, a @ a, a.relu(), a.gelu(),
+                           a.softmax(), a.sum(), a.reshape(9)):
+                assert result.requires_grad is False
+                assert result._parents == ()
+                assert result._backward is None
+        grad_result = a + a
+        assert grad_result.requires_grad and grad_result._backward is not None
+
+    def test_dropout_is_identity_under_no_grad(self):
+        """Dropout in a no_grad() region returns its input unchanged —
+        the very same Tensor object, no mask, no new node."""
+        dropout = nn.Dropout(0.5)
+        x = Tensor(np.ones((4, 4)))
+        with no_grad():
+            assert dropout(x) is x
+        dropout.eval()
+        assert dropout(x) is x
+
+    def test_attention_not_retained_during_inference(self):
+        model = _build(6, *CONFIGS[1])
+        with no_grad():
+            model(Tensor(np.zeros((1, 12, 12, 3), dtype=np.float32)))
+        for block in model.encoder:
+            assert block.attention.last_attention is None
+
+    def test_frozen_context_restores_modes(self):
+        model = _build(8, *CONFIGS[1])
+        model.train()
+        with model.frozen():
+            assert not model.training
+            out = model(Tensor(np.zeros((1, 12, 12, 3), dtype=np.float32)))
+            assert out.requires_grad is False
+        assert model.training

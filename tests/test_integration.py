@@ -24,6 +24,8 @@ from repro.nn import TrainConfig
 from repro.radio.geometry import Point
 from repro.vit import VitalConfig, VitalLocalizer
 
+pytestmark = pytest.mark.slow  # trains models end to end
+
 
 @pytest.fixture(scope="module")
 def building():

@@ -24,12 +24,22 @@ class TestMultiHeadSelfAttention:
             msa(Tensor(np.zeros((1, 4, 6), dtype=np.float32)))
 
     def test_attention_weights_rows_sum_to_one(self):
-        msa = nn.MultiHeadSelfAttention(dim=20, heads=5)
+        msa = nn.MultiHeadSelfAttention(dim=20, heads=5, collect_attention=True)
         msa.eval()
         msa(Tensor(np.random.default_rng(0).standard_normal((2, 6, 20)).astype(np.float32)))
         weights = msa.last_attention
         assert weights.shape == (2, 5, 6, 6)
         np.testing.assert_allclose(weights.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_attention_weights_not_retained_by_default(self):
+        msa = nn.MultiHeadSelfAttention(dim=20, heads=5)
+        msa.eval()
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 6, 20)).astype(np.float32))
+        msa(x)
+        assert msa.last_attention is None
+        with nn.record_attention():
+            msa(x)
+        assert msa.last_attention is not None
 
     def test_gradients_flow_to_all_projections(self):
         msa = nn.MultiHeadSelfAttention(dim=12, heads=3)

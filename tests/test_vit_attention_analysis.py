@@ -16,8 +16,11 @@ from repro.data import (
     make_building_1,
     train_test_split,
 )
+from repro.nn import record_attention
 from repro.vit import VitalConfig, VitalLocalizer
 from repro.vit.patching import patch_grid_side
+
+pytestmark = pytest.mark.slow  # trains models end to end
 
 
 def column_attention(localizer: VitalLocalizer, features: np.ndarray) -> np.ndarray:
@@ -26,7 +29,8 @@ def column_attention(localizer: VitalLocalizer, features: np.ndarray) -> np.ndar
     Averages the first encoder block's attention weights over batch,
     heads and query positions, then folds the patch grid to columns.
     """
-    localizer.predict(features)
+    with record_attention():
+        localizer.predict(features)
     weights = localizer.model.attention_maps()[0]  # (B, h, N, N)
     received = weights.mean(axis=(0, 1, 2))  # (N,) attention received per key patch
     side = patch_grid_side(localizer.model.image_size, localizer.model.patch_size)
@@ -51,7 +55,8 @@ class TestColumnAttention:
 
     def test_attention_is_distribution_over_patches(self, setup):
         localizer, test = setup
-        localizer.predict(test.features[:4])
+        with record_attention():
+            localizer.predict(test.features[:4])
         weights = localizer.model.attention_maps()[0]
         np.testing.assert_allclose(weights.sum(axis=-1), 1.0, rtol=1e-4)
 
@@ -68,7 +73,8 @@ class TestColumnAttention:
         received-attention distribution over patches deviates from
         uniform."""
         localizer, test = setup
-        localizer.predict(test.features[:16])
+        with record_attention():
+            localizer.predict(test.features[:16])
         weights = localizer.model.attention_maps()[0]
         received = weights.mean(axis=(0, 1, 2))
         uniform = 1.0 / received.shape[0]

@@ -10,8 +10,10 @@ from repro.data import (
     make_building_1,
     train_test_split,
 )
-from repro.nn import TrainConfig
+from repro.nn import TrainConfig, record_attention
 from repro.vit import VitalConfig, VitalLocalizer
+
+pytestmark = pytest.mark.slow  # trains models end to end
 
 
 @pytest.fixture(scope="module")
@@ -30,7 +32,8 @@ def vital(split):
 class TestAttentionIntrospection:
     def test_attention_available_after_predict(self, vital, split):
         _train, test = split
-        vital.predict(test.features[:2])
+        with record_attention():
+            vital.predict(test.features[:2])
         maps = vital.model.attention_maps()
         assert maps[0] is not None
         batch, heads, seq, seq2 = maps[0].shape
@@ -39,7 +42,8 @@ class TestAttentionIntrospection:
 
     def test_attention_rows_are_distributions(self, vital, split):
         _train, test = split
-        vital.predict(test.features[:1])
+        with record_attention():
+            vital.predict(test.features[:1])
         weights = vital.model.attention_maps()[0]
         np.testing.assert_allclose(weights.sum(axis=-1), 1.0, rtol=1e-4)
 
@@ -55,6 +59,25 @@ class TestPredictProba:
         train, test = split
         proba = vital.predict_proba(test.features[:3])
         assert proba.shape == (3, train.n_rps)
+
+
+class TestCompiledServing:
+    def test_compiled_predictions_match_module_path(self, vital, split):
+        _train, test = split
+        features = test.features[:12]
+        reference_pred = vital.predict(features)
+        reference_proba = vital.predict_proba(features)
+        session = vital.compile_inference(max_batch=4)
+        assert vital._session is session
+        np.testing.assert_array_equal(vital.predict(features), reference_pred)
+        np.testing.assert_allclose(
+            vital.predict_proba(features), reference_proba, atol=1e-5
+        )
+        vital._session = None  # leave the shared fixture on the module path
+
+    def test_compile_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            VitalLocalizer(VitalConfig.fast(8)).compile_inference()
 
 
 class TestImageResizePath:

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro import nn
 from repro.nn import TrainConfig
 from repro.tensor import Tensor
 from repro.vit import (
@@ -140,10 +141,20 @@ class TestVitalModel:
     def test_attention_maps_exposed(self):
         model = self._model()
         model.eval()
-        model(Tensor(np.zeros((1, 12, 12, 3), dtype=np.float32)))
+        with nn.record_attention():
+            model(Tensor(np.zeros((1, 12, 12, 3), dtype=np.float32)))
         maps = model.attention_maps()
         assert len(maps) == 1
         assert maps[0].shape == (1, 5, 9, 9)
+
+    def test_attention_maps_opt_in(self):
+        """Without record_attention() no weights are retained (and asking
+        for them raises a helpful error)."""
+        model = self._model()
+        model.eval()
+        model(Tensor(np.zeros((1, 12, 12, 3), dtype=np.float32)))
+        with pytest.raises(RuntimeError, match="record_attention"):
+            model.attention_maps()
 
     def test_parameter_count_positive_and_stable(self):
         a = self._model(rng=np.random.default_rng(0))
