@@ -1,0 +1,78 @@
+"""Serving-layer benchmark: worker scaling, batching deadlines, fault drill.
+
+Drives :func:`repro.serve.run_serving_benchmark` — closed-loop clients
+against the sharded multi-process :class:`repro.serve.LocalizationServer` —
+and records the result to ``BENCH_serving.json``
+(schema ``repro.serve.bench.v1``).  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--quick]
+
+or as part of the benchmark suite (``pytest benchmarks/``).
+
+Worker processes each pin a single BLAS thread (set below, before NumPy
+loads) so the scaling sweep measures *process* sharding, not BLAS
+oversubscription; on an N-core host the aggregate throughput at
+``min(N, 4)`` workers is the headline number.  Hosts with fewer than 4
+cores cannot express the ≥2x @ 4-workers gate — the record then carries
+``scaling.hardware_limited: true`` and the assertion is skipped.
+"""
+
+import argparse
+import os
+import sys
+
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+os.environ.setdefault("MKL_NUM_THREADS", "1")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+from repro.serve import format_summary, run_serving_benchmark, write_benchmark
+
+
+def run(quick: bool = False, out: str | None = None) -> dict:
+    result = run_serving_benchmark(quick=quick)
+    print()
+    print(format_summary(result))
+    destination = out or os.path.join(REPO_ROOT, "BENCH_serving.json")
+    print(f"wrote {write_benchmark(result, destination)}")
+    return result
+
+
+def _gates_ok(result: dict) -> bool:
+    drill = result["fault_tolerance"]
+    if not drill["ok"]:
+        return False
+    scaling = result["scaling"]
+    if not scaling["hardware_limited"] and not scaling["gate_2x_at_4_workers"]:
+        return False
+    return True
+
+
+def test_serving_baseline():
+    """Acceptance gate: the kill-one-worker drill loses no requests, and —
+    when the host has the cores to show it — 4 workers deliver ≥2x the
+    aggregate throughput of 1 worker on batched load."""
+    quick = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+    result = run(quick=quick)
+    drill = result["fault_tolerance"]
+    assert drill["lost"] == 0, f"lost requests after worker crash: {drill}"
+    assert drill["restarts"] >= 1, f"no restart recorded: {drill}"
+    scaling = result["scaling"]
+    if not scaling["hardware_limited"]:
+        assert scaling["gate_2x_at_4_workers"], (
+            f"4-worker speedup {scaling['speedup_4_vs_1']:.2f}x < 2x "
+            f"on a {result['config']['cpu_count']}-core host"
+        )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: shrink the load so the sweep runs "
+                             "in seconds")
+    parser.add_argument("--out", default=None,
+                        help="result path (default: <repo>/BENCH_serving.json)")
+    args = parser.parse_args()
+    result = run(quick=args.quick, out=args.out)
+    sys.exit(0 if _gates_ok(result) else 1)

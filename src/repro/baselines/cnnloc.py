@@ -94,6 +94,7 @@ class CnnLocLocalizer(DamMixin, Localizer):
         self.trainer: nn.Trainer | None = None
         self._coord_scale: np.ndarray | None = None
         self._coord_offset: np.ndarray | None = None
+        self._compiled = None
 
     def _resolve_sae_units(self, input_dim: int) -> tuple[int, ...]:
         """Original CNNLoc compresses ~2×/4×; scale widths to the input."""
@@ -102,6 +103,7 @@ class CnnLocLocalizer(DamMixin, Localizer):
         return (max(8, input_dim // 2), max(8, input_dim // 4))
 
     def fit(self, train: FingerprintDataset) -> "CnnLocLocalizer":
+        self._compiled = None  # refitting invalidates the compiled engine
         self._remember_rps(train)
         self._fit_dam(train.features)
         rng = np.random.default_rng(self.seed)
@@ -149,6 +151,34 @@ class CnnLocLocalizer(DamMixin, Localizer):
         self.trainer.fit(train.features, targets)
         return self
 
+    def compile_inference(self):
+        """Compile (and cache) the SAE encoder + CNN head as a tape-free
+        program via :func:`repro.infer.compile_chain`.
+
+        The Conv1d/ReLU/Flatten chain mirrors :meth:`_CnnHead.forward`
+        exactly (the compiled Conv1d promotes the 2-D SAE code to a
+        single-channel sequence, Dropout vanishes in eval mode).  After
+        this call :meth:`predict_coordinates` / :meth:`predict` run
+        without touching the autograd tape; refitting invalidates the
+        compiled engine.
+        """
+        if self.network is None:
+            raise RuntimeError("CNNLoc not fitted")
+        from repro.infer import compile_chain
+
+        head = self.network.head
+        self._compiled = compile_chain(
+            [
+                self.network.sae.encoder,
+                head.conv1, nn.ReLU(),
+                head.conv2, nn.ReLU(),
+                nn.Flatten(),
+                head.regressor,
+            ],
+            source="CNNLoc",
+        )
+        return self._compiled
+
     def predict_coordinates(self, features: np.ndarray) -> np.ndarray:
         """Raw regressed plan coordinates in meters, before RP snapping."""
         if self.network is None:
@@ -156,7 +186,10 @@ class CnnLocLocalizer(DamMixin, Localizer):
         vectors = flatten_channels(
             select_channels(self._normalize(features), self.channels)
         )
-        scaled = self.trainer.predict(vectors)
+        if self._compiled is not None:
+            scaled = self._compiled.predict_many(vectors, max_batch=self.batch_size)
+        else:
+            scaled = self.trainer.predict(vectors)
         coords = scaled * self._coord_scale + self._coord_offset
         # Regression can extrapolate; clamp to the surveyed area (plus a
         # small margin) — coordinates outside the building are meaningless.

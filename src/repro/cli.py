@@ -8,8 +8,9 @@ Commands
 ``compare``     run the framework comparison on one benchmark building
 ``buildings``   list the benchmark buildings and device tables
 ``infer-bench`` fused-inference throughput benchmark → BENCH_inference.json
+``serve``       multi-process serving demo / benchmark → BENCH_serving.json
 
-Every command is deterministic given ``--seed``.
+Every command is deterministic given ``--seed`` (timings aside).
 """
 
 from __future__ import annotations
@@ -77,6 +78,39 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--out", default="BENCH_inference.json",
                        help="result JSON path (default: BENCH_inference.json)")
+    bench.add_argument("--check", action="store_true",
+                       help="perf regression gate: compare against the recorded "
+                            "baseline at --out instead of overwriting it; exits "
+                            "non-zero if fused p50 regresses > 25%%")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sharded multi-process serving layer under a "
+             "closed-loop synthetic load",
+    )
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes (shards)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batcher capacity in samples")
+    serve.add_argument("--deadline-ms", type=float, default=2.0,
+                       help="max batching delay before a partial batch dispatches")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="closed-loop load-generator client threads")
+    serve.add_argument("--requests", type=int, default=24,
+                       help="requests per client thread")
+    serve.add_argument("--request-size", type=int, default=None,
+                       help="samples per request (default: --max-batch)")
+    serve.add_argument("--image-size", type=int, default=24)
+    serve.add_argument("--num-classes", type=int, default=32)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--bench", action="store_true",
+                       help="run the full worker-scaling + deadline-sweep + "
+                            "fault-tolerance benchmark and write --out")
+    serve.add_argument("--quick", action="store_true",
+                       help="smoke mode: shrink the load so everything runs "
+                            "in seconds")
+    serve.add_argument("--out", default="BENCH_serving.json",
+                       help="benchmark JSON path (with --bench)")
     return parser
 
 
@@ -178,8 +212,23 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_infer_bench(args) -> int:
-    from repro.infer import format_summary, run_inference_benchmark, write_benchmark
+    from repro.infer import (
+        check_regression,
+        format_check,
+        format_summary,
+        load_baseline,
+        run_inference_benchmark,
+        write_benchmark,
+    )
 
+    baseline = None
+    if args.check:
+        try:
+            baseline = load_baseline(args.out)
+        except FileNotFoundError:
+            print(f"no recorded baseline at {args.out}; run infer-bench "
+                  "without --check first")
+            return 2
     result = run_inference_benchmark(
         image_size=args.image_size,
         num_classes=args.num_classes,
@@ -190,8 +239,91 @@ def _cmd_infer_bench(args) -> int:
         quick=args.quick,
     )
     print(format_summary(result))
+    if args.check:
+        problems = check_regression(result, baseline)
+        print()
+        print(format_check(result, baseline, problems))
+        return 1 if problems else 0
     print(f"wrote {write_benchmark(result, args.out)}")
     return 0
+
+
+#: BLAS pinning for the serving benchmark: one BLAS thread per worker
+#: process, so the scaling sweep measures process sharding rather than
+#: BLAS oversubscription (mirrors benchmarks/bench_serving.py).
+_BLAS_PIN = {"OPENBLAS_NUM_THREADS": "1", "OMP_NUM_THREADS": "1",
+             "MKL_NUM_THREADS": "1"}
+
+
+def _reexec_with_pinned_blas() -> None:
+    """Re-exec ``python -m repro.cli ...`` with BLAS thread pinning set.
+
+    NumPy is already loaded by the time a subcommand runs (importing the
+    ``repro`` package pulls it in), so setting the environment here would
+    be too late for the current process; a one-time re-exec applies it
+    before the interpreter starts.  ``_REPRO_BLAS_PINNED`` guards against
+    looping."""
+    import os
+
+    if os.environ.get("_REPRO_BLAS_PINNED") or all(
+        os.environ.get(k) == v for k, v in _BLAS_PIN.items()
+    ):
+        return
+    env = {**os.environ, **_BLAS_PIN, "_REPRO_BLAS_PINNED": "1"}
+    os.execve(sys.executable,
+              [sys.executable, "-m", "repro.cli", *sys.argv[1:]], env)
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import (
+        LocalizationServer,
+        closed_loop_load,
+        format_summary,
+        make_session,
+        run_serving_benchmark,
+        write_benchmark,
+    )
+
+    if args.bench:
+        result = run_serving_benchmark(
+            image_size=args.image_size,
+            num_classes=args.num_classes,
+            max_batch=args.max_batch,
+            quick=args.quick,
+            seed=args.seed,
+        )
+        print()
+        print(format_summary(result))
+        print(f"wrote {write_benchmark(result, args.out)}")
+        return 0 if result["fault_tolerance"]["ok"] else 1
+
+    import json
+
+    import numpy as np
+
+    session = make_session(args.image_size, args.num_classes,
+                           args.max_batch, args.seed)
+    request_size = args.request_size or args.max_batch
+    requests = max(2, args.requests // 4) if args.quick else args.requests
+    pool = np.random.default_rng(args.seed + 1).standard_normal(
+        (4 * args.max_batch, args.image_size, args.image_size, 3)
+    ).astype(np.float32)
+    print(f"starting {args.workers} worker(s), max_batch={args.max_batch}, "
+          f"deadline={args.deadline_ms}ms ...")
+    with LocalizationServer(session, workers=args.workers,
+                            max_batch=args.max_batch,
+                            max_delay_ms=args.deadline_ms) as server:
+        run = closed_loop_load(
+            server, pool, clients=args.clients,
+            requests_per_client=requests,
+            request_size=request_size, seed=args.seed,
+        )
+    print(f"served {run['total_samples']} samples in {run['elapsed_s']:.2f}s "
+          f"→ {run['samples_per_s']:.0f} samples/s "
+          f"({args.clients} closed-loop clients)")
+    print("server stats:")
+    print(json.dumps(run["stats"], indent=2))
+    return 1 if run["errors"] else 0
 
 
 def _cmd_buildings(_args) -> int:
@@ -210,6 +342,11 @@ def _cmd_buildings(_args) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if argv is None and args.command == "serve":
+        # Real CLI invocation only (never when main() is called with an
+        # explicit argv, e.g. from tests): pin BLAS threads for the
+        # serving benchmark via a one-time re-exec.
+        _reexec_with_pinned_blas()
     handlers = {
         "survey": _cmd_survey,
         "train": _cmd_train,
@@ -217,6 +354,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "buildings": _cmd_buildings,
         "infer-bench": _cmd_infer_bench,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

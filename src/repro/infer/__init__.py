@@ -14,15 +14,20 @@ contiguous float32 weights:
 """
 
 from repro.infer.benchmark import (
+    REGRESSION_THRESHOLD,
+    check_regression,
+    format_check,
     format_summary,
+    load_baseline,
     run_inference_benchmark,
     write_benchmark,
 )
 from repro.infer.compile import CompiledModule, UnsupportedModuleError, compile_chain, compile_module
-from repro.infer.session import InferenceSession
+from repro.infer.session import SNAPSHOT_FORMAT, InferenceSession
 
 __all__ = [
     "InferenceSession",
+    "SNAPSHOT_FORMAT",
     "CompiledModule",
     "UnsupportedModuleError",
     "compile_chain",
@@ -30,4 +35,8 @@ __all__ = [
     "run_inference_benchmark",
     "write_benchmark",
     "format_summary",
+    "load_baseline",
+    "check_regression",
+    "format_check",
+    "REGRESSION_THRESHOLD",
 ]

@@ -174,6 +174,96 @@ def run_inference_benchmark(
     return result
 
 
+#: Default allowed relative worsening of fused p50 latency before
+#: ``infer-bench --check`` fails (the ROADMAP perf-regression gate).
+REGRESSION_THRESHOLD = 0.25
+
+
+def load_baseline(path: str = DEFAULT_OUTPUT) -> dict:
+    """Load a recorded ``repro.infer.bench.v1`` baseline from disk."""
+    with open(path) as handle:
+        baseline = json.load(handle)
+    schema = baseline.get("schema")
+    if schema != "repro.infer.bench.v1":
+        raise ValueError(f"{path} is not an inference baseline (schema {schema!r})")
+    return baseline
+
+
+#: Config keys that must match for a latency comparison to mean anything:
+#: the model geometry, plus ``quick`` so a 10-iteration smoke run is never
+#: judged against a full-length baseline (or vice versa).
+_COMPARABLE_KEYS = ("image_size", "patch_size", "num_patches",
+                    "projection_dim", "num_heads", "encoder_blocks",
+                    "num_classes", "max_batch", "quick")
+
+
+def check_regression(
+    result: dict,
+    baseline: dict,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> list[str]:
+    """Compare a fresh benchmark run against the recorded baseline.
+
+    Returns a list of human-readable failure strings — empty means the
+    gate passes.  The gate is on the *fused* lane only (the served path):
+    single-sample p50 latency may not worsen by more than ``threshold``
+    (relative), and the numerical-equivalence invariants must still hold.
+    The tape/no_grad lanes are informational and never gate.  Runs over a
+    different model geometry than the baseline are refused — comparing
+    them would let a real regression hide behind a smaller model.
+    """
+    problems: list[str] = []
+    result_config = result.get("config", {})
+    baseline_config = baseline.get("config", {})
+    mismatched = [
+        f"{key} {result_config.get(key)!r} != baseline {baseline_config.get(key)!r}"
+        for key in _COMPARABLE_KEYS
+        if result_config.get(key) != baseline_config.get(key)
+    ]
+    if mismatched:
+        return [
+            "config not comparable to the baseline: " + "; ".join(mismatched)
+        ]
+    old_p50 = baseline["single_sample"]["fused"]["p50_ms"]
+    new_p50 = result["single_sample"]["fused"]["p50_ms"]
+    limit = old_p50 * (1.0 + threshold)
+    if new_p50 > limit:
+        problems.append(
+            f"fused single-sample p50 regressed: {new_p50:.3f} ms vs baseline "
+            f"{old_p50:.3f} ms (> +{threshold:.0%} limit {limit:.3f} ms)"
+        )
+    if not result["equivalence"]["argmax_match"]:
+        problems.append("fused argmax no longer matches the reference forward")
+    if result["equivalence"]["max_abs_diff"] >= 1e-5:
+        problems.append(
+            f"fused max|Δlogit| {result['equivalence']['max_abs_diff']:.2e} >= 1e-5"
+        )
+    return problems
+
+
+def format_check(
+    result: dict,
+    baseline: dict,
+    problems: list[str],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> str:
+    """Human-readable report of a --check comparison."""
+    old_p50 = baseline["single_sample"]["fused"]["p50_ms"]
+    new_p50 = result["single_sample"]["fused"]["p50_ms"]
+    delta = (new_p50 - old_p50) / old_p50
+    lines = [
+        "perf regression gate (fused lane vs recorded baseline):",
+        f"  fused p50: {new_p50:.3f} ms vs baseline {old_p50:.3f} ms "
+        f"({delta:+.1%}, limit +{threshold:.0%})",
+    ]
+    if problems:
+        lines.append("  FAIL:")
+        lines.extend(f"    - {problem}" for problem in problems)
+    else:
+        lines.append("  PASS")
+    return "\n".join(lines)
+
+
 def write_benchmark(result: dict, path: str = DEFAULT_OUTPUT) -> str:
     """Write the benchmark record as pretty JSON; returns the path."""
     directory = os.path.dirname(os.path.abspath(path))

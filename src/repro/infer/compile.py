@@ -5,7 +5,8 @@ containers and leaf layers) in forward order and emits a flat list of pure
 NumPy ops over contiguous float32 weight exports.  LayerNorm and eval-mode
 BatchNorm1d are folded into the dense layer that follows them; Dropout and
 Identity disappear entirely.  This covers the dense baseline networks
-(SHERPA's feature extractor, WiDeep's autoencoder encoder, MLP heads);
+(SHERPA's feature extractor, WiDeep's autoencoder encoder, MLP heads) and
+the CNNLoc convolutional stack (Conv1d / MaxPool1d / GlobalAveragePool1d);
 the ViT has its own dedicated engine in
 :class:`repro.infer.InferenceSession`.
 """
@@ -19,6 +20,7 @@ from scipy import special as _special
 
 from repro import nn
 from repro.infer.ops import contiguous_f32, fold_norm_into_dense
+from repro.infer.session import _validate_max_batch
 
 _Op = Callable[[np.ndarray], np.ndarray]
 
@@ -73,6 +75,37 @@ def _dense_op(weight: np.ndarray, bias: np.ndarray | None) -> _Op:
     return lambda x: x @ weight + bias
 
 
+def _conv1d_op(weight: np.ndarray, bias: np.ndarray | None,
+               stride: int, padding: int, in_channels: int) -> _Op:
+    """Channels-first 1-D cross-correlation matching :func:`repro.nn.conv1d`.
+
+    A 2-D ``(batch, length)`` input is promoted to ``(batch, 1, length)``
+    when the layer expects a single channel — the CNNLoc head feeds its SAE
+    code to the convolution exactly this way.
+    """
+    def conv(x: np.ndarray) -> np.ndarray:
+        if x.ndim == 2 and in_channels == 1:
+            x = x[:, None, :]
+        padded = np.pad(x, ((0, 0), (0, 0), (padding, padding))) if padding else x
+        windows = np.lib.stride_tricks.sliding_window_view(
+            padded, weight.shape[2], axis=2
+        )[:, :, ::stride]
+        out = np.einsum("bclk,ock->bol", windows, weight, optimize=True)
+        if bias is not None:
+            out += bias[None, :, None]
+        return out
+
+    return conv
+
+
+def _max_pool1d_op(kernel: int, stride: int) -> _Op:
+    def pool(x: np.ndarray) -> np.ndarray:
+        windows = np.lib.stride_tricks.sliding_window_view(x, kernel, axis=2)[:, :, ::stride]
+        return windows.max(axis=-1)
+
+    return pool
+
+
 def _norm_op(gamma, beta, eps: float) -> _Op:
     def norm(x):
         mean = x.mean(axis=-1, keepdims=True)
@@ -109,6 +142,7 @@ class CompiledModule:
 
     def predict_many(self, features: np.ndarray, max_batch: int = 256) -> np.ndarray:
         """Micro-batched forward for large server-style workloads."""
+        max_batch = _validate_max_batch(max_batch)
         x = np.asarray(features, dtype=np.float32)
         if len(x) <= max_batch:
             return self.predict(x)
@@ -144,6 +178,24 @@ def compile_chain(modules: Iterable[nn.Module], source: str = "chain") -> Compil
                 contiguous_f32(layer.weight.data),
                 contiguous_f32(layer.bias.data) if layer.bias is not None else None,
             ))
+            index += 1
+            continue
+        if isinstance(layer, nn.Conv1d):
+            ops.append(_conv1d_op(
+                contiguous_f32(layer.weight.data),
+                contiguous_f32(layer.bias.data) if layer.bias is not None else None,
+                layer.stride,
+                layer.padding,
+                layer.in_channels,
+            ))
+            index += 1
+            continue
+        if isinstance(layer, nn.MaxPool1d):
+            ops.append(_max_pool1d_op(layer.kernel_size, layer.stride))
+            index += 1
+            continue
+        if isinstance(layer, nn.GlobalAveragePool1d):
+            ops.append(lambda x: x.mean(axis=-1))
             index += 1
             continue
         if isinstance(layer, nn.LayerNorm):
@@ -191,8 +243,9 @@ def compile_chain(modules: Iterable[nn.Module], source: str = "chain") -> Compil
             index += 1
             continue
         raise UnsupportedModuleError(
-            f"cannot compile layer {layer!r}; supported: Dense, activations, "
-            "LayerNorm, BatchNorm1d (eval), Dropout, Flatten, Identity "
+            f"cannot compile layer {layer!r}; supported: Dense, Conv1d, "
+            "MaxPool1d, GlobalAveragePool1d, activations, LayerNorm, "
+            "BatchNorm1d (eval), Dropout, Flatten, Identity "
             "(use InferenceSession for the ViT)"
         )
     return CompiledModule(ops, source)

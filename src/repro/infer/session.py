@@ -35,6 +35,28 @@ from repro.vit.model import VitalModel
 from repro.vit.patching import patch_index_grid
 
 
+#: Version tag of the picklable session snapshot shipped to serving workers.
+SNAPSHOT_FORMAT = "repro.infer.session/v1"
+
+
+def _validate_max_batch(value) -> int:
+    """Validate a micro-batch capacity before any buffer allocation happens.
+
+    Shared by :class:`InferenceSession`, :class:`repro.infer.CompiledModule`
+    and the serving layer so the error reads the same everywhere."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(
+            f"max_batch must be a positive integer, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    if value < 1:
+        raise ValueError(
+            f"max_batch must be >= 1, got {value}; micro-batches hold at "
+            "least one sample"
+        )
+    return int(value)
+
+
 def _collect_dense_chain(sequential: nn.Sequential, what: str) -> list[nn.Dense]:
     """Extract the Dense layers of a Dense/GELU/Dropout sequential chain."""
     denses: list[nn.Dense] = []
@@ -100,6 +122,20 @@ class _BlockProgram:
         self.out_dim = block.out_dim
         self._buffers_for = None
         self._max_batch = max_batch
+
+    #: Lazily (re)allocated scratch attributes, excluded from pickles so a
+    #: snapshot ships only the compiled weights.
+    _SCRATCH = ("normed", "qkv", "scores", "context", "merged",
+                "mlp_bufs", "gelu_tmp", "block_out")
+
+    def __getstate__(self) -> dict:
+        state = {k: v for k, v in self.__dict__.items() if k not in self._SCRATCH}
+        state["_buffers_for"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._buffers_for = None
 
     def _allocate(self, seq: int) -> None:
         """Scratch buffers for ``(max_batch, seq)`` inputs, reused per call."""
@@ -182,9 +218,7 @@ class InferenceSession:
                 f"InferenceSession compiles VitalModel, got {type(model).__name__}; "
                 "use repro.infer.compile_module for sequential baseline models"
             )
-        if max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
-        self.max_batch = int(max_batch)
+        self.max_batch = _validate_max_batch(max_batch)
         self.image_size = model.image_size
         self.channels = model.channels
         self.patch_size = model.patch_size
@@ -221,9 +255,13 @@ class InferenceSession:
         self.eps_final = model.final_norm.eps
         self.final_width = model.final_norm.features
 
-        # --- scratch buffers shared across calls
+        self._allocate_scratch()
+
+    def _allocate_scratch(self) -> None:
+        """(Re)allocate the top-level scratch buffers shared across calls."""
         B, N = self.max_batch, self.num_patches
         f32 = np.float32
+        patch_dim = self.patch_grid.shape[1]
         self._patches = np.empty((B, N, patch_dim), dtype=f32)
         self._tokens = np.empty((B, N, self.w_embed.shape[1]), dtype=f32)
         self._final_normed = np.empty((B, N, self.final_width), dtype=f32)
@@ -231,6 +269,41 @@ class InferenceSession:
         head_widths = [w.shape[1] for w, _b in self.head_weights]
         self._head_bufs = [np.empty((B, u), dtype=f32) for u in head_widths]
         self._head_tmp = np.empty((B, max(head_widths)), dtype=f32)
+
+    # -- snapshot / restore -------------------------------------------
+    #: Scratch attributes excluded from pickles; rebuilt on restore.
+    _SCRATCH = ("_patches", "_tokens", "_final_normed", "_pooled",
+                "_head_bufs", "_head_tmp")
+
+    def __getstate__(self) -> dict:
+        return {k: v for k, v in self.__dict__.items() if k not in self._SCRATCH}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._allocate_scratch()
+
+    def snapshot(self) -> dict:
+        """Compact, picklable snapshot of the compiled engine.
+
+        The snapshot holds only the flat float32 weight arrays, the gather
+        grid and the geometry — no scratch buffers, no model, no tape — so
+        it is cheap to ship over a ``multiprocessing`` pipe/queue to
+        serving workers.  The arrays are shared, not copied (zero-copy
+        handoff under ``fork``; pickled once under ``spawn``).
+        """
+        return {"format": SNAPSHOT_FORMAT, "state": self.__getstate__()}
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "InferenceSession":
+        """Rebuild a session from :meth:`snapshot` without a ``VitalModel``."""
+        if not isinstance(snapshot, dict) or snapshot.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"not an InferenceSession snapshot (expected format "
+                f"{SNAPSHOT_FORMAT!r}, got {snapshot.get('format') if isinstance(snapshot, dict) else snapshot!r})"
+            )
+        session = cls.__new__(cls)
+        session.__setstate__(snapshot["state"])
+        return session
 
     # ------------------------------------------------------------------
     @classmethod
@@ -299,8 +372,8 @@ class InferenceSession:
     def predict_many(self, images, max_batch: int | None = None) -> np.ndarray:
         """Logits for an arbitrary workload, chunked through the scratch
         buffers ``max_batch`` samples at a time."""
-        if max_batch is not None and max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
+        if max_batch is not None:
+            max_batch = _validate_max_batch(max_batch)
         x = self._coerce(images)
         chunk = min(self.max_batch, max_batch or self.max_batch)
         out = np.empty((len(x), self.num_classes), dtype=np.float32)

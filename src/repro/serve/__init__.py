@@ -1,0 +1,42 @@
+"""Sharded multi-process serving layer for the VITAL reproduction.
+
+Built on :class:`repro.infer.InferenceSession` (picklable flat float32
+arrays — no tape, no closures), this package turns the compiled engine
+into an online serving system:
+
+* :class:`LocalizationServer` — forks N worker processes, each restoring
+  a session from a snapshot shipped over a ``multiprocessing`` queue;
+  fronted by a request queue, an adaptive micro-batcher
+  (:class:`AdaptiveBatchPolicy`) and least-loaded shard routing, with
+  health-checked workers that restart on crash without losing requests.
+* :mod:`repro.serve.stats` — per-shard counters, batch-size histograms
+  and latency reservoirs surfaced by ``LocalizationServer.stats()``.
+* :mod:`repro.serve.bench` — the closed-loop load generator and the
+  worker-scaling / batching-deadline / fault-tolerance benchmark recorded
+  in ``BENCH_serving.json`` (CLI: ``repro serve``).
+"""
+
+from repro.serve.batcher import AdaptiveBatchPolicy
+from repro.serve.bench import (
+    closed_loop_load,
+    format_summary,
+    make_session,
+    run_fault_tolerance_drill,
+    run_serving_benchmark,
+    write_benchmark,
+)
+from repro.serve.server import LocalizationServer
+from repro.serve.stats import LatencyReservoir, ShardStats
+
+__all__ = [
+    "LocalizationServer",
+    "AdaptiveBatchPolicy",
+    "LatencyReservoir",
+    "ShardStats",
+    "closed_loop_load",
+    "make_session",
+    "run_fault_tolerance_drill",
+    "run_serving_benchmark",
+    "format_summary",
+    "write_benchmark",
+]

@@ -1,0 +1,85 @@
+"""Adaptive micro-batching policy for the serving dispatcher.
+
+The dispatcher coalesces pending requests into one worker batch.  Waiting
+longer fills bigger batches (better throughput); dispatching sooner cuts
+queueing latency.  :class:`AdaptiveBatchPolicy` decides *how long to keep
+waiting* from two signals:
+
+* a hard latency deadline (``max_delay_ms`` after the oldest pending
+  request arrived) — the worst-case batching delay a request can pay;
+* an exponential moving average of request inter-arrival time — if the
+  observed arrival rate cannot plausibly fill the remaining batch slots
+  before the deadline, the policy stops waiting *now* instead of burning
+  the full deadline on traffic that is not coming.
+
+The policy is pure (no threads, no clocks of its own): the dispatcher
+feeds it timestamps and pending counts, and it answers with a wait budget
+in seconds.  This keeps it unit-testable without spawning a server.
+"""
+
+from __future__ import annotations
+
+
+class AdaptiveBatchPolicy:
+    """Decide how long the dispatcher may keep coalescing a batch.
+
+    Parameters
+    ----------
+    max_batch:
+        Target batch capacity in samples (a single oversized request still
+        dispatches alone; the worker chunks it internally).
+    max_delay_ms:
+        Hard ceiling on how long the oldest pending request may wait
+        before its batch is dispatched, full or not.
+    ema_alpha:
+        Smoothing factor of the inter-arrival EMA (higher = adapts
+        faster to traffic changes).
+    """
+
+    #: Below this wait budget (seconds) the dispatcher should just go.
+    MIN_WAIT_S = 1e-4
+
+    def __init__(self, max_batch: int, max_delay_ms: float = 2.0,
+                 ema_alpha: float = 0.2):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_ms) / 1e3
+        self.ema_alpha = float(ema_alpha)
+        self._last_arrival: float | None = None
+        self.ema_interarrival_s: float | None = None
+
+    def observe_arrival(self, now: float) -> None:
+        """Update the inter-arrival EMA with a request arriving at ``now``."""
+        if self._last_arrival is not None:
+            gap = max(0.0, now - self._last_arrival)
+            if self.ema_interarrival_s is None:
+                self.ema_interarrival_s = gap
+            else:
+                self.ema_interarrival_s += self.ema_alpha * (gap - self.ema_interarrival_s)
+        self._last_arrival = now
+
+    def wait_budget(self, pending_samples: int, oldest_age_s: float) -> float:
+        """Seconds the dispatcher may keep waiting for more requests.
+
+        ``pending_samples`` is the queued sample count, ``oldest_age_s``
+        how long ago the oldest pending request arrived.  Returns 0 when
+        the batch should be dispatched immediately.
+        """
+        if pending_samples >= self.max_batch:
+            return 0.0  # full batch — never wait
+        remaining = self.max_delay_s - oldest_age_s
+        if remaining <= self.MIN_WAIT_S:
+            return 0.0  # deadline hit
+        if self.ema_interarrival_s is None:
+            return remaining  # no traffic model yet — trust the deadline
+        # Time the current arrival rate needs to fill the rest of the batch.
+        expected_fill = self.ema_interarrival_s * (self.max_batch - pending_samples)
+        if expected_fill <= self.MIN_WAIT_S:
+            # Arrivals are far faster than the clock granularity; a single
+            # short wait will fill the batch.
+            return min(remaining, self.MIN_WAIT_S * 10)
+        budget = min(remaining, expected_fill)
+        return budget if budget > self.MIN_WAIT_S else 0.0

@@ -1,0 +1,339 @@
+"""Serving benchmark: closed-loop load generation, scaling + deadline sweeps.
+
+Three experiments, recorded to ``BENCH_serving.json``
+(schema ``repro.serve.bench.v1``):
+
+* **throughput_vs_workers** — closed-loop clients hammer the server with
+  ``max_batch``-sized requests at worker counts 1/2/4; aggregate
+  samples-per-second per worker count, plus the speedup over one worker.
+  On a single-core host process sharding cannot beat one worker — the
+  record carries ``cpu_count`` and a ``hardware_limited`` flag so the
+  ≥2x @ 4-workers gate is asserted only where the hardware can express it.
+* **deadline_sweep** — single-image closed-loop clients against a fixed
+  shard count while the micro-batcher deadline sweeps; reads out the
+  batching trade-off (mean coalesced batch size vs request latency).
+* **fault_tolerance** — a kill-one-worker drill: SIGKILL a busy shard
+  mid-load and verify every submitted request still completes (the
+  monitor restarts the worker and re-dispatches its in-flight batches).
+
+Run via ``python -m repro.cli serve --bench`` or
+``python benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.infer.session import InferenceSession
+from repro.serve.server import LocalizationServer
+
+DEFAULT_OUTPUT = "BENCH_serving.json"
+SCHEMA = "repro.serve.bench.v1"
+
+
+def make_session(
+    image_size: int = 24,
+    num_classes: int = 32,
+    max_batch: int = 32,
+    seed: int = 0,
+) -> InferenceSession:
+    """A compiled session over the fast-scale VITAL geometry (random
+    weights — serving throughput does not depend on training)."""
+    from repro.vit.config import VitalConfig
+    from repro.vit.model import VitalModel
+
+    rng = np.random.default_rng(seed)
+    model = VitalModel(
+        VitalConfig.fast(image_size),
+        image_size=image_size,
+        channels=3,
+        num_classes=num_classes,
+        rng=rng,
+    )
+    return InferenceSession(model, max_batch=max_batch)
+
+
+def closed_loop_load(
+    server: LocalizationServer,
+    images: np.ndarray,
+    clients: int,
+    requests_per_client: int,
+    request_size: int,
+    seed: int = 0,
+    timeout: float = 120.0,
+) -> dict:
+    """Closed-loop load generator: each client thread submits one request,
+    blocks for its result, then immediately submits the next.
+
+    Returns aggregate throughput plus the server's own stats snapshot.
+    """
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, max(1, len(images) - request_size),
+                          size=(clients, requests_per_client))
+    errors: list[str] = []
+    done = threading.Barrier(clients + 1)
+
+    def client(worker_index: int) -> None:
+        try:
+            for step in range(requests_per_client):
+                begin = int(starts[worker_index, step])
+                request_id = server.submit(images[begin : begin + request_size])
+                server.result(request_id, timeout=timeout)
+        except Exception as error:  # surface, don't hang the barrier
+            errors.append(f"client {worker_index}: {error}")
+        finally:
+            done.wait()
+
+    threads = [threading.Thread(target=client, args=(i,), daemon=True)
+               for i in range(clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    done.wait()
+    elapsed = time.perf_counter() - start
+    for thread in threads:
+        thread.join(timeout=5.0)
+
+    total_samples = clients * requests_per_client * request_size
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "request_size": request_size,
+        "total_samples": total_samples,
+        "elapsed_s": elapsed,
+        "samples_per_s": total_samples / elapsed if elapsed > 0 else 0.0,
+        "errors": errors,
+        "stats": server.stats(),
+    }
+
+
+def run_fault_tolerance_drill(
+    session: InferenceSession,
+    images: np.ndarray,
+    requests: int = 40,
+    request_size: int = 8,
+    workers: int = 2,
+    timeout: float = 60.0,
+) -> dict:
+    """Kill a busy worker mid-load; verify no request is lost.
+
+    Submits ``requests`` requests, SIGKILLs shard 0's process once a few
+    results are in, then collects *every* result.  Success means all
+    requests completed and the stats show at least one restart.
+    """
+    rng = np.random.default_rng(7)
+    with LocalizationServer(session, workers=workers, max_delay_ms=1.0,
+                            health_interval_s=0.05) as server:
+        ids = []
+        victim = server._shards[0].process
+        for index in range(requests):
+            begin = int(rng.integers(0, max(1, len(images) - request_size)))
+            ids.append(server.submit(images[begin : begin + request_size]))
+            if index == requests // 4:
+                victim.kill()  # SIGKILL — no cleanup, worst-case crash
+            time.sleep(0.002)  # steady trickle keeps batches in flight
+        completed = 0
+        failures: list[str] = []
+        for request_id in ids:
+            try:
+                logits = server.result(request_id, timeout=timeout)
+                assert logits.shape == (request_size, server.num_classes)
+                completed += 1
+            except Exception as error:
+                failures.append(str(error))
+        stats = server.stats()
+    restarts = sum(shard["restarts"] for shard in stats["shards"])
+    return {
+        "requests": requests,
+        "completed": completed,
+        "lost": requests - completed,
+        "failures": failures[:5],
+        "restarts": restarts,
+        "ok": completed == requests and restarts >= 1,
+    }
+
+
+def run_serving_benchmark(
+    image_size: int = 24,
+    num_classes: int = 32,
+    max_batch: int = 32,
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+    deadlines_ms: tuple[float, ...] = (0.5, 2.0, 8.0),
+    quick: bool = False,
+    seed: int = 0,
+    verbose: bool = True,
+) -> dict:
+    """Run all three serving experiments; returns the result record."""
+    requests_per_client = 6 if quick else 24
+    clients = 4 if quick else 8
+    deadline_requests = 30 if quick else 120
+    drill_requests = 24 if quick else 60
+
+    session = make_session(image_size, num_classes, max_batch, seed)
+    rng = np.random.default_rng(seed + 1)
+    pool = rng.standard_normal(
+        (4 * max_batch, image_size, image_size, 3)
+    ).astype(np.float32)
+
+    def log(message: str) -> None:
+        if verbose:
+            print(message, flush=True)
+
+    # --- experiment 1: throughput vs worker count (batched load)
+    throughput_rows = []
+    for workers in worker_counts:
+        with LocalizationServer(session, workers=workers, max_batch=max_batch,
+                                max_delay_ms=2.0) as server:
+            run = closed_loop_load(
+                server, pool, clients=clients,
+                requests_per_client=requests_per_client,
+                request_size=max_batch, seed=seed,
+            )
+        row = {
+            "workers": workers,
+            "samples_per_s": run["samples_per_s"],
+            "elapsed_s": run["elapsed_s"],
+            "total_samples": run["total_samples"],
+            "errors": len(run["errors"]),
+            "request_latency_ms": run["stats"]["request_latency_ms"],
+            "per_shard_samples": [s["samples"] for s in run["stats"]["shards"]],
+        }
+        throughput_rows.append(row)
+        log(f"  workers={workers}: {row['samples_per_s']:.0f} samples/s "
+            f"(shard split {row['per_shard_samples']})")
+    base = throughput_rows[0]["samples_per_s"]
+    for row in throughput_rows:
+        row["speedup_vs_1"] = row["samples_per_s"] / base if base > 0 else 0.0
+
+    # --- experiment 2: batching-deadline sweep (single-image load)
+    deadline_rows = []
+    sweep_workers = min(2, max(worker_counts))
+    for deadline_ms in deadlines_ms:
+        with LocalizationServer(session, workers=sweep_workers,
+                                max_batch=max_batch,
+                                max_delay_ms=deadline_ms) as server:
+            run = closed_loop_load(
+                server, pool, clients=max(8, clients),
+                requests_per_client=max(4, deadline_requests // max(8, clients)),
+                request_size=1, seed=seed + 2,
+            )
+        shards = run["stats"]["shards"]
+        sizes = [s["mean_batch_size"] for s in shards if s["mean_batch_size"]]
+        batches = sum(s["batches"] for s in shards)
+        row = {
+            "deadline_ms": deadline_ms,
+            "workers": sweep_workers,
+            "mean_batch_size": float(np.mean(sizes)) if sizes else None,
+            "batches": batches,
+            "samples_per_s": run["samples_per_s"],
+            "request_latency_ms": run["stats"]["request_latency_ms"],
+        }
+        deadline_rows.append(row)
+        latency = row["request_latency_ms"]["p50_ms"]
+        log(f"  deadline={deadline_ms}ms: mean batch "
+            f"{row['mean_batch_size'] and round(row['mean_batch_size'], 2)}, "
+            f"p50 {latency and round(latency, 2)} ms")
+
+    # --- experiment 3: kill-one-worker drill
+    log("  fault-tolerance drill (SIGKILL one busy worker)...")
+    drill = run_fault_tolerance_drill(
+        session, pool, requests=drill_requests, request_size=8, workers=2,
+    )
+    log(f"  drill: {drill['completed']}/{drill['requests']} completed, "
+        f"{drill['restarts']} restart(s), lost={drill['lost']}")
+
+    cpu_count = os.cpu_count() or 1
+    peak = max(throughput_rows, key=lambda row: row["samples_per_s"])
+    four = next((r for r in throughput_rows if r["workers"] == 4), None)
+    result = {
+        "schema": SCHEMA,
+        "config": {
+            "image_size": image_size,
+            "num_classes": num_classes,
+            "max_batch": max_batch,
+            "worker_counts": list(worker_counts),
+            "deadlines_ms": list(deadlines_ms),
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+            "cpu_count": cpu_count,
+            "quick": quick,
+            "seed": seed,
+        },
+        "throughput_vs_workers": throughput_rows,
+        "deadline_sweep": deadline_rows,
+        "fault_tolerance": drill,
+        "scaling": {
+            "peak_samples_per_s": peak["samples_per_s"],
+            "peak_workers": peak["workers"],
+            "speedup_4_vs_1": four["speedup_vs_1"] if four else None,
+            # One process per core is the most sharding can exploit; below
+            # 4 usable cores the 2x@4-workers gate is not expressible.
+            "hardware_limited": cpu_count < 4,
+            "gate_2x_at_4_workers": (
+                bool(four and four["speedup_vs_1"] >= 2.0) if cpu_count >= 4
+                else None
+            ),
+        },
+    }
+    return result
+
+
+def write_benchmark(result: dict, path: str = DEFAULT_OUTPUT) -> str:
+    """Write the serving benchmark record as pretty JSON; returns the path."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_summary(result: dict) -> str:
+    """Human-readable summary of a serving benchmark record."""
+    lines = [
+        "serving benchmark "
+        f"(image={result['config']['image_size']}, "
+        f"max_batch={result['config']['max_batch']}, "
+        f"cpus={result['config']['cpu_count']})",
+        "  throughput vs workers:",
+    ]
+    for row in result["throughput_vs_workers"]:
+        lines.append(
+            f"    {row['workers']} worker(s): {row['samples_per_s']:8.0f} "
+            f"samples/s ({row['speedup_vs_1']:.2f}x vs 1)"
+        )
+    lines.append("  batching-deadline sweep:")
+    for row in result["deadline_sweep"]:
+        mean_batch = row["mean_batch_size"]
+        p50 = row["request_latency_ms"]["p50_ms"]
+        lines.append(
+            f"    {row['deadline_ms']:5.1f} ms deadline: mean batch "
+            f"{mean_batch:.2f}, p50 latency {p50:.2f} ms"
+            if mean_batch is not None and p50 is not None
+            else f"    {row['deadline_ms']:5.1f} ms deadline: (no data)"
+        )
+    drill = result["fault_tolerance"]
+    lines.append(
+        f"  fault tolerance: {drill['completed']}/{drill['requests']} "
+        f"completed after SIGKILL, {drill['restarts']} restart(s), "
+        f"lost={drill['lost']} → {'OK' if drill['ok'] else 'FAIL'}"
+    )
+    scaling = result["scaling"]
+    if scaling["hardware_limited"]:
+        lines.append(
+            f"  scaling gate: hardware-limited "
+            f"({result['config']['cpu_count']} CPU(s) — the ≥2x @ 4 workers "
+            "gate needs ≥4 cores)"
+        )
+    else:
+        lines.append(
+            f"  scaling gate (≥2x @ 4 workers): "
+            f"{'PASS' if scaling['gate_2x_at_4_workers'] else 'FAIL'} "
+            f"({scaling['speedup_4_vs_1']:.2f}x)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,637 @@
+"""Sharded multi-process serving layer over :class:`repro.infer.InferenceSession`.
+
+Architecture::
+
+    client threads ──submit()──▶ pending deque ──▶ dispatcher thread
+                                                       │  adaptive micro-batcher
+                                                       │  (AdaptiveBatchPolicy)
+                                                       ▼
+                              least-loaded shard task queue (one per worker)
+                                                       │
+                 worker process 0..N-1: InferenceSession.from_snapshot(...)
+                                                       │
+                              per-worker result pipe ──▶ collector thread
+                                                       │
+    client threads ◀──result()── request events ◀──────┘
+
+* Each worker process restores a compiled :class:`InferenceSession` from a
+  snapshot shipped as flat float32 arrays over its task queue — no model,
+  no tape, no closures cross the process boundary.
+* The dispatcher coalesces pending requests up to ``max_batch`` samples or
+  an adaptive latency deadline (:mod:`repro.serve.batcher`) and routes each
+  batch to the shard with the fewest outstanding samples.
+* Results travel over per-worker pipes (single writer each), so a worker
+  dying mid-write can never corrupt another shard's channel.
+* A monitor thread health-checks the workers and restarts crashed ones;
+  every dispatched-but-unfinished batch is tracked in ``_in_flight`` and is
+  re-dispatched after a restart — no request is ever lost to a crash.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import threading
+import time
+from collections import deque
+from multiprocessing import connection as mp_connection
+
+import numpy as np
+
+from repro.infer.session import InferenceSession, _validate_max_batch
+from repro.serve.batcher import AdaptiveBatchPolicy
+from repro.serve.stats import LatencyReservoir, ShardStats
+
+
+def _worker_main(worker_id: int, task_queue, result_conn) -> None:
+    """Worker process loop: restore the session, serve batches until stopped.
+
+    Protocol (task queue → worker): ``("init", snapshot)``,
+    ``("batch", batch_id, images)``, ``("stop",)``.
+    Protocol (worker → result pipe): ``("ready", worker_id)``,
+    ``("done", batch_id, logits, compute_s)``,
+    ``("error", batch_id, message)``.
+    """
+    try:
+        import signal
+
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ImportError, ValueError, OSError):
+        pass
+
+    session = None
+    try:
+        while True:
+            message = task_queue.get()
+            kind = message[0]
+            if kind == "init":
+                session = InferenceSession.from_snapshot(message[1])
+                result_conn.send(("ready", worker_id))
+            elif kind == "batch":
+                _, batch_id, images = message
+                try:
+                    if session is None:
+                        raise RuntimeError("worker received batch before init")
+                    start = time.perf_counter()
+                    logits = session.predict_many(images)
+                    compute_s = time.perf_counter() - start
+                    result_conn.send(("done", batch_id, logits, compute_s))
+                except Exception as error:  # report, keep serving
+                    result_conn.send(
+                        ("error", batch_id, f"{type(error).__name__}: {error}")
+                    )
+            elif kind == "stop":
+                return
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        return  # parent went away — nothing sensible left to do
+
+
+class _Request:
+    """One client request: a micro-batch of images plus its rendezvous."""
+
+    __slots__ = ("id", "images", "n", "enqueued", "event", "result", "error")
+
+    def __init__(self, request_id: int, images: np.ndarray):
+        self.id = request_id
+        self.images = images
+        self.n = len(images)
+        self.enqueued = time.perf_counter()
+        self.event = threading.Event()
+        self.result: np.ndarray | None = None
+        self.error: str | None = None
+
+
+class _Batch:
+    """A dispatched coalesced batch, retained until its results return."""
+
+    __slots__ = ("id", "shard", "requests", "images", "n", "dispatched")
+
+    def __init__(self, batch_id: int, shard: int, requests: list[_Request],
+                 images: np.ndarray):
+        self.id = batch_id
+        self.shard = shard
+        self.requests = requests
+        self.images = images
+        self.n = len(images)
+        self.dispatched = time.perf_counter()
+
+
+class _Shard:
+    """Parent-side handle of one worker process."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.process = None
+        self.task_queue = None
+        self.result_conn = None  # parent end of the worker's result pipe
+        self.outstanding = 0  # dispatched-but-unfinished samples
+        self.ready = threading.Event()
+        self.stats = ShardStats()
+        self.failed = False  # exceeded the restart budget
+        self.conn_dead = False  # EOF seen; awaiting monitor restart
+
+
+class LocalizationServer:
+    """Fan localization inference out over ``workers`` shard processes.
+
+    Parameters
+    ----------
+    source:
+        A compiled :class:`InferenceSession`, a trained
+        :class:`repro.vit.VitalModel`, or a session snapshot dict
+        (:meth:`InferenceSession.snapshot`).
+    workers:
+        Number of worker processes (shards).
+    max_batch:
+        Micro-batcher capacity in samples; defaults to the session's
+        ``max_batch``.
+    max_delay_ms:
+        Hard ceiling on batching delay before a partial batch dispatches.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork`` (cheap,
+        zero-copy snapshot) and falls back to ``spawn``.
+    restart_limit:
+        Restarts allowed per shard before it is marked failed.
+    """
+
+    def __init__(
+        self,
+        source,
+        workers: int = 2,
+        max_batch: int | None = None,
+        max_delay_ms: float = 2.0,
+        start_method: str | None = None,
+        restart_limit: int = 5,
+        health_interval_s: float = 0.2,
+        startup_timeout_s: float = 60.0,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        session = self._as_session(source)
+        self._snapshot = session.snapshot()
+        self.image_size = session.image_size
+        self.channels = session.channels
+        self.num_classes = session.num_classes
+        self.workers = int(workers)
+        self.max_batch = _validate_max_batch(
+            max_batch if max_batch is not None else session.max_batch
+        )
+        self.max_delay_ms = float(max_delay_ms)
+        self.restart_limit = int(restart_limit)
+        self.health_interval_s = float(health_interval_s)
+        self.startup_timeout_s = float(startup_timeout_s)
+
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self._ctx = mp.get_context(start_method)
+        self.start_method = start_method
+
+        self._policy = AdaptiveBatchPolicy(self.max_batch, self.max_delay_ms)
+        self._shards: list[_Shard] = []
+        self._pending: deque[_Request] = deque()
+        self._cond = threading.Condition()  # guards _pending + policy
+        self._lock = threading.RLock()  # guards requests/in-flight/shard state
+        self._requests: dict[int, _Request] = {}
+        self._in_flight: dict[int, _Batch] = {}
+        self._request_ids = itertools.count()
+        self._batch_ids = itertools.count()
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._stopping = False
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._request_latency = LatencyReservoir(maxlen=4096)
+
+    @staticmethod
+    def _as_session(source) -> InferenceSession:
+        if isinstance(source, InferenceSession):
+            return source
+        if isinstance(source, dict):  # a snapshot
+            return InferenceSession.from_snapshot(source)
+        from repro.vit.model import VitalModel
+
+        if isinstance(source, VitalModel):
+            return InferenceSession(source)
+        raise TypeError(
+            "LocalizationServer needs an InferenceSession, a session "
+            f"snapshot, or a VitalModel; got {type(source).__name__}"
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "LocalizationServer":
+        """Launch the worker processes and serving threads; blocks until
+        every worker has restored its session and reported ready."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        for index in range(self.workers):
+            shard = _Shard(index)
+            self._shards.append(shard)
+            self._spawn_worker(shard)
+
+        for name, target in (
+            ("serve-collector", self._collector_loop),
+            ("serve-dispatcher", self._dispatcher_loop),
+            ("serve-monitor", self._monitor_loop),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+        deadline = time.perf_counter() + self.startup_timeout_s
+        for shard in self._shards:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0 or not shard.ready.wait(timeout=remaining):
+                self.close(drain=False)
+                raise RuntimeError(
+                    f"worker {shard.index} failed to become ready within "
+                    f"{self.startup_timeout_s:.0f}s"
+                )
+        return self
+
+    def _spawn_worker(self, shard: _Shard) -> None:
+        """Create the queue/pipe pair and process for ``shard`` and send the
+        session snapshot as its first message."""
+        shard.task_queue = self._ctx.Queue()
+        receive_conn, send_conn = self._ctx.Pipe(duplex=False)
+        shard.result_conn = receive_conn
+        shard.conn_dead = False
+        shard.ready.clear()
+        shard.process = self._ctx.Process(
+            target=_worker_main,
+            args=(shard.index, shard.task_queue, send_conn),
+            name=f"repro-serve-worker-{shard.index}",
+            daemon=True,
+        )
+        shard.process.start()
+        send_conn.close()  # parent keeps only the receiving end
+        shard.task_queue.put(("init", self._snapshot))
+
+    def __enter__(self) -> "LocalizationServer":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def close(self, timeout: float = 10.0, drain: bool = True) -> None:
+        """Stop serving: optionally drain outstanding work, then shut the
+        workers down (politely first, forcibly after ``timeout``)."""
+        if not self._started or self._stopping:
+            return
+        if drain:
+            deadline = time.perf_counter() + timeout
+            while time.perf_counter() < deadline:
+                with self._lock:
+                    idle = not self._in_flight
+                if idle and not self._pending:
+                    break
+                time.sleep(0.01)
+        self._stopping = True
+        with self._cond:
+            self._cond.notify_all()
+        for shard in self._shards:
+            try:
+                if shard.task_queue is not None:
+                    shard.task_queue.put(("stop",))
+            except (ValueError, OSError):
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        for shard in self._shards:
+            process = shard.process
+            if process is not None:
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=1.0)
+            if shard.task_queue is not None:
+                shard.task_queue.close()
+                shard.task_queue.cancel_join_thread()
+            if shard.result_conn is not None:
+                try:
+                    shard.result_conn.close()
+                except OSError:
+                    pass
+        self._fail_outstanding("server closed")
+
+    def _fail_outstanding(self, message: str) -> None:
+        with self._lock:
+            batches = list(self._in_flight.values())
+            self._in_flight.clear()
+            with self._cond:
+                pending = list(self._pending)
+                self._pending.clear()
+            for batch in batches:
+                for request in batch.requests:
+                    self._finish_error(request, message)
+            for request in pending:
+                self._finish_error(request, message)
+
+    # -- client API ----------------------------------------------------
+    def submit(self, images) -> int:
+        """Enqueue one request (a single image or a small batch of images);
+        returns a request id for :meth:`result`."""
+        if not self._started:
+            raise RuntimeError("server not started (call start() or use `with`)")
+        if self._stopping:
+            raise RuntimeError("server is shutting down")
+        x = self._coerce(images)
+        request = _Request(next(self._request_ids), x)
+        with self._lock:
+            self._requests[request.id] = request
+            self._submitted += 1
+        with self._cond:
+            self._pending.append(request)
+            self._policy.observe_arrival(time.perf_counter())
+            self._cond.notify()
+        return request.id
+
+    def result(self, request_id: int, timeout: float | None = None) -> np.ndarray:
+        """Block until ``request_id`` finishes; returns its ``(n, classes)``
+        logits.  Raises ``KeyError`` for unknown ids, ``TimeoutError`` on
+        timeout and ``RuntimeError`` if the request failed server-side.
+
+        A timed-out request stays collectable (call ``result`` again), but
+        a client that gives up on it should call :meth:`cancel` so the
+        server can release the request's buffers."""
+        with self._lock:
+            request = self._requests.get(request_id)
+        if request is None:
+            raise KeyError(f"unknown request id {request_id}")
+        if not request.event.wait(timeout):
+            raise TimeoutError(f"request {request_id} not done within {timeout}s")
+        with self._lock:
+            self._requests.pop(request_id, None)
+        if request.error is not None:
+            raise RuntimeError(f"request {request_id} failed: {request.error}")
+        return request.result
+
+    def cancel(self, request_id: int) -> bool:
+        """Abandon a submitted request and release its bookkeeping.
+
+        Returns True if the id was known.  A batch already dispatched to a
+        worker still computes (results for cancelled requests are simply
+        dropped), but the request no longer retains memory server-side."""
+        with self._lock:
+            request = self._requests.pop(request_id, None)
+            if request is None:
+                return False
+            self._finish_error(request, "cancelled by client")
+        with self._cond:
+            try:
+                self._pending.remove(request)
+            except ValueError:
+                pass  # already dispatched (or completed)
+        return True
+
+    def predict_many(self, images, timeout: float | None = None) -> np.ndarray:
+        """Logits for an arbitrary workload, fanned out across the shards in
+        ``max_batch``-sample requests and reassembled in order."""
+        x = self._coerce(images)
+        if len(x) == 0:
+            return np.empty((0, self.num_classes), dtype=np.float32)
+        ids = [
+            self.submit(x[begin : begin + self.max_batch])
+            for begin in range(0, len(x), self.max_batch)
+        ]
+        return np.concatenate([self.result(i, timeout=timeout) for i in ids], axis=0)
+
+    def predict_labels(self, images, timeout: float | None = None) -> np.ndarray:
+        """Argmax reference-point indices for an arbitrary workload."""
+        return self.predict_many(images, timeout=timeout).argmax(axis=1)
+
+    def _coerce(self, images) -> np.ndarray:
+        x = np.asarray(images, dtype=np.float32)
+        if x.ndim == 3:
+            x = x[None]
+        if x.ndim != 4 or x.shape[1] != self.image_size \
+                or x.shape[2] != self.image_size or x.shape[3] != self.channels:
+            raise ValueError(
+                f"expected (batch, {self.image_size}, {self.image_size}, "
+                f"{self.channels}) images, got {np.shape(images)}"
+            )
+        return np.ascontiguousarray(x)
+
+    # -- dispatcher ----------------------------------------------------
+    def _dispatcher_loop(self) -> None:
+        while not self._stopping:
+            batch_requests = self._gather_batch()
+            if batch_requests:
+                self._dispatch(batch_requests)
+
+    def _gather_batch(self) -> list[_Request]:
+        """Coalesce pending requests per the adaptive policy; blocks until
+        there is something to dispatch or the server stops."""
+        with self._cond:
+            while not self._pending and not self._stopping:
+                self._cond.wait(timeout=0.1)
+            if self._stopping:
+                return []
+            while True:
+                pending_samples = sum(r.n for r in self._pending)
+                oldest_age = time.perf_counter() - self._pending[0].enqueued
+                budget = self._policy.wait_budget(pending_samples, oldest_age)
+                if budget <= 0.0:
+                    break
+                self._cond.wait(timeout=budget)
+                if self._stopping or not self._pending:
+                    return []
+            taken: list[_Request] = [self._pending.popleft()]
+            total = taken[0].n
+            while self._pending and total + self._pending[0].n <= self.max_batch:
+                request = self._pending.popleft()
+                taken.append(request)
+                total += request.n
+            return taken
+
+    def _dispatch(self, requests: list[_Request]) -> None:
+        if len(requests) == 1:
+            images = requests[0].images  # zero-copy for pre-chunked workloads
+        else:
+            images = np.concatenate([r.images for r in requests], axis=0)
+        with self._lock:
+            shards = [s for s in self._shards if not s.failed]
+            if not shards:
+                for request in requests:
+                    self._finish_error(request, "all shards failed")
+                return
+            shard = min(shards, key=lambda s: (s.outstanding, s.index))
+            batch = _Batch(next(self._batch_ids), shard.index, requests, images)
+            self._in_flight[batch.id] = batch
+            shard.outstanding += batch.n
+            shard.stats.record_dispatch(batch.n)
+            try:
+                shard.task_queue.put(("batch", batch.id, images))
+            except (ValueError, OSError):
+                # Queue already broken — leave the batch in _in_flight; the
+                # monitor will re-dispatch it when the shard restarts.
+                pass
+
+    # -- collector -----------------------------------------------------
+    def _collector_loop(self) -> None:
+        while not self._stopping:
+            with self._lock:
+                conns = {
+                    shard.result_conn: shard
+                    for shard in self._shards
+                    if shard.result_conn is not None and not shard.conn_dead
+                }
+            if not conns:
+                time.sleep(0.02)
+                continue
+            try:
+                ready = mp_connection.wait(list(conns), timeout=0.1)
+            except OSError:
+                continue  # a conn got closed under us (restart); re-snapshot
+            for conn in ready:
+                shard = conns[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError, ValueError):
+                    with self._lock:
+                        # Only flag the shard if this is still its live
+                        # connection — a stale conn from before a restart
+                        # must not condemn the healthy replacement.
+                        if conn is shard.result_conn:
+                            shard.conn_dead = True  # monitor restarts it
+                    continue
+                self._handle_result(shard, message)
+
+    def _handle_result(self, shard: _Shard, message) -> None:
+        kind = message[0]
+        if kind == "ready":
+            shard.ready.set()
+            return
+        if kind == "done":
+            _, batch_id, logits, _compute_s = message
+            with self._lock:
+                batch = self._in_flight.pop(batch_id, None)
+                if batch is None:
+                    return  # duplicate after a crash re-dispatch
+                current = self._shards[batch.shard]
+                current.outstanding = max(0, current.outstanding - batch.n)
+                now = time.perf_counter()
+                current.stats.record_complete(
+                    batch.n, (now - batch.dispatched) * 1e3
+                )
+                offset = 0
+                for request in batch.requests:
+                    request.result = logits[offset : offset + request.n]
+                    offset += request.n
+                    self._completed += 1
+                    self._request_latency.add((now - request.enqueued) * 1e3)
+                    request.event.set()
+            return
+        if kind == "error":
+            _, batch_id, text = message
+            with self._lock:
+                batch = self._in_flight.pop(batch_id, None)
+                if batch is None:
+                    return
+                current = self._shards[batch.shard]
+                current.outstanding = max(0, current.outstanding - batch.n)
+                current.stats.record_error()
+                for request in batch.requests:
+                    self._finish_error(request, text)
+
+    def _finish_error(self, request: _Request, message: str) -> None:
+        request.error = message
+        self._failed += 1
+        request.event.set()
+
+    # -- health monitor ------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stopping:
+            time.sleep(self.health_interval_s)
+            if self._stopping:
+                return
+            for shard in self._shards:
+                process = shard.process
+                crashed = (process is not None and not process.is_alive()) \
+                    or shard.conn_dead
+                if crashed and not shard.failed and not self._stopping:
+                    self._restart_shard(shard)
+
+    def _restart_shard(self, shard: _Shard) -> None:
+        """Replace a crashed worker and re-dispatch its unfinished batches."""
+        with self._lock:
+            if self._stopping or shard.failed:
+                return
+            shard.stats.record_restart()
+            if shard.stats.restarts > self.restart_limit:
+                shard.failed = True
+                stranded = [b for b in self._in_flight.values()
+                            if b.shard == shard.index]
+                for batch in stranded:
+                    self._in_flight.pop(batch.id, None)
+                    for request in batch.requests:
+                        self._finish_error(
+                            request,
+                            f"shard {shard.index} exceeded restart limit "
+                            f"({self.restart_limit})",
+                        )
+                return
+            if shard.process is not None and shard.process.is_alive():
+                shard.process.terminate()
+            if shard.process is not None:
+                shard.process.join(timeout=1.0)
+            if shard.task_queue is not None:
+                shard.task_queue.close()
+                shard.task_queue.cancel_join_thread()
+            if shard.result_conn is not None:
+                try:
+                    shard.result_conn.close()
+                except OSError:
+                    pass
+            self._spawn_worker(shard)
+            # Everything this shard had not finished goes back on its queue,
+            # behind the fresh init message — order guarantees the restored
+            # session exists before the first re-dispatched batch runs.
+            redispatched = [b for b in self._in_flight.values()
+                            if b.shard == shard.index]
+            shard.outstanding = sum(b.n for b in redispatched)
+            for batch in redispatched:
+                batch.dispatched = time.perf_counter()
+                shard.task_queue.put(("batch", batch.id, batch.images))
+
+    # -- observability -------------------------------------------------
+    def stats(self) -> dict:
+        """Point-in-time serving statistics (JSON-serializable)."""
+        with self._lock:
+            shards = [
+                {
+                    "worker": shard.index,
+                    "alive": bool(shard.process is not None
+                                  and shard.process.is_alive()),
+                    "failed": shard.failed,
+                    "outstanding_samples": shard.outstanding,
+                    **shard.stats.summary(),
+                }
+                for shard in self._shards
+            ]
+            return {
+                "workers": self.workers,
+                "max_batch": self.max_batch,
+                "max_delay_ms": self.max_delay_ms,
+                "start_method": self.start_method,
+                "queue_depth": len(self._pending),
+                "in_flight_batches": len(self._in_flight),
+                "requests": {
+                    "submitted": self._submitted,
+                    "completed": self._completed,
+                    "failed": self._failed,
+                },
+                "request_latency_ms": self._request_latency.summary(),
+                "shards": shards,
+            }
+
+    def __repr__(self) -> str:
+        state = "running" if self._started and not self._stopping else "idle"
+        return (
+            f"LocalizationServer(workers={self.workers}, "
+            f"max_batch={self.max_batch}, max_delay_ms={self.max_delay_ms}, "
+            f"{state})"
+        )

@@ -1,0 +1,86 @@
+"""Serving-side observability: latency reservoirs and per-shard counters.
+
+All recording methods are called under the server's bookkeeping lock, so
+the classes themselves stay lock-free; ``summary()`` methods return plain
+dicts ready for JSON serialization (``BENCH_serving.json`` embeds them).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+
+class LatencyReservoir:
+    """Sliding reservoir of recent latency samples with percentile summary."""
+
+    def __init__(self, maxlen: int = 2048):
+        self._samples: deque[float] = deque(maxlen=maxlen)
+        self.count = 0
+
+    def add(self, latency_ms: float) -> None:
+        self._samples.append(float(latency_ms))
+        self.count += 1
+
+    def summary(self) -> dict:
+        if not self._samples:
+            return {"count": self.count, "p50_ms": None, "p95_ms": None,
+                    "p99_ms": None, "mean_ms": None}
+        arr = np.asarray(self._samples)
+        return {
+            "count": self.count,
+            "p50_ms": float(np.percentile(arr, 50)),
+            "p95_ms": float(np.percentile(arr, 95)),
+            "p99_ms": float(np.percentile(arr, 99)),
+            "mean_ms": float(arr.mean()),
+        }
+
+
+class ShardStats:
+    """Counters for one worker shard: batches, samples, restarts, timing.
+
+    ``batch_size_hist`` maps dispatched batch size (samples) → count, the
+    direct read-out of how well the micro-batcher is coalescing.
+    ``service_ms`` measures dispatch → completion (queue wait + compute).
+    """
+
+    def __init__(self):
+        self.batches = 0
+        self.samples = 0
+        self.errors = 0
+        self.restarts = 0
+        self.batch_size_hist: dict[int, int] = {}
+        self.service_ms = LatencyReservoir(maxlen=512)
+
+    def record_dispatch(self, batch_size: int) -> None:
+        self.batches += 1
+        self.batch_size_hist[batch_size] = self.batch_size_hist.get(batch_size, 0) + 1
+
+    def record_complete(self, batch_size: int, service_ms: float) -> None:
+        self.samples += batch_size
+        self.service_ms.add(service_ms)
+
+    def record_error(self) -> None:
+        self.errors += 1
+
+    def record_restart(self) -> None:
+        self.restarts += 1
+
+    def mean_batch_size(self) -> float | None:
+        if not self.batches:
+            return None
+        total = sum(size * count for size, count in self.batch_size_hist.items())
+        return total / self.batches
+
+    def summary(self) -> dict:
+        return {
+            "batches": self.batches,
+            "samples": self.samples,
+            "errors": self.errors,
+            "restarts": self.restarts,
+            "mean_batch_size": self.mean_batch_size(),
+            "batch_size_hist": {str(k): v for k, v in
+                                sorted(self.batch_size_hist.items())},
+            "service_ms": self.service_ms.summary(),
+        }

@@ -267,3 +267,26 @@ class TestCnnLocRegression:
         localizer = CnnLocLocalizer(epochs=10, sae_epochs=5, seed=0).fit(train)
         predictions = localizer.predict(test.features)
         assert set(predictions.tolist()) <= set(range(train.n_rps))
+
+    def test_compile_inference_matches_module_forward(self, split):
+        """The tape-free compiled CNNLoc stack (SAE encoder + Conv1d head)
+        must reproduce the module-forward predictions."""
+        train, test = split
+        localizer = CnnLocLocalizer(epochs=5, sae_epochs=3, seed=0).fit(train)
+        reference_coords = localizer.predict_coordinates(test.features)
+        reference_rps = localizer.predict(test.features)
+        compiled = localizer.compile_inference()
+        assert "CNNLoc" in repr(compiled)
+        np.testing.assert_allclose(
+            localizer.predict_coordinates(test.features), reference_coords,
+            atol=1e-4, rtol=1e-4,
+        )
+        np.testing.assert_array_equal(localizer.predict(test.features),
+                                      reference_rps)
+        # Refitting invalidates the compiled engine.
+        localizer.fit(train)
+        assert localizer._compiled is None
+
+    def test_compile_inference_requires_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            CnnLocLocalizer().compile_inference()

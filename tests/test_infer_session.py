@@ -1,5 +1,7 @@
 """Numerical equivalence and tape-freeness of the fused inference engine."""
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -8,6 +10,7 @@ from repro.infer import (
     CompiledModule,
     InferenceSession,
     UnsupportedModuleError,
+    check_regression,
     compile_chain,
     compile_module,
 )
@@ -108,6 +111,50 @@ class TestVitEquivalence:
         with pytest.raises(ValueError, match="images"):
             model(Tensor(np.zeros((2, 12, 12, 2), dtype=np.float32)))
 
+    def test_rejects_non_integral_max_batch(self):
+        model = _build(4, *CONFIGS[1])
+        for bad in (0, -3, 2.5, True, "8"):
+            with pytest.raises(ValueError, match="max_batch"):
+                InferenceSession(model, max_batch=bad)
+        session = InferenceSession(model, max_batch=2)
+        images = np.zeros((3, 12, 12, 3), dtype=np.float32)
+        with pytest.raises(ValueError, match="max_batch"):
+            session.predict_many(images, max_batch=1.5)
+
+    def test_pickle_roundtrip_is_bit_identical(self):
+        """The invariant multi-process sharding relies on: a session
+        shipped through pickle serves bit-identical logits."""
+        model = _build(10, *CONFIGS[2])
+        session = InferenceSession(model, max_batch=4)
+        images = np.random.default_rng(20).standard_normal(
+            (9, 20, 20, 3)
+        ).astype(np.float32)
+        before = session.predict_many(images)
+        restored = pickle.loads(pickle.dumps(session))
+        np.testing.assert_array_equal(restored.predict_many(images), before)
+        # Pickling after serving must not ship scratch buffers either.
+        session.predict_many(images)
+        np.testing.assert_array_equal(
+            pickle.loads(pickle.dumps(session)).predict_many(images), before
+        )
+
+    def test_snapshot_restore_roundtrip(self):
+        model = _build(11, *CONFIGS[1])
+        session = InferenceSession(model, max_batch=3)
+        images = np.random.default_rng(21).standard_normal(
+            (5, 12, 12, 3)
+        ).astype(np.float32)
+        snapshot = session.snapshot()
+        restored = InferenceSession.from_snapshot(snapshot)
+        np.testing.assert_array_equal(
+            restored.predict_many(images), session.predict_many(images)
+        )
+        assert restored.max_batch == 3
+        with pytest.raises(ValueError, match="snapshot"):
+            InferenceSession.from_snapshot({"format": "bogus", "state": {}})
+        with pytest.raises(ValueError, match="snapshot"):
+            InferenceSession.from_snapshot("not a dict")
+
     def test_from_state_dict_roundtrip(self):
         geometry = CONFIGS[1]
         model = _build(7, *geometry)
@@ -184,9 +231,119 @@ class TestCompiledBaselines:
         )
 
     def test_unsupported_layer_raises(self):
-        model = nn.Sequential(nn.Conv1d(3, 4, kernel_size=3))
+        class Exotic(nn.Module):
+            def forward(self, x):
+                return x
+
+        model = nn.Sequential(nn.Dense(4, 4), Exotic())
         with pytest.raises(UnsupportedModuleError):
             compile_module(model)
+
+    def test_predict_many_rejects_bad_max_batch(self):
+        compiled = compile_module(nn.Sequential(nn.Dense(4, 2)))
+        x = np.zeros((3, 4), dtype=np.float32)
+        for bad in (0, -1, 0.5, True):
+            with pytest.raises(ValueError, match="max_batch"):
+                compiled.predict_many(x, max_batch=bad)
+
+
+class TestCompiledConvStacks:
+    """Conv1d / pooling coverage: the CNNLoc baseline stack, tape-free."""
+
+    def test_conv_pool_chain_matches_reference(self):
+        rng = np.random.default_rng(30)
+        model = nn.Sequential(
+            nn.Conv1d(2, 8, kernel_size=3, padding=1, rng=rng), nn.ReLU(),
+            nn.MaxPool1d(2),
+            nn.Conv1d(8, 4, kernel_size=3, stride=2, rng=rng), nn.Tanh(),
+            nn.GlobalAveragePool1d(),
+            nn.Dense(4, 3, rng=rng),
+        )
+        model.eval()
+        x = rng.standard_normal((6, 2, 20)).astype(np.float32)
+        with no_grad():
+            reference = model(Tensor(x)).data
+        compiled = compile_module(model)
+        np.testing.assert_allclose(compiled.predict(x), reference,
+                                   atol=1e-5, rtol=1e-5)
+
+    def test_cnnloc_style_head_promotes_2d_code(self):
+        """The CNNLoc head feeds a 2-D SAE code into a single-channel
+        Conv1d; the compiled op must promote (batch, code) transparently."""
+        rng = np.random.default_rng(31)
+        code_dim = 16
+        conv1 = nn.Conv1d(1, 8, kernel_size=3, padding=1, rng=rng)
+        conv2 = nn.Conv1d(8, 4, kernel_size=3, padding=1, rng=rng)
+        regressor = nn.Dense(4 * code_dim, 2, rng=rng)
+        x = rng.standard_normal((5, code_dim)).astype(np.float32)
+        with no_grad():
+            feat = conv1(Tensor(x[:, None, :])).relu()
+            feat = conv2(feat).relu()
+            reference = regressor(feat.reshape(len(x), -1)).data
+        compiled = compile_chain(
+            [conv1, nn.ReLU(), conv2, nn.ReLU(), nn.Flatten(), regressor],
+            source="cnnloc-head",
+        )
+        np.testing.assert_allclose(compiled.predict(x), reference,
+                                   atol=1e-5, rtol=1e-5)
+
+    def test_unbiased_and_strided_conv(self):
+        rng = np.random.default_rng(32)
+        model = nn.Sequential(
+            nn.Conv1d(3, 5, kernel_size=4, stride=3, bias=False, rng=rng),
+            nn.Flatten(),
+        )
+        model.eval()
+        x = rng.standard_normal((4, 3, 17)).astype(np.float32)
+        with no_grad():
+            reference = model(Tensor(x)).data
+        np.testing.assert_allclose(compile_module(model).predict(x),
+                                   reference, atol=1e-5, rtol=1e-5)
+
+
+class TestRegressionGate:
+    """The pure comparison behind ``infer-bench --check``."""
+
+    @staticmethod
+    def _record(p50_ms: float, max_abs_diff: float = 1e-7,
+                argmax_match: bool = True) -> dict:
+        return {
+            "schema": "repro.infer.bench.v1",
+            "single_sample": {"fused": {"p50_ms": p50_ms}},
+            "equivalence": {"max_abs_diff": max_abs_diff,
+                            "argmax_match": argmax_match},
+        }
+
+    def test_within_threshold_passes(self):
+        baseline = self._record(1.0)
+        assert check_regression(self._record(1.24), baseline) == []
+        assert check_regression(self._record(0.5), baseline) == []
+
+    def test_regression_fails(self):
+        problems = check_regression(self._record(1.3), self._record(1.0))
+        assert problems and "p50 regressed" in problems[0]
+
+    def test_custom_threshold(self):
+        baseline = self._record(1.0)
+        assert check_regression(self._record(1.4), baseline, threshold=0.5) == []
+        assert check_regression(self._record(1.2), baseline, threshold=0.1)
+
+    def test_equivalence_breakage_fails(self):
+        baseline = self._record(1.0)
+        assert check_regression(self._record(1.0, argmax_match=False), baseline)
+        assert check_regression(self._record(1.0, max_abs_diff=1e-3), baseline)
+
+    def test_mismatched_geometry_refused(self):
+        """A smaller/faster model must not be comparable to the baseline —
+        that would let a real regression hide behind cheaper compute."""
+        baseline = self._record(1.0)
+        baseline["config"] = {"image_size": 24, "num_classes": 32}
+        fresh = self._record(0.1)
+        fresh["config"] = {"image_size": 12, "num_classes": 32}
+        problems = check_regression(fresh, baseline)
+        assert problems and "not comparable" in problems[0]
+        fresh["config"]["image_size"] = 24
+        assert check_regression(fresh, baseline) == []
 
 
 class TestTapeFreeness:
