@@ -86,10 +86,12 @@ class AnvilLocalizer(DamMixin, Localizer):
         self.trainer: nn.Trainer | None = None
         self._gallery: np.ndarray | None = None  # (n_rps, embed_dim)
         self._gallery_rps: np.ndarray | None = None
+        self._compiled = None  # tape-free embed program, built on demand
 
     def fit(self, train: FingerprintDataset) -> "AnvilLocalizer":
         self._remember_rps(train)
         self._fit_dam(train.features)
+        self._compiled = None  # weights change; any compiled engine is stale
         rng = np.random.default_rng(self.seed)
 
         self.network = _AnvilNetwork(
@@ -131,7 +133,42 @@ class AnvilLocalizer(DamMixin, Localizer):
         self._gallery_rps = np.asarray(gallery_rps)
         return self
 
+    def compile_inference(self):
+        """Compile (and cache) the embedding path as a tape-free program
+        via :func:`repro.infer.compile_chain` (mirroring
+        ``CnnLocLocalizer.compile_inference``).
+
+        The chain reproduces :meth:`_AnvilNetwork.embed` exactly: token
+        projection + learned AP positions, the pre-norm residual attention
+        block (LayerNorm affine folded into the packed QKV projection),
+        post-norm, token mean-pooling and the tanh embedding head.  After
+        this call :meth:`predict` runs without touching the autograd tape;
+        refitting invalidates the compiled engine.
+        """
+        if self.network is None:
+            raise RuntimeError("ANVIL not fitted")
+        from repro.infer import AddConstant, Residual, TokenMeanPool, compile_chain
+
+        net = self.network
+        self._compiled = compile_chain(
+            [
+                net.token_proj,
+                AddConstant(net.ap_position.data),
+                Residual(net.norm, net.attention),
+                net.post_norm,
+                TokenMeanPool(axis=1),
+                net.embed_head,
+                nn.Tanh(),
+            ],
+            source="ANVIL",
+        )
+        return self._compiled
+
     def _embed(self, normalized: np.ndarray) -> np.ndarray:
+        if self._compiled is not None:
+            return self._compiled.predict_many(
+                normalized.astype(np.float32), max_batch=256
+            )
         self.network.eval()
         chunks = []
         with no_grad():

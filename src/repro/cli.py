@@ -9,6 +9,7 @@ Commands
 ``buildings``   list the benchmark buildings and device tables
 ``infer-bench`` fused-inference throughput benchmark → BENCH_inference.json
 ``serve``       multi-process serving demo / benchmark → BENCH_serving.json
+``quantize``    calibrate + quantize saved weights → int8 serving snapshot
 
 Every command is deterministic given ``--seed`` (timings aside).
 """
@@ -111,6 +112,37 @@ def _build_parser() -> argparse.ArgumentParser:
                             "in seconds")
     serve.add_argument("--out", default="BENCH_serving.json",
                        help="benchmark JSON path (with --bench)")
+
+    quantize = sub.add_parser(
+        "quantize",
+        help="calibrate + quantize trained weights into an int8 serving "
+             "snapshot (repro.quant)",
+    )
+    quantize.add_argument("--data", required=True,
+                          help="survey .npz the weights were trained on "
+                               "(drives DAM refit + calibration images)")
+    quantize.add_argument("--weights", required=True,
+                          help="weights .npz from `train`")
+    quantize.add_argument("--image-size", type=int, default=24)
+    quantize.add_argument("--test-fraction", type=float, default=0.2)
+    quantize.add_argument("--seed", type=int, default=0)
+    quantize.add_argument("--scheme", default="per_channel",
+                          choices=("per_channel", "per_tensor"),
+                          help="weight-scale granularity")
+    quantize.add_argument("--mode", default="int8",
+                          choices=("int8", "dequant"),
+                          help="execution mode recorded in the snapshot: "
+                               "int8-resident weights or dequantize-on-load")
+    quantize.add_argument("--bits", type=int, default=8)
+    quantize.add_argument("--max-batch", type=int, default=32)
+    quantize.add_argument("--calibration-samples", type=int, default=64,
+                          help="training fingerprints run through the float "
+                               "engine before quantizing")
+    quantize.add_argument("--out", required=True,
+                          help="output snapshot .pkl path")
+    quantize.add_argument("--serve-smoke", action="store_true",
+                          help="after writing the snapshot, reload it into a "
+                               "LocalizationServer and serve the test split")
     return parser
 
 
@@ -242,7 +274,7 @@ def _cmd_infer_bench(args) -> int:
     if args.check:
         problems = check_regression(result, baseline)
         print()
-        print(format_check(result, baseline, problems))
+        print(format_check(result, baseline, problems, path=args.out))
         return 1 if problems else 0
     print(f"wrote {write_benchmark(result, args.out)}")
     return 0
@@ -326,6 +358,76 @@ def _cmd_serve(args) -> int:
     return 1 if run["errors"] else 0
 
 
+def _cmd_quantize(args) -> int:
+    """Calibration → quantized snapshot → (optionally) quantized serving."""
+    import pickle
+
+    from repro import nn
+    from repro.quant import quantize_session
+    from repro.vit import VitalConfig, VitalLocalizer
+
+    train, test = _split(args)
+    config = VitalConfig.fast(args.image_size, epochs=1)
+    localizer = VitalLocalizer(config, seed=args.seed)
+    # Build the model + DAM without spending a real training budget, then
+    # load the trained weights (same recipe as `evaluate`).
+    localizer.fit(train)
+    nn.load_state_dict(localizer.model, args.weights)
+
+    float_session = localizer.compile_inference(max_batch=args.max_batch)
+    calibration_images = localizer.dam.process(
+        train.features[: args.calibration_samples], training=False, as_image=True
+    )
+    quantized = quantize_session(
+        float_session,
+        scheme=args.scheme,
+        mode=args.mode,
+        bits=args.bits,
+        calibration_images=calibration_images,
+    )
+
+    float_bytes = len(pickle.dumps(float_session.snapshot()))
+    snapshot = quantized.snapshot()
+    quant_bytes = len(pickle.dumps(snapshot))
+    print(f"calibrated on {quantized.calibration['samples']} fingerprints; "
+          f"quantized {args.scheme}/int{args.bits}, mode={args.mode}")
+    print(f"snapshot: float32 {float_bytes:,} B -> int8 {quant_bytes:,} B "
+          f"({quant_bytes / float_bytes:.1%} of float32, "
+          f"{float_bytes / quant_bytes:.1f}x smaller)")
+
+    float_error = float(localizer.errors_m(test).mean())
+    localizer._session = quantized
+    quant_error = float(localizer.errors_m(test).mean())
+    print(f"test mean error: float32 {float_error:.2f} m | "
+          f"quantized {quant_error:.2f} m (Δ {quant_error - float_error:+.3f} m)")
+
+    with open(args.out, "wb") as handle:
+        pickle.dump(snapshot, handle)
+    print(f"wrote {args.out}")
+
+    if args.serve_smoke:
+        import numpy as np
+
+        from repro.serve import LocalizationServer
+
+        with open(args.out, "rb") as handle:
+            reloaded = pickle.load(handle)
+        images = localizer.dam.process(test.features, training=False, as_image=True)
+        local = quantized.predict_many(images.astype(np.float32))
+        print("serve smoke: 2 workers restoring the int8 snapshot...")
+        with LocalizationServer(reloaded, workers=2,
+                                max_batch=args.max_batch) as server:
+            served = server.predict_many(images, timeout=60.0)
+            stats = server.stats()
+        match = bool((served == local).all())
+        print(f"  served {len(served)} test fingerprints, bit-identical to "
+              f"the local quantized session: {match}")
+        print(f"  snapshot transport: {stats['snapshot']}")
+        if not match:
+            return 1
+    return 0
+
+
 def _cmd_buildings(_args) -> int:
     from repro.data import ALL_DEVICES
     from repro.data.buildings import benchmark_buildings
@@ -355,6 +457,7 @@ def main(argv: list[str] | None = None) -> int:
         "buildings": _cmd_buildings,
         "infer-bench": _cmd_infer_bench,
         "serve": _cmd_serve,
+        "quantize": _cmd_quantize,
     }
     return handlers[args.command](args)
 

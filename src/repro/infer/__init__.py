@@ -22,16 +22,30 @@ from repro.infer.benchmark import (
     run_inference_benchmark,
     write_benchmark,
 )
-from repro.infer.compile import CompiledModule, UnsupportedModuleError, compile_chain, compile_module
-from repro.infer.session import SNAPSHOT_FORMAT, InferenceSession
+from repro.infer.compile import (
+    AddConstant,
+    CompiledModule,
+    Residual,
+    TokenMeanPool,
+    UnsupportedModuleError,
+    compile_chain,
+    compile_module,
+)
+from repro.infer.ops import QuantizedLinear
+from repro.infer.session import SNAPSHOT_FORMAT, InferenceSession, restore_session
 
 __all__ = [
     "InferenceSession",
     "SNAPSHOT_FORMAT",
+    "restore_session",
+    "QuantizedLinear",
     "CompiledModule",
     "UnsupportedModuleError",
     "compile_chain",
     "compile_module",
+    "Residual",
+    "AddConstant",
+    "TokenMeanPool",
     "run_inference_benchmark",
     "write_benchmark",
     "format_summary",

@@ -9,10 +9,10 @@ Measures three serving lanes on the same model and inputs:
 * ``fused``   — :class:`repro.infer.InferenceSession`.
 
 Results are written to ``BENCH_inference.json`` so every future PR has a
-recorded trajectory to regress against.  Schema (``repro.infer.bench.v1``)::
+recorded trajectory to regress against.  Schema (``repro.infer.bench.v2``)::
 
     {
-      "schema": "repro.infer.bench.v1",
+      "schema": "repro.infer.bench.v2",
       "config": {model geometry, iteration counts, seed},
       "single_sample": {
         "tape"|"no_grad"|"fused": {"p50_ms", "p99_ms", "mean_ms"},
@@ -20,8 +20,13 @@ recorded trajectory to regress against.  Schema (``repro.infer.bench.v1``)::
         "speedup_fused_vs_no_grad": float
       },
       "batch": {"batch_size", per-lane samples_per_s, "speedup_fused_vs_tape"},
-      "equivalence": {"max_abs_diff", "argmax_match"}
+      "equivalence": {"max_abs_diff", "argmax_match"},
+      "quantization": {...}   # v2: repro.quant trade-off record
+                              # (benchmarks/bench_quantization.py)
     }
+
+v2 adds the optional ``quantization`` section over v1; the regression
+gate reads the shared keys only, so ``--check`` accepts both versions.
 """
 
 from __future__ import annotations
@@ -38,6 +43,11 @@ from repro.vit.config import VitalConfig
 from repro.vit.model import VitalModel
 
 DEFAULT_OUTPUT = "BENCH_inference.json"
+
+#: Current record schema; ``load_baseline`` also accepts the listed
+#: predecessors (v2 only adds the optional ``quantization`` section).
+SCHEMA = "repro.infer.bench.v2"
+COMPATIBLE_SCHEMAS = ("repro.infer.bench.v1", "repro.infer.bench.v2")
 
 
 def _percentiles(samples_ms: list[float]) -> dict[str, float]:
@@ -143,7 +153,7 @@ def run_inference_benchmark(
     fused_s = np.median(_time_repeated(fused_batch, batch_iters, warmup=1)) / 1e3
 
     result = {
-        "schema": "repro.infer.bench.v1",
+        "schema": SCHEMA,
         "config": {
             "image_size": image_size,
             "patch_size": model.patch_size,
@@ -180,11 +190,11 @@ REGRESSION_THRESHOLD = 0.25
 
 
 def load_baseline(path: str = DEFAULT_OUTPUT) -> dict:
-    """Load a recorded ``repro.infer.bench.v1`` baseline from disk."""
+    """Load a recorded inference baseline (schema v1 or v2) from disk."""
     with open(path) as handle:
         baseline = json.load(handle)
     schema = baseline.get("schema")
-    if schema != "repro.infer.bench.v1":
+    if schema not in COMPATIBLE_SCHEMAS:
         raise ValueError(f"{path} is not an inference baseline (schema {schema!r})")
     return baseline
 
@@ -195,6 +205,27 @@ def load_baseline(path: str = DEFAULT_OUTPUT) -> dict:
 _COMPARABLE_KEYS = ("image_size", "patch_size", "num_patches",
                     "projection_dim", "num_heads", "encoder_blocks",
                     "num_classes", "max_batch", "quick")
+
+
+def _incomparability(result: dict, baseline: dict) -> str | None:
+    """Why ``baseline`` cannot gate ``result``, or ``None`` if it can.
+
+    Shared by :func:`check_regression` (which turns it into a failure)
+    and :func:`format_check` (which turns it into the actionable hint),
+    so the two can never disagree about which branch a run is on.
+    """
+    result_config = result.get("config", {})
+    baseline_config = baseline.get("config", {})
+    mismatched = [
+        f"{key} {result_config.get(key)!r} != baseline {baseline_config.get(key)!r}"
+        for key in _COMPARABLE_KEYS
+        if result_config.get(key) != baseline_config.get(key)
+    ]
+    if mismatched:
+        return "config not comparable to the baseline: " + "; ".join(mismatched)
+    if "fused" not in baseline.get("single_sample", {}):
+        return "baseline record has no fused single-sample lane to compare against"
+    return None
 
 
 def check_regression(
@@ -213,17 +244,9 @@ def check_regression(
     them would let a real regression hide behind a smaller model.
     """
     problems: list[str] = []
-    result_config = result.get("config", {})
-    baseline_config = baseline.get("config", {})
-    mismatched = [
-        f"{key} {result_config.get(key)!r} != baseline {baseline_config.get(key)!r}"
-        for key in _COMPARABLE_KEYS
-        if result_config.get(key) != baseline_config.get(key)
-    ]
-    if mismatched:
-        return [
-            "config not comparable to the baseline: " + "; ".join(mismatched)
-        ]
+    incomparable = _incomparability(result, baseline)
+    if incomparable:
+        return [incomparable]
     old_p50 = baseline["single_sample"]["fused"]["p50_ms"]
     new_p50 = result["single_sample"]["fused"]["p50_ms"]
     limit = old_p50 * (1.0 + threshold)
@@ -241,21 +264,50 @@ def check_regression(
     return problems
 
 
+def baseline_hint(result: dict, path: str = DEFAULT_OUTPUT) -> str:
+    """Actionable advice when the recorded baseline is not comparable.
+
+    Printed by ``infer-bench --check`` instead of a bare failure: either
+    re-run with the baseline's geometry flags, or re-record the baseline
+    at the new configuration.
+    """
+    config = result.get("config", {})
+    flags = (
+        f"--image-size {config.get('image_size')} "
+        f"--num-classes {config.get('num_classes')} "
+        f"--max-batch {config.get('max_batch')}"
+        + (" --quick" if config.get("quick") else "")
+    )
+    return (
+        f"hint: {path} has no baseline comparable to this run's "
+        "configuration.  Either re-run --check with the geometry flags the "
+        "baseline was recorded at (see its `config` section), or record a "
+        "fresh baseline for this configuration first:\n"
+        f"  python -m repro.cli infer-bench {flags} --out {path}\n"
+        "and then re-run with --check."
+    )
+
+
 def format_check(
     result: dict,
     baseline: dict,
     problems: list[str],
     threshold: float = REGRESSION_THRESHOLD,
+    path: str = DEFAULT_OUTPUT,
 ) -> str:
     """Human-readable report of a --check comparison."""
+    lines = ["perf regression gate (fused lane vs recorded baseline):"]
+    if _incomparability(result, baseline) is not None:
+        lines.extend(f"  FAIL: {problem}" for problem in problems)
+        lines.append("  " + baseline_hint(result, path).replace("\n", "\n  "))
+        return "\n".join(lines)
     old_p50 = baseline["single_sample"]["fused"]["p50_ms"]
     new_p50 = result["single_sample"]["fused"]["p50_ms"]
     delta = (new_p50 - old_p50) / old_p50
-    lines = [
-        "perf regression gate (fused lane vs recorded baseline):",
+    lines.append(
         f"  fused p50: {new_p50:.3f} ms vs baseline {old_p50:.3f} ms "
-        f"({delta:+.1%}, limit +{threshold:.0%})",
-    ]
+        f"({delta:+.1%}, limit +{threshold:.0%})"
+    )
     if problems:
         lines.append("  FAIL:")
         lines.extend(f"    - {problem}" for problem in problems)

@@ -3,11 +3,15 @@
 :func:`compile_module` walks a module tree (``Sequential`` / ``ModuleList``
 containers and leaf layers) in forward order and emits a flat list of pure
 NumPy ops over contiguous float32 weight exports.  LayerNorm and eval-mode
-BatchNorm1d are folded into the dense layer that follows them; Dropout and
-Identity disappear entirely.  This covers the dense baseline networks
-(SHERPA's feature extractor, WiDeep's autoencoder encoder, MLP heads) and
-the CNNLoc convolutional stack (Conv1d / MaxPool1d / GlobalAveragePool1d);
-the ViT has its own dedicated engine in
+BatchNorm1d are folded into the dense layer *or* the packed QKV projection
+of the attention block that follows them; Dropout and Identity disappear
+entirely.  This covers the dense baseline networks (SHERPA's feature
+extractor, WiDeep's autoencoder encoder, MLP heads), the CNNLoc
+convolutional stack (Conv1d / MaxPool1d / GlobalAveragePool1d) and —
+via :class:`repro.nn.MultiHeadSelfAttention` support plus the
+:class:`Residual` / :class:`AddConstant` / :class:`TokenMeanPool` chain
+wrappers — the ANVIL attention encoder (the last Fig. 7 framework without
+a tape-free serving path); the ViT has its own dedicated engine in
 :class:`repro.infer.InferenceSession`.
 """
 
@@ -19,7 +23,7 @@ import numpy as np
 from scipy import special as _special
 
 from repro import nn
-from repro.infer.ops import contiguous_f32, fold_norm_into_dense
+from repro.infer.ops import contiguous_f32, fold_norm_into_dense, softmax_
 from repro.infer.session import _validate_max_batch
 
 _Op = Callable[[np.ndarray], np.ndarray]
@@ -27,6 +31,32 @@ _Op = Callable[[np.ndarray], np.ndarray]
 
 class UnsupportedModuleError(TypeError):
     """Raised when a module cannot be compiled to a tape-free program."""
+
+
+class Residual:
+    """Chain wrapper: ``y = x + chain(x)`` over the wrapped modules.
+
+    Lets :func:`compile_chain` express pre-norm residual blocks
+    (``x + attention(norm(x))``) without forcing the network itself into a
+    Sequential shape.
+    """
+
+    def __init__(self, *modules: nn.Module):
+        self.modules = modules
+
+
+class AddConstant:
+    """Chain wrapper: add a fixed array (e.g. learned position embeddings)."""
+
+    def __init__(self, values: np.ndarray):
+        self.values = contiguous_f32(values)
+
+
+class TokenMeanPool:
+    """Chain wrapper: mean over the token axis, ``(B, N, D) → (B, D)``."""
+
+    def __init__(self, axis: int = 1):
+        self.axis = int(axis)
 
 
 def _flatten(module: nn.Module) -> list[nn.Module]:
@@ -96,6 +126,46 @@ def _conv1d_op(weight: np.ndarray, bias: np.ndarray | None,
         return out
 
     return conv
+
+
+def _attention_op(attn: nn.MultiHeadSelfAttention,
+                  gamma: np.ndarray | None = None,
+                  beta: np.ndarray | None = None) -> _Op:
+    """Eval-mode multi-head self-attention over ``(B, N, D)`` sequences.
+
+    The Q/K/V projections are packed into one ``(D, 3D)`` matmul exactly
+    like the ViT engine (:class:`repro.infer.InferenceSession`); when the
+    attention follows a LayerNorm its affine parameters are folded into
+    the packed projection, so only the affine-free normalization runs at
+    serve time.  Attention-weight dropout vanishes in eval mode.
+    """
+    heads, head_dim, dim = attn.heads, attn.head_dim, attn.dim
+    packed_w = np.concatenate(
+        [attn.query.weight.data, attn.key.weight.data, attn.value.weight.data],
+        axis=1,
+    )
+    packed_b = np.concatenate(
+        [attn.query.bias.data, attn.key.bias.data, attn.value.bias.data]
+    )
+    if gamma is not None:
+        packed_w, packed_b = fold_norm_into_dense(gamma, beta, packed_w, packed_b)
+    else:
+        packed_w, packed_b = contiguous_f32(packed_w), contiguous_f32(packed_b)
+    w_out = contiguous_f32(attn.out.weight.data)
+    b_out = contiguous_f32(attn.out.bias.data)
+    scale = np.float32(attn.scale)
+
+    def attention(x: np.ndarray) -> np.ndarray:
+        b, seq, _d = x.shape
+        qkv = (x @ packed_w + packed_b).reshape(b, seq, 3, heads, head_dim)
+        q = qkv[:, :, 0].transpose(0, 2, 1, 3)  # (b, h, N, hd) views
+        k = qkv[:, :, 1].transpose(0, 2, 1, 3)
+        v = qkv[:, :, 2].transpose(0, 2, 1, 3)
+        scores = softmax_((q @ k.transpose(0, 1, 3, 2)) * scale)
+        merged = (scores @ v).transpose(0, 2, 1, 3).reshape(b, seq, dim)
+        return merged @ w_out + b_out
+
+    return attention
 
 
 def _max_pool1d_op(kernel: int, stride: int) -> _Op:
@@ -169,6 +239,23 @@ def compile_chain(modules: Iterable[nn.Module], source: str = "chain") -> Compil
         if isinstance(layer, (nn.Dropout, nn.Identity)):
             index += 1
             continue
+        if isinstance(layer, Residual):
+            inner = compile_chain(layer.modules, source=f"{source}.residual")
+            ops.append(lambda x, _inner=inner: x + _inner.predict(x))
+            index += 1
+            continue
+        if isinstance(layer, AddConstant):
+            ops.append(lambda x, _values=layer.values: x + _values)
+            index += 1
+            continue
+        if isinstance(layer, TokenMeanPool):
+            ops.append(lambda x, _axis=layer.axis: x.mean(axis=_axis))
+            index += 1
+            continue
+        if isinstance(layer, nn.MultiHeadSelfAttention):
+            ops.append(_attention_op(layer))
+            index += 1
+            continue
         if isinstance(layer, nn.Flatten):
             ops.append(lambda x: x.reshape(len(x), -1))
             index += 1
@@ -199,7 +286,8 @@ def compile_chain(modules: Iterable[nn.Module], source: str = "chain") -> Compil
             index += 1
             continue
         if isinstance(layer, nn.LayerNorm):
-            # Fold the affine parameters into an immediately following Dense.
+            # Fold the affine parameters into an immediately following
+            # Dense or attention QKV projection.
             following = leaves[index + 1] if index + 1 < len(leaves) else None
             if isinstance(following, nn.Dense):
                 w, b = fold_norm_into_dense(
@@ -210,6 +298,12 @@ def compile_chain(modules: Iterable[nn.Module], source: str = "chain") -> Compil
                 )
                 ops.append(_affine_free_norm_op(layer.eps))
                 ops.append(_dense_op(w, b))
+                index += 2
+            elif isinstance(following, nn.MultiHeadSelfAttention):
+                ops.append(_affine_free_norm_op(layer.eps))
+                ops.append(_attention_op(
+                    following, layer.gamma.data, layer.beta.data
+                ))
                 index += 2
             else:
                 ops.append(_norm_op(
@@ -244,8 +338,9 @@ def compile_chain(modules: Iterable[nn.Module], source: str = "chain") -> Compil
             continue
         raise UnsupportedModuleError(
             f"cannot compile layer {layer!r}; supported: Dense, Conv1d, "
-            "MaxPool1d, GlobalAveragePool1d, activations, LayerNorm, "
-            "BatchNorm1d (eval), Dropout, Flatten, Identity "
+            "MaxPool1d, GlobalAveragePool1d, MultiHeadSelfAttention, "
+            "activations, LayerNorm, BatchNorm1d (eval), Dropout, Flatten, "
+            "Identity, and the Residual/AddConstant/TokenMeanPool wrappers "
             "(use InferenceSession for the ViT)"
         )
     return CompiledModule(ops, source)

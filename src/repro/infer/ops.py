@@ -77,10 +77,103 @@ def gelu_(x: np.ndarray, tmp: np.ndarray) -> np.ndarray:
     return x
 
 
-def dense_(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None,
+class QuantizedLinear:
+    """An int8 weight matrix that dequantizes per-tile inside the matmul.
+
+    Holds ``(in, out)`` int8 codes plus either one scalar scale
+    (per-tensor) or a ``(out,)`` per-output-channel scale vector, so the
+    resident weight footprint stays ~4x below float32.  :meth:`matmul_into`
+    decodes ``tile`` output columns at a time into one reusable float32
+    scratch tile and matmuls straight into the caller's output slice —
+    no full float32 copy of the weight ever exists.  :meth:`materialize`
+    produces one (for the dequantize-on-load serving mode).
+
+    The scratch tile is lazily allocated and excluded from pickles, so a
+    quantized session snapshot ships codes + scales only.
+    """
+
+    __slots__ = ("codes", "scales", "tile", "_scratch")
+
+    def __init__(self, codes: np.ndarray, scales, tile: int = 64):
+        codes = np.asarray(codes)
+        if not np.issubdtype(codes.dtype, np.integer):
+            raise ValueError(f"codes must be integers, got dtype {codes.dtype}")
+        if codes.dtype != np.int8 and codes.size and (
+            codes.min() < -128 or codes.max() > 127
+        ):
+            raise ValueError(
+                f"codes exceed the int8 range (dtype {codes.dtype}); "
+                "QuantizedLinear stores 8-bit codes only"
+            )
+        codes = np.ascontiguousarray(codes, dtype=np.int8)
+        if codes.ndim != 2:
+            raise ValueError(f"QuantizedLinear needs a 2-D weight, got {codes.shape}")
+        scales = np.asarray(scales, dtype=np.float32)
+        if scales.ndim not in (0, 1) or (
+            scales.ndim == 1 and len(scales) != codes.shape[1]
+        ):
+            raise ValueError(
+                f"scales must be scalar or ({codes.shape[1]},), got {scales.shape}"
+            )
+        self.codes = codes
+        self.scales = scales
+        self.tile = max(1, int(tile))
+        self._scratch = None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.codes.shape
+
+    @property
+    def nbytes(self) -> int:
+        """Resident weight bytes (codes + scales)."""
+        return self.codes.nbytes + self.scales.nbytes
+
+    def materialize(self) -> np.ndarray:
+        """Decode to one C-contiguous float32 weight matrix."""
+        return np.ascontiguousarray(self.codes.astype(np.float32) * self.scales)
+
+    def matmul_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``x @ dequantized_weight`` written into ``out``, tile by tile."""
+        n_in, n_out = self.codes.shape
+        width = min(self.tile, n_out)
+        if self._scratch is None or self._scratch.shape != (n_in, width):
+            self._scratch = np.empty((n_in, width), dtype=np.float32)
+        per_channel = self.scales.ndim == 1
+        for begin in range(0, n_out, width):
+            end = min(begin + width, n_out)
+            w = self._scratch[:, : end - begin]
+            scale = self.scales[begin:end] if per_channel else self.scales
+            np.multiply(self.codes[:, begin:end], scale, out=w)
+            np.matmul(x, w, out=out[..., begin:end])
+        return out
+
+    def __getstate__(self) -> dict:
+        return {"codes": self.codes, "scales": self.scales, "tile": self.tile}
+
+    def __setstate__(self, state: dict) -> None:
+        self.codes = state["codes"]
+        self.scales = state["scales"]
+        self.tile = state["tile"]
+        self._scratch = None
+
+    def __repr__(self) -> str:
+        granularity = "per_channel" if self.scales.ndim == 1 else "per_tensor"
+        return f"QuantizedLinear(shape={self.codes.shape}, {granularity})"
+
+
+def dense_(x: np.ndarray, weight, bias: np.ndarray | None,
            out: np.ndarray) -> np.ndarray:
-    """``x @ weight + bias`` written into ``out`` (strided ``out`` is fine)."""
-    np.matmul(x, weight, out=out)
+    """``x @ weight + bias`` written into ``out`` (strided ``out`` is fine).
+
+    ``weight`` is either a float32 array or a :class:`QuantizedLinear`,
+    which dequantizes tile-by-tile inside the matmul — the call sites in
+    the fused engine stay identical across precisions.
+    """
+    if isinstance(weight, QuantizedLinear):
+        weight.matmul_into(x, out)
+    else:
+        np.matmul(x, weight, out=out)
     if bias is not None:
         out += bias
     return out

@@ -348,7 +348,7 @@ class InferenceSession:
         np.take(flat, self.patch_grid, axis=1, out=patches)
 
         tokens = self._tokens[:b]
-        np.matmul(patches, self.w_embed, out=tokens)
+        dense_(patches, self.w_embed, None, out=tokens)
         tokens += self.pos_bias
 
         out = tokens
@@ -394,3 +394,25 @@ class InferenceSession:
             f"blocks={len(self.blocks)}, classes={self.num_classes}, "
             f"max_batch={self.max_batch})"
         )
+
+
+def restore_session(snapshot: dict) -> "InferenceSession":
+    """Restore any engine snapshot — float32 or quantized — by format tag.
+
+    Serving workers use this single entry point so a
+    :class:`LocalizationServer` can be seeded with either a plain
+    :meth:`InferenceSession.snapshot` or a
+    :meth:`repro.quant.QuantizedSession.snapshot` (int8 codes, ~4x fewer
+    bytes over the ``multiprocessing`` queues).
+    """
+    fmt = snapshot.get("format") if isinstance(snapshot, dict) else None
+    if fmt == SNAPSHOT_FORMAT:
+        return InferenceSession.from_snapshot(snapshot)
+    if isinstance(fmt, str) and fmt.startswith("repro.quant.session/"):
+        from repro.quant.session import QuantizedSession
+
+        return QuantizedSession.from_snapshot(snapshot)
+    raise ValueError(
+        f"not a restorable session snapshot (format {fmt!r}; expected "
+        f"{SNAPSHOT_FORMAT!r} or a repro.quant.session/* snapshot)"
+    )

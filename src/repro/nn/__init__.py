@@ -20,6 +20,8 @@ from repro.nn.serialization import save_state_dict, load_state_dict, load_arrays
 from repro.nn.quantization import (
     quantize_tensor,
     dequantize_tensor,
+    quantize_tensor_per_channel,
+    dequantize_tensor_per_channel,
     quantize_state_dict,
     dequantize_state_dict,
     quantize_model,
@@ -69,6 +71,8 @@ __all__ = [
     "load_arrays",
     "quantize_tensor",
     "dequantize_tensor",
+    "quantize_tensor_per_channel",
+    "dequantize_tensor_per_channel",
     "quantize_state_dict",
     "dequantize_state_dict",
     "quantize_model",

@@ -3,8 +3,17 @@
 The paper stresses that localization models must fit "memory-constrained
 and computationally limited embedded and IoT platforms" and cites model
 compression (CHISEL [25]) as the standard remedy.  This module provides
-symmetric per-tensor int8 post-training quantization of any
-:class:`repro.nn.Module`:
+symmetric int8 post-training quantization of any
+:class:`repro.nn.Module`, in two granularities:
+
+* **per-tensor** — one scale for the whole tensor
+  (:func:`quantize_tensor`), the classic cheap scheme;
+* **per-channel** — one scale per output channel of a 2-D weight
+  (:func:`quantize_tensor_per_channel`), which keeps narrow channels from
+  being crushed by one wide outlier channel and is what the
+  :mod:`repro.quant` serving path uses by default.
+
+Entry points:
 
 * :func:`quantize_state_dict` — weights → (int8 tensors, scales),
 * :func:`dequantize_state_dict` — back to float for inference,
@@ -19,21 +28,77 @@ import numpy as np
 
 from repro.nn.module import Module
 
+#: Granularities understood by the scheme-taking entry points.
+SCHEMES = ("per_tensor", "per_channel")
 
-def quantize_tensor(values: np.ndarray, bits: int = 8) -> tuple[np.ndarray, float]:
-    """Symmetric linear quantization of one tensor.
 
-    Returns ``(codes, scale)`` with ``codes`` in ``[-2^{bits-1}+1,
-    2^{bits-1}-1]`` and ``values ≈ codes * scale``.
-    """
+def _check_bits(bits: int) -> float:
     if not 2 <= bits <= 16:
         raise ValueError(f"bits must be in [2, 16], got {bits}")
-    limit = float(2 ** (bits - 1) - 1)
-    peak = float(np.abs(values).max())
-    scale = peak / limit if peak > 0 else 1.0
+    return float(2 ** (bits - 1) - 1)
+
+
+def _code_dtype(bits: int):
+    return np.int8 if bits <= 8 else np.int16
+
+
+def quantize_tensor(values: np.ndarray, bits: int = 8) -> tuple[np.ndarray, float]:
+    """Symmetric per-tensor linear quantization.
+
+    Returns ``(codes, scale)`` with ``codes`` in ``[-2^{bits-1}+1,
+    2^{bits-1}-1]`` and ``values ≈ codes * scale``.  An identically-zero
+    tensor gets ``scale = 0.0`` (all-zero codes decode exactly back to
+    zero, keeping the contract); tensors containing NaN or infinity are
+    refused with a :exc:`ValueError` — silently clipping them would ship
+    corrupted weights.
+    """
+    limit = _check_bits(bits)
+    values = np.asarray(values)
+    peak = float(np.abs(values).max()) if values.size else 0.0
+    if not np.isfinite(peak):
+        raise ValueError(
+            "cannot quantize a tensor containing NaN or infinite values "
+            f"(peak magnitude {peak!r})"
+        )
+    dtype = _code_dtype(bits)
+    if peak == 0.0:
+        return np.zeros(values.shape, dtype=dtype), 0.0
+    scale = peak / limit
     codes = np.clip(np.round(values / scale), -limit, limit)
-    dtype = np.int8 if bits <= 8 else np.int16
     return codes.astype(dtype), scale
+
+
+def quantize_tensor_per_channel(
+    values: np.ndarray, axis: int = -1, bits: int = 8
+) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-channel quantization along ``axis``.
+
+    Each slice along ``axis`` (an output channel for ``(in, out)`` dense
+    weights with ``axis=-1``) gets its own scale, so one wide channel
+    cannot crush the resolution of the rest.  Returns ``(codes, scales)``
+    with ``scales`` shaped like the length of ``axis``; all-zero channels
+    get ``scale = 0.0`` and decode exactly to zero.  NaN/inf values are
+    refused like :func:`quantize_tensor`.
+    """
+    limit = _check_bits(bits)
+    values = np.asarray(values)
+    if values.ndim < 1:
+        raise ValueError("per-channel quantization needs at least one axis")
+    axis = axis % values.ndim
+    reduce_axes = tuple(i for i in range(values.ndim) if i != axis)
+    peaks = np.abs(values).max(axis=reduce_axes) if reduce_axes else np.abs(values)
+    if not np.isfinite(peaks).all():
+        raise ValueError(
+            "cannot quantize a tensor containing NaN or infinite values "
+            f"({int((~np.isfinite(peaks)).sum())} non-finite channel peak(s))"
+        )
+    scales = (peaks / limit).astype(np.float32)
+    # Zero channels divide as 1.0 (codes come out 0 anyway — values are 0).
+    safe = np.where(scales > 0.0, scales, 1.0)
+    shape = [1] * values.ndim
+    shape[axis] = -1
+    codes = np.clip(np.round(values / safe.reshape(shape)), -limit, limit)
+    return codes.astype(_code_dtype(bits)), scales
 
 
 def dequantize_tensor(codes: np.ndarray, scale: float) -> np.ndarray:
@@ -41,30 +106,66 @@ def dequantize_tensor(codes: np.ndarray, scale: float) -> np.ndarray:
     return codes.astype(np.float32) * np.float32(scale)
 
 
+def dequantize_tensor_per_channel(
+    codes: np.ndarray, scales: np.ndarray, axis: int = -1
+) -> np.ndarray:
+    """Inverse of :func:`quantize_tensor_per_channel` (lossy)."""
+    codes = np.asarray(codes)
+    shape = [1] * codes.ndim
+    shape[axis % codes.ndim] = -1
+    return codes.astype(np.float32) * np.asarray(scales, dtype=np.float32).reshape(shape)
+
+
+def _quantize_param(values: np.ndarray, bits: int, scheme: str):
+    """Scheme dispatch for one parameter tensor.
+
+    Per-channel applies to matrices (2-D and up, along the trailing axis —
+    dense weights here are ``(in, out)``); vectors such as biases always
+    quantize per-tensor, where a single scale is already per-channel.
+    """
+    if scheme == "per_channel" and np.ndim(values) >= 2:
+        return quantize_tensor_per_channel(values, axis=-1, bits=bits)
+    return quantize_tensor(values, bits=bits)
+
+
 def quantize_state_dict(
-    model: Module, bits: int = 8
-) -> dict[str, tuple[np.ndarray, float]]:
-    """Quantize every parameter of ``model``; returns name → (codes, scale)."""
+    model: Module, bits: int = 8, scheme: str = "per_tensor"
+) -> dict[str, tuple[np.ndarray, float | np.ndarray]]:
+    """Quantize every parameter of ``model``; returns name → (codes, scale).
+
+    With ``scheme="per_channel"`` the scale entry of matrix-shaped
+    parameters is an array of per-output-channel scales.
+    """
+    if scheme not in SCHEMES:
+        raise ValueError(f"scheme must be one of {SCHEMES}, got {scheme!r}")
     return {
-        name: quantize_tensor(values, bits=bits)
+        name: _quantize_param(values, bits, scheme)
         for name, values in model.state_dict().items()
     }
 
 
 def dequantize_state_dict(
-    quantized: dict[str, tuple[np.ndarray, float]]
+    quantized: dict[str, tuple[np.ndarray, float | np.ndarray]]
 ) -> dict[str, np.ndarray]:
     """Reconstruct a float state dict from quantized parameters."""
-    return {name: dequantize_tensor(codes, scale) for name, (codes, scale) in quantized.items()}
+    restored = {}
+    for name, (codes, scale) in quantized.items():
+        if np.ndim(scale) > 0:
+            restored[name] = dequantize_tensor_per_channel(codes, scale, axis=-1)
+        else:
+            restored[name] = dequantize_tensor(codes, float(scale))
+    return restored
 
 
-def quantize_model(model: Module, bits: int = 8) -> Module:
+def quantize_model(model: Module, bits: int = 8, scheme: str = "per_tensor") -> Module:
     """Round-trip the model's weights through ``bits``-bit quantization.
 
     After this call the model computes with exactly the values an int8
     deployment would use, so its accuracy drop can be measured directly.
     """
-    model.load_state_dict(dequantize_state_dict(quantize_state_dict(model, bits=bits)))
+    model.load_state_dict(
+        dequantize_state_dict(quantize_state_dict(model, bits=bits, scheme=scheme))
+    )
     return model
 
 

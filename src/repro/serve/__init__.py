@@ -26,13 +26,14 @@ from repro.serve.bench import (
     write_benchmark,
 )
 from repro.serve.server import LocalizationServer
-from repro.serve.stats import LatencyReservoir, ShardStats
+from repro.serve.stats import LatencyReservoir, ShardStats, SnapshotTransport
 
 __all__ = [
     "LocalizationServer",
     "AdaptiveBatchPolicy",
     "LatencyReservoir",
     "ShardStats",
+    "SnapshotTransport",
     "closed_loop_load",
     "make_session",
     "run_fault_tolerance_drill",

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing as mp
+import pickle
 import threading
 import time
 from collections import deque
@@ -38,9 +39,9 @@ from multiprocessing import connection as mp_connection
 
 import numpy as np
 
-from repro.infer.session import InferenceSession, _validate_max_batch
+from repro.infer.session import InferenceSession, _validate_max_batch, restore_session
 from repro.serve.batcher import AdaptiveBatchPolicy
-from repro.serve.stats import LatencyReservoir, ShardStats
+from repro.serve.stats import LatencyReservoir, ShardStats, SnapshotTransport
 
 
 def _worker_main(worker_id: int, task_queue, result_conn) -> None:
@@ -65,7 +66,7 @@ def _worker_main(worker_id: int, task_queue, result_conn) -> None:
             message = task_queue.get()
             kind = message[0]
             if kind == "init":
-                session = InferenceSession.from_snapshot(message[1])
+                session = restore_session(message[1])
                 result_conn.send(("ready", worker_id))
             elif kind == "batch":
                 _, batch_id, images = message
@@ -169,6 +170,9 @@ class LocalizationServer:
             raise ValueError(f"workers must be >= 1, got {workers}")
         session = self._as_session(source)
         self._snapshot = session.snapshot()
+        self._transport = SnapshotTransport(
+            self._snapshot.get("format"), len(pickle.dumps(self._snapshot))
+        )
         self.image_size = session.image_size
         self.channels = session.channels
         self.num_classes = session.num_classes
@@ -205,17 +209,18 @@ class LocalizationServer:
 
     @staticmethod
     def _as_session(source) -> InferenceSession:
-        if isinstance(source, InferenceSession):
+        if isinstance(source, InferenceSession):  # incl. QuantizedSession
             return source
-        if isinstance(source, dict):  # a snapshot
-            return InferenceSession.from_snapshot(source)
+        if isinstance(source, dict):  # a float32 or quantized snapshot
+            return restore_session(source)
         from repro.vit.model import VitalModel
 
         if isinstance(source, VitalModel):
             return InferenceSession(source)
         raise TypeError(
-            "LocalizationServer needs an InferenceSession, a session "
-            f"snapshot, or a VitalModel; got {type(source).__name__}"
+            "LocalizationServer needs an InferenceSession, a "
+            "QuantizedSession, a session snapshot, or a VitalModel; got "
+            f"{type(source).__name__}"
         )
 
     # -- lifecycle -----------------------------------------------------
@@ -267,6 +272,7 @@ class LocalizationServer:
         shard.process.start()
         send_conn.close()  # parent keeps only the receiving end
         shard.task_queue.put(("init", self._snapshot))
+        self._transport.record_ship()
 
     def __enter__(self) -> "LocalizationServer":
         if not self._started:
@@ -625,6 +631,7 @@ class LocalizationServer:
                     "failed": self._failed,
                 },
                 "request_latency_ms": self._request_latency.summary(),
+                "snapshot": self._transport.summary(),
                 "shards": shards,
             }
 

@@ -37,6 +37,36 @@ class LatencyReservoir:
         }
 
 
+class SnapshotTransport:
+    """Accounting for session snapshots shipped to worker processes.
+
+    Every worker seed — at startup and after each crash restart — ships
+    one snapshot over that worker's task queue.  The pickled byte size is
+    measured once at server construction, so ``summary()`` reports the
+    exact transport cost of the chosen snapshot precision (int8 snapshots
+    from :class:`repro.quant.QuantizedSession` run ~4x below float32).
+    Under the ``fork`` start method the initial seed is zero-copy; the
+    recorded bytes are the pickled wire size a ``spawn`` context (or any
+    restart) pays.
+    """
+
+    def __init__(self, snapshot_format: str | None, snapshot_bytes: int):
+        self.format = snapshot_format
+        self.bytes = int(snapshot_bytes)
+        self.shipped = 0
+
+    def record_ship(self) -> None:
+        self.shipped += 1
+
+    def summary(self) -> dict:
+        return {
+            "format": self.format,
+            "bytes": self.bytes,
+            "shipped": self.shipped,
+            "bytes_shipped": self.bytes * self.shipped,
+        }
+
+
 class ShardStats:
     """Counters for one worker shard: batches, samples, restarts, timing.
 

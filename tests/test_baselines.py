@@ -290,3 +290,34 @@ class TestCnnLocRegression:
     def test_compile_inference_requires_fit(self):
         with pytest.raises(RuntimeError, match="not fitted"):
             CnnLocLocalizer().compile_inference()
+
+
+class TestAnvilCompiledInference:
+    def test_compile_inference_matches_module_forward(self, split):
+        """The tape-free compiled ANVIL embedding (packed-QKV attention,
+        pre-norm folded) must reproduce the module-forward predictions —
+        the last Fig. 7 framework now serves without the autograd tape."""
+        train, test = split
+        localizer = AnvilLocalizer(epochs=5, seed=0).fit(train)
+        reference_pred = localizer.predict(test.features)
+        compiled = localizer.compile_inference()
+        assert "ANVIL" in repr(compiled)
+        np.testing.assert_array_equal(localizer.predict(test.features),
+                                      reference_pred)
+        # The gallery-matching embeddings themselves agree tightly.
+        from repro.baselines.common import select_channels
+
+        normalized = select_channels(
+            localizer._normalize(test.features), localizer.channels
+        )
+        fused = localizer._embed(normalized)
+        localizer._compiled = None
+        tape = localizer._embed(normalized)
+        np.testing.assert_allclose(fused, tape, atol=1e-5, rtol=1e-5)
+        # Refitting invalidates the compiled engine.
+        localizer.fit(train)
+        assert localizer._compiled is None
+
+    def test_compile_inference_requires_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            AnvilLocalizer().compile_inference()

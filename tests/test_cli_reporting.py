@@ -97,6 +97,36 @@ class TestCli:
         assert "mean error" in out
         assert "evaluation:" in out
 
+    def test_quantize_pipeline(self, tmp_path, capsys):
+        """survey → train → quantize → int8 snapshot serving end to end."""
+        data_path = str(tmp_path / "survey.npz")
+        weights_path = str(tmp_path / "weights.npz")
+        snapshot_path = str(tmp_path / "snapshot.pkl")
+        assert cli_main([
+            "survey", "--building", "1", "--n-aps", "8", "--devices", "base",
+            "--seed", "0", "--out", data_path,
+        ]) == 0
+        assert cli_main([
+            "train", "--data", data_path, "--image-size", "8",
+            "--epochs", "2", "--seed", "0", "--out", weights_path,
+        ]) == 0
+        assert cli_main([
+            "quantize", "--data", data_path, "--weights", weights_path,
+            "--image-size", "8", "--seed", "0", "--scheme", "per_channel",
+            "--mode", "int8", "--calibration-samples", "16",
+            "--out", snapshot_path, "--serve-smoke",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "calibrated on 16 fingerprints" in out
+        assert "x smaller" in out
+        assert "bit-identical to the local quantized session: True" in out
+        import pickle
+
+        with open(snapshot_path, "rb") as handle:
+            snapshot = pickle.load(handle)
+        assert snapshot["format"] == "repro.quant.session/v1"
+        assert snapshot["mode"] == "int8"
+
     def test_compare_command_with_save(self, tmp_path, capsys):
         save_path = str(tmp_path / "cmp.json")
         assert cli_main([

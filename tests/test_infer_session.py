@@ -301,6 +301,64 @@ class TestCompiledConvStacks:
                                    reference, atol=1e-5, rtol=1e-5)
 
 
+class TestCompiledAttention:
+    """MultiHeadSelfAttention + chain-wrapper coverage: the ANVIL path."""
+
+    def test_attention_matches_reference(self):
+        rng = np.random.default_rng(40)
+        attn = nn.MultiHeadSelfAttention(24, heads=4, rng=rng)
+        attn.eval()
+        x = rng.standard_normal((5, 9, 24)).astype(np.float32)
+        with no_grad():
+            reference = attn(Tensor(x)).data
+        compiled = compile_chain([attn], source="attn")
+        np.testing.assert_allclose(compiled.predict(x), reference,
+                                   atol=1e-5, rtol=1e-5)
+
+    def test_layernorm_folds_into_attention_qkv(self):
+        rng = np.random.default_rng(41)
+        norm = nn.LayerNorm(24)
+        norm.gamma.data = rng.standard_normal(24).astype(np.float32)
+        norm.beta.data = rng.standard_normal(24).astype(np.float32)
+        attn = nn.MultiHeadSelfAttention(24, heads=3, rng=rng)
+        attn.eval()
+        x = rng.standard_normal((4, 7, 24)).astype(np.float32)
+        with no_grad():
+            reference = attn(norm(Tensor(x))).data
+        compiled = compile_chain([norm, attn], source="norm-attn")
+        # The affine fold leaves exactly two ops: affine-free norm + attention.
+        assert len(compiled._ops) == 2
+        np.testing.assert_allclose(compiled.predict(x), reference,
+                                   atol=1e-5, rtol=1e-5)
+
+    def test_anvil_style_residual_chain(self):
+        """Residual + AddConstant + TokenMeanPool reproduce the ANVIL
+        embedding block: tanh(head(mean(post(x + attn(norm(x + pos))))))."""
+        from repro.infer import AddConstant, Residual, TokenMeanPool
+
+        rng = np.random.default_rng(42)
+        dim, n_tokens = 16, 6
+        proj = nn.Dense(3, dim, rng=rng)
+        position = rng.standard_normal((n_tokens, dim)).astype(np.float32)
+        norm, post = nn.LayerNorm(dim), nn.LayerNorm(dim)
+        attn = nn.MultiHeadSelfAttention(dim, heads=2, rng=rng)
+        head = nn.Dense(dim, dim, rng=rng)
+        for module in (proj, norm, post, attn, head):
+            module.eval()
+        x = rng.standard_normal((5, n_tokens, 3)).astype(np.float32)
+        with no_grad():
+            tokens = proj(Tensor(x)) + Tensor(position)
+            tokens = tokens + attn(norm(tokens))
+            reference = head(post(tokens).mean(axis=1)).tanh().data
+        compiled = compile_chain(
+            [proj, AddConstant(position), Residual(norm, attn),
+             post, TokenMeanPool(axis=1), head, nn.Tanh()],
+            source="anvil-style",
+        )
+        np.testing.assert_allclose(compiled.predict(x), reference,
+                                   atol=1e-5, rtol=1e-5)
+
+
 class TestRegressionGate:
     """The pure comparison behind ``infer-bench --check``."""
 

@@ -8,10 +8,12 @@ from repro.nn.quantization import (
     compression_report,
     dequantize_state_dict,
     dequantize_tensor,
+    dequantize_tensor_per_channel,
     model_size_bytes,
     quantize_model,
     quantize_state_dict,
     quantize_tensor,
+    quantize_tensor_per_channel,
 )
 from repro.tensor import Tensor
 
@@ -35,10 +37,28 @@ class TestTensorQuantization:
         restored = dequantize_tensor(codes, scale)
         assert restored[0] == pytest.approx(-4.0, rel=1e-2)
 
-    def test_zero_tensor_safe(self):
+    def test_zero_tensor_exact(self):
+        """An all-zero tensor gets scale 0.0 so codes * scale reproduces it
+        exactly — the documented contract, with no fictitious unit scale."""
         codes, scale = quantize_tensor(np.zeros(10))
-        assert scale == 1.0
+        assert scale == 0.0
         assert (dequantize_tensor(codes, scale) == 0).all()
+
+    def test_tiny_peak_keeps_contract(self):
+        """A near-zero peak must still satisfy values ≈ codes * scale."""
+        values = np.array([0.0, 1e-30, -2e-30])
+        codes, scale = quantize_tensor(values)
+        restored = dequantize_tensor(codes, scale)
+        # Half-scale bound plus float32 dequantize rounding headroom.
+        assert np.abs(restored - values).max() <= scale / 2 * (1 + 1e-5)
+
+    def test_non_finite_values_refused(self):
+        for bad in (np.array([1.0, np.nan]), np.array([np.inf, 0.5]),
+                    np.array([-np.inf])):
+            with pytest.raises(ValueError, match="NaN or infinite"):
+                quantize_tensor(bad)
+            with pytest.raises(ValueError, match="NaN or infinite"):
+                quantize_tensor_per_channel(bad.reshape(1, -1), axis=-1)
 
     def test_higher_bits_lower_error(self):
         values = np.random.default_rng(2).standard_normal(500)
@@ -51,6 +71,71 @@ class TestTensorQuantization:
             quantize_tensor(np.ones(3), bits=1)
         with pytest.raises(ValueError):
             quantize_tensor(np.ones(3), bits=32)
+        with pytest.raises(ValueError):
+            quantize_tensor_per_channel(np.ones((3, 3)), bits=1)
+
+
+class TestPerChannelQuantization:
+    def test_scales_per_output_channel(self):
+        """Each output column gets its own scale: a 100x-wide outlier
+        column must not crush the resolution of its neighbours."""
+        rng = np.random.default_rng(10)
+        weights = rng.standard_normal((32, 6)).astype(np.float32)
+        weights[:, 2] *= 100.0
+        codes, scales = quantize_tensor_per_channel(weights, axis=-1)
+        assert scales.shape == (6,)
+        np.testing.assert_allclose(
+            scales, np.abs(weights).max(axis=0) / 127.0, rtol=1e-6
+        )
+        restored = dequantize_tensor_per_channel(codes, scales, axis=-1)
+        # Per-channel error stays bounded by each channel's own half-scale.
+        assert (np.abs(restored - weights).max(axis=0) <= scales / 2 + 1e-6).all()
+        # Per-tensor would blow the narrow channels' error far past that.
+        codes_pt, scale_pt = quantize_tensor(weights)
+        restored_pt = dequantize_tensor(codes_pt, scale_pt)
+        narrow = [c for c in range(6) if c != 2]
+        assert (np.abs(restored_pt - weights)[:, narrow].max()
+                > np.abs(restored - weights)[:, narrow].max())
+
+    def test_zero_channel_is_exact(self):
+        weights = np.zeros((4, 3))
+        weights[:, 1] = [1.0, -2.0, 0.5, 0.25]
+        codes, scales = quantize_tensor_per_channel(weights, axis=-1)
+        assert scales[0] == 0.0 and scales[2] == 0.0 and scales[1] > 0.0
+        restored = dequantize_tensor_per_channel(codes, scales, axis=-1)
+        assert (restored[:, 0] == 0).all() and (restored[:, 2] == 0).all()
+
+    def test_axis_selection(self):
+        rng = np.random.default_rng(11)
+        weights = rng.standard_normal((5, 7))
+        codes, scales = quantize_tensor_per_channel(weights, axis=0)
+        assert scales.shape == (5,)
+        restored = dequantize_tensor_per_channel(codes, scales, axis=0)
+        assert np.abs(restored - weights).max() <= scales.max() / 2 + 1e-6
+
+    def test_state_dict_per_channel_scheme(self):
+        model = nn.Sequential(nn.Dense(8, 16, rng=np.random.default_rng(0)))
+        quantized = quantize_state_dict(model, scheme="per_channel")
+        weight_codes, weight_scales = quantized["layers.0.weight"]
+        bias_codes, bias_scale = quantized["layers.0.bias"]
+        assert np.ndim(weight_scales) == 1 and len(weight_scales) == 16
+        assert np.ndim(bias_scale) == 0  # vectors stay per-tensor
+        restored = dequantize_state_dict(quantized)
+        assert set(restored) == set(model.state_dict())
+        with pytest.raises(ValueError, match="scheme"):
+            quantize_state_dict(model, scheme="per_block")
+
+    def test_per_channel_beats_per_tensor_roundtrip(self):
+        rng = np.random.default_rng(12)
+        weights = rng.standard_normal((64, 16)) * rng.uniform(0.01, 10.0, 16)
+        err_pc = np.abs(
+            dequantize_tensor_per_channel(*quantize_tensor_per_channel(weights))
+            - weights
+        ).max()
+        err_pt = np.abs(
+            dequantize_tensor(*quantize_tensor(weights)) - weights
+        ).max()
+        assert err_pc < err_pt
 
 
 class TestModelQuantization:

@@ -143,6 +143,12 @@ class TestServerEndToEnd:
         dispatched = sum(shard["batches"] for shard in stats["shards"])
         assert dispatched >= 1
         assert stats["request_latency_ms"]["p50_ms"] is not None
+        # Snapshot transport accounting: one ship per worker seed.
+        transport = stats["snapshot"]
+        assert transport["format"] == "repro.infer.session/v1"
+        assert transport["bytes"] > 0
+        assert transport["shipped"] == 2
+        assert transport["bytes_shipped"] == 2 * transport["bytes"]
 
     def test_batcher_coalesces_single_image_requests(self, session, images):
         with LocalizationServer(session, workers=1, max_batch=8,
@@ -222,3 +228,5 @@ class TestServerEndToEnd:
             )
             stats = server.stats()
         assert sum(shard["restarts"] for shard in stats["shards"]) >= 1
+        # Each restart re-ships the snapshot: 2 initial seeds + >= 1 restart.
+        assert stats["snapshot"]["shipped"] >= 3
