@@ -1,0 +1,86 @@
+"""Fleet-serving benchmark: hot-swap, canary rollback/promote, overhead.
+
+Drives :func:`repro.fleet.run_fleet_benchmark` — publish versions into a
+scratch :class:`repro.fleet.ModelRegistry`, serve them from a
+:class:`repro.fleet.FleetServer`, hot-swap and canary under closed-loop
+load — and merges the result into ``BENCH_serving.json`` as its
+``"fleet"`` section (schema ``repro.serve.bench.v2``).  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py [--quick]
+
+The serving sections of an existing record are preserved; when no record
+exists yet a minimal v2 skeleton is written around the fleet section.
+"""
+
+import argparse
+import os
+import sys
+
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+os.environ.setdefault("MKL_NUM_THREADS", "1")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+from repro.fleet import (
+    FLEET_SCHEMA,
+    attach_fleet_section,
+    fleet_gates_ok,
+    format_fleet_summary,
+    run_fleet_benchmark,
+)
+from repro.serve import load_record, write_benchmark
+
+
+def _load_or_skeleton(path: str) -> dict:
+    """Reuse the recorded serving benchmark when present, else start a
+    minimal record the fleet section can live in."""
+    if os.path.exists(path):
+        try:
+            return load_record(path)
+        except (ValueError, OSError):
+            pass
+    return {"schema": FLEET_SCHEMA, "config": {"note": "fleet-only record"}}
+
+
+def run(quick: bool = False, out: str | None = None, seed: int = 0) -> dict:
+    destination = out or os.path.join(REPO_ROOT, "BENCH_serving.json")
+    base = _load_or_skeleton(destination)
+    fleet = run_fleet_benchmark(quick=quick, seed=seed)
+    merged = attach_fleet_section(base, fleet)
+    print()
+    print(format_fleet_summary(fleet))
+    print(f"wrote {write_benchmark(merged, destination)}")
+    return merged
+
+
+def test_fleet_baseline():
+    """Acceptance gates: the mid-stream hot swap completes every request
+    (0 lost), the broken-version canary is auto-rolled-back without a
+    single client-visible failure, and a healthy canary auto-promotes."""
+    quick = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+    merged = run(quick=quick, out="/tmp/bench_fleet_test.json")
+    fleet = merged["fleet"]
+    swap = fleet["hot_swap"]
+    assert swap["lost"] == 0, f"hot swap lost requests: {swap}"
+    assert swap["ok"], f"hot-swap drill failed: {swap}"
+    rollback = fleet["canary_rollback"]
+    assert rollback["decision"] == "rollback", rollback
+    assert rollback["client_failures"] == 0, (
+        f"broken canary leaked failures to clients: {rollback}"
+    )
+    assert fleet["canary_promote"]["decision"] == "promote"
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: shrink the load so the drills run "
+                             "in seconds")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="merged record path "
+                             "(default: <repo>/BENCH_serving.json)")
+    args = parser.parse_args()
+    merged = run(quick=args.quick, out=args.out, seed=args.seed)
+    sys.exit(0 if fleet_gates_ok(merged["fleet"]) else 1)

@@ -3,18 +3,24 @@
 Drives :func:`repro.serve.run_serving_benchmark` — closed-loop clients
 against the sharded multi-process :class:`repro.serve.LocalizationServer` —
 and records the result to ``BENCH_serving.json``
-(schema ``repro.serve.bench.v1``).  Run standalone::
+(schema ``repro.serve.bench.v2``; ``--check`` also accepts ``v1``
+records).  Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_serving.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_serving.py --check
 
-or as part of the benchmark suite (``pytest benchmarks/``).
+or as part of the benchmark suite (``pytest benchmarks/``).  ``--check``
+validates the *recorded* JSON gates without re-running the sweep (the
+fleet section, when present, is gated too — see bench_fleet.py).
 
 Worker processes each pin a single BLAS thread (set below, before NumPy
 loads) so the scaling sweep measures *process* sharding, not BLAS
 oversubscription; on an N-core host the aggregate throughput at
 ``min(N, 4)`` workers is the headline number.  Hosts with fewer than 4
 cores cannot express the ≥2x @ 4-workers gate — the record then carries
-``scaling.hardware_limited: true`` and the assertion is skipped.
+``scaling.hardware_limited: true`` plus the exact skip reason (which
+gate, how many cores) under ``scaling.skipped``, and the assertion is
+skipped.
 """
 
 import argparse
@@ -27,7 +33,13 @@ os.environ.setdefault("MKL_NUM_THREADS", "1")
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-from repro.serve import format_summary, run_serving_benchmark, write_benchmark
+from repro.serve import (
+    check_record,
+    format_summary,
+    load_record,
+    run_serving_benchmark,
+    write_benchmark,
+)
 
 
 def run(quick: bool = False, out: str | None = None) -> dict:
@@ -35,8 +47,44 @@ def run(quick: bool = False, out: str | None = None) -> dict:
     print()
     print(format_summary(result))
     destination = out or os.path.join(REPO_ROOT, "BENCH_serving.json")
+    # A re-run of the serving sweep must not drop the fleet section a
+    # previous bench_fleet.py run merged into the record.
+    if os.path.exists(destination):
+        try:
+            previous = load_record(destination)
+        except (ValueError, OSError):
+            previous = {}
+        if "fleet" in previous:
+            result["fleet"] = previous["fleet"]
     print(f"wrote {write_benchmark(result, destination)}")
     return result
+
+
+def check(out: str | None = None) -> int:
+    """Validate the recorded benchmark gates (schema v1 or v2); returns a
+    process exit code."""
+    destination = out or os.path.join(REPO_ROOT, "BENCH_serving.json")
+    try:
+        record = load_record(destination)
+    except FileNotFoundError:
+        print(f"no recorded baseline at {destination}; run the benchmark "
+              "first (without --check)")
+        return 2
+    except ValueError as error:
+        print(f"check failed: {error}")
+        return 1
+    problems = check_record(record)
+    if problems:
+        print(f"check FAILED for {destination} "
+              f"(schema {record.get('schema')}):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    sections = [name for name in ("throughput_vs_workers", "deadline_sweep",
+                                  "fault_tolerance", "fleet") if name in record]
+    print(f"check OK: {destination} (schema {record.get('schema')}, "
+          f"sections: {', '.join(sections)})")
+    return 0
 
 
 def _gates_ok(result: dict) -> bool:
@@ -71,8 +119,13 @@ if __name__ == "__main__":
     parser.add_argument("--quick", action="store_true",
                         help="smoke mode: shrink the load so the sweep runs "
                              "in seconds")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the recorded JSON gates (accepts "
+                             "schema v1 and v2) instead of re-running")
     parser.add_argument("--out", default=None,
                         help="result path (default: <repo>/BENCH_serving.json)")
     args = parser.parse_args()
+    if args.check:
+        sys.exit(check(out=args.out))
     result = run(quick=args.quick, out=args.out)
     sys.exit(0 if _gates_ok(result) else 1)

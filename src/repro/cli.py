@@ -10,6 +10,8 @@ Commands
 ``infer-bench`` fused-inference throughput benchmark → BENCH_inference.json
 ``serve``       multi-process serving demo / benchmark → BENCH_serving.json
 ``quantize``    calibrate + quantize saved weights → int8 serving snapshot
+``fleet``       versioned model registry + multi-tenant hot-swap serving
+                (``fleet publish|list|serve|swap``)
 
 Every command is deterministic given ``--seed`` (timings aside).
 """
@@ -103,6 +105,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="samples per request (default: --max-batch)")
     serve.add_argument("--image-size", type=int, default=24)
     serve.add_argument("--num-classes", type=int, default=32)
+    serve.add_argument("--snapshot", default=None,
+                       help="serve a saved engine snapshot .pkl (float32 or "
+                            "quantized) instead of compiling a fresh demo "
+                            "session in-process")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--bench", action="store_true",
                        help="run the full worker-scaling + deadline-sweep + "
@@ -143,6 +149,82 @@ def _build_parser() -> argparse.ArgumentParser:
     quantize.add_argument("--serve-smoke", action="store_true",
                           help="after writing the snapshot, reload it into a "
                                "LocalizationServer and serve the test split")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="versioned model registry + multi-tenant hot-swap serving",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    publish = fleet_sub.add_parser(
+        "publish", help="publish an engine snapshot as a new model version"
+    )
+    publish.add_argument("--registry", required=True,
+                         help="registry root directory (created if missing)")
+    publish.add_argument("--model-id", required=True,
+                         help="model identifier, e.g. bldg-1 or bldg-2-int8")
+    publish.add_argument("--snapshot", required=True,
+                         help="engine snapshot .pkl (float32 from "
+                              "InferenceSession.snapshot() or quantized from "
+                              "`repro quantize`)")
+    publish.add_argument("--building", type=int, default=None,
+                         help="building index recorded in the manifest")
+    publish.add_argument("--devices", default=None,
+                         help="device-set note recorded in the manifest")
+    publish.add_argument("--accuracy-m", type=float, default=None,
+                         help="mean localization error (m) from evaluation, "
+                              "recorded in the manifest")
+    publish.add_argument("--note", default=None,
+                         help="free-form manifest note")
+    publish.add_argument("--pin", action="store_true",
+                         help="pin the new version as the serving default")
+
+    listing = fleet_sub.add_parser(
+        "list", help="list published models and versions"
+    )
+    listing.add_argument("--registry", required=True)
+    listing.add_argument("--model-id", default=None,
+                         help="restrict to one model id")
+
+    fserve = fleet_sub.add_parser(
+        "serve",
+        help="deploy registry models into a FleetServer and run a "
+             "closed-loop synthetic load against each",
+    )
+    fserve.add_argument("--registry", required=True)
+    fserve.add_argument("--models", required=True,
+                        help="comma-separated model specs, each "
+                             "MODEL_ID[:VERSION] (default version: pinned, "
+                             "else latest)")
+    fserve.add_argument("--workers", type=int, default=2)
+    fserve.add_argument("--max-batch", type=int, default=32)
+    fserve.add_argument("--deadline-ms", type=float, default=2.0)
+    fserve.add_argument("--clients", type=int, default=4,
+                        help="closed-loop client threads per model")
+    fserve.add_argument("--requests", type=int, default=16,
+                        help="requests per client thread")
+    fserve.add_argument("--seed", type=int, default=0)
+
+    swap = fleet_sub.add_parser(
+        "swap",
+        help="hot-swap drill: serve one version under load, swap to "
+             "another with zero lost requests",
+    )
+    swap.add_argument("--registry", required=True)
+    swap.add_argument("--model-id", required=True)
+    swap.add_argument("--to-version", type=int, required=True,
+                      help="version to hot-swap to")
+    swap.add_argument("--from-version", type=int, default=None,
+                      help="incumbent version (default: pinned, else latest)")
+    swap.add_argument("--workers", type=int, default=2)
+    swap.add_argument("--max-batch", type=int, default=32)
+    swap.add_argument("--clients", type=int, default=4)
+    swap.add_argument("--requests", type=int, default=16)
+    swap.add_argument("--canary", action="store_true",
+                      help="roll out via a canary fraction with auto "
+                           "promote/rollback instead of an immediate swap")
+    swap.add_argument("--canary-fraction", type=float, default=0.25)
+    swap.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -317,6 +399,10 @@ def _cmd_serve(args) -> int:
     )
 
     if args.bench:
+        if args.snapshot:
+            print("--snapshot and --bench are mutually exclusive (the "
+                  "benchmark compiles its own sessions)")
+            return 2
         result = run_serving_benchmark(
             image_size=args.image_size,
             num_classes=args.num_classes,
@@ -333,12 +419,26 @@ def _cmd_serve(args) -> int:
 
     import numpy as np
 
-    session = make_session(args.image_size, args.num_classes,
-                           args.max_batch, args.seed)
+    if args.snapshot:
+        # Serve a saved snapshot — no retraining or compiling in-process.
+        # `fleet serve` deploys registry blobs through the same loader.
+        from repro.fleet import read_snapshot_file
+        from repro.infer import snapshot_info
+
+        session = read_snapshot_file(args.snapshot)
+        info = snapshot_info(session)
+        image_size, channels = info["image_size"], info["channels"]
+        print(f"loaded {args.snapshot}: {info['format']} "
+              f"(image={image_size}, channels={channels}, "
+              f"classes={info['num_classes']})")
+    else:
+        session = make_session(args.image_size, args.num_classes,
+                               args.max_batch, args.seed)
+        image_size, channels = args.image_size, 3
     request_size = args.request_size or args.max_batch
     requests = max(2, args.requests // 4) if args.quick else args.requests
     pool = np.random.default_rng(args.seed + 1).standard_normal(
-        (4 * args.max_batch, args.image_size, args.image_size, 3)
+        (4 * args.max_batch, image_size, image_size, channels)
     ).astype(np.float32)
     print(f"starting {args.workers} worker(s), max_batch={args.max_batch}, "
           f"deadline={args.deadline_ms}ms ...")
@@ -428,6 +528,200 @@ def _cmd_quantize(args) -> int:
     return 0
 
 
+def _fleet_publish(args) -> int:
+    from repro.fleet import ModelRegistry, read_snapshot_file
+
+    registry = ModelRegistry(args.registry)
+    snapshot = read_snapshot_file(args.snapshot)
+    metadata = {
+        key: value
+        for key, value in (
+            ("building", args.building),
+            ("devices", args.devices),
+            ("accuracy_m", args.accuracy_m),
+            ("note", args.note),
+            ("source", args.snapshot),
+        )
+        if value is not None
+    }
+    version = registry.publish(args.model_id, snapshot, metadata=metadata)
+    entry = registry.get(args.model_id, version)
+    print(f"published {entry!r}")
+    if args.pin:
+        registry.pin(args.model_id, version)
+        print(f"pinned {args.model_id} to v{version}")
+    return 0
+
+
+def _fleet_list(args) -> int:
+    from repro.fleet import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    entries = registry.list(args.model_id)
+    if not entries:
+        scope = f"model {args.model_id!r}" if args.model_id else "registry"
+        print(f"{scope} has no published versions ({registry.root})")
+        return 0
+    print(f"{'model':<20} {'ver':>4} {'format':<26} {'classes':>7} "
+          f"{'bytes':>12}  metadata")
+    for entry in entries:
+        pinned = registry.pinned(entry.model_id)
+        marker = " *pinned" if pinned == entry.version else ""
+        meta = ", ".join(
+            f"{key}={value}" for key, value in sorted(entry.metadata.items())
+            if key != "source"
+        )
+        print(f"{entry.model_id:<20} {entry.version:>4} "
+              f"{entry.info['format']:<26} {entry.info['num_classes']:>7} "
+              f"{entry.bytes:>12,}  {meta}{marker}")
+    return 0
+
+
+def _fleet_serve(args) -> int:
+    import json
+    import threading
+
+    import numpy as np
+
+    from repro.fleet import FleetServer, ModelRegistry
+    from repro.serve import closed_loop_load
+
+    registry = ModelRegistry(args.registry)
+    specs = []
+    for raw in args.models.split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        model_id, _, version = raw.partition(":")
+        specs.append((model_id, int(version) if version else None))
+    if not specs:
+        print("no models given (--models MODEL_ID[:VERSION],...)")
+        return 2
+
+    with FleetServer(registry, workers=args.workers,
+                     max_batch=args.max_batch,
+                     max_delay_ms=args.deadline_ms) as server:
+        pools = {}
+        for index, (model_id, version) in enumerate(specs):
+            info = server.deploy(model_id, version)
+            # Per-model offset keeps pools distinct yet deterministic
+            # under --seed (never the salted built-in hash()).
+            rng = np.random.default_rng(args.seed + index)
+            pools[model_id] = rng.standard_normal(
+                (4 * args.max_batch, info["image_size"], info["image_size"],
+                 info["channels"])
+            ).astype(np.float32)
+            print(f"deployed {model_id}@v{info['version']} "
+                  f"({info['format']}, classes={info['num_classes']})")
+
+        runs: dict[str, dict] = {}
+
+        def hammer(model_id: str) -> None:
+            runs[model_id] = closed_loop_load(
+                server, pools[model_id], clients=args.clients,
+                requests_per_client=args.requests,
+                request_size=max(1, args.max_batch // 4),
+                seed=args.seed, model=model_id,
+            )
+
+        threads = [threading.Thread(target=hammer, args=(model_id,),
+                                    daemon=True)
+                   for model_id, _ in specs]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = server.stats()
+
+    errors = 0
+    for model_id, run in sorted(runs.items()):
+        errors += len(run["errors"])
+        print(f"  {model_id}: {run['total_samples']} samples at "
+              f"{run['samples_per_s']:.0f} samples/s, "
+              f"errors={len(run['errors'])}")
+    print("fleet stats:")
+    print(json.dumps(stats["fleet"], indent=2, default=str))
+    return 1 if errors else 0
+
+
+def _fleet_swap(args) -> int:
+    import json
+    import threading
+
+    import numpy as np
+
+    from repro.fleet import FleetServer, ModelRegistry
+    from repro.serve import closed_loop_load
+
+    registry = ModelRegistry(args.registry)
+    with FleetServer(registry, workers=args.workers,
+                     max_batch=args.max_batch, max_delay_ms=1.0) as server:
+        info = server.deploy(args.model_id, args.from_version)
+        print(f"serving {args.model_id}@v{info['version']}; streaming "
+              f"{args.clients}x{args.requests} requests...")
+        rng = np.random.default_rng(args.seed)
+        pool = rng.standard_normal(
+            (4 * args.max_batch, info["image_size"], info["image_size"],
+             info["channels"])
+        ).astype(np.float32)
+        out: list[dict] = []
+        stream = threading.Thread(
+            target=lambda: out.append(closed_loop_load(
+                server, pool, clients=args.clients,
+                requests_per_client=args.requests,
+                request_size=max(1, args.max_batch // 4),
+                seed=args.seed, model=args.model_id,
+            )),
+            daemon=True,
+        )
+        stream.start()
+        import time as _time
+
+        _time.sleep(0.05)
+        if args.canary:
+            # Ask for at most half the canary-routed share of the stream so
+            # the decision can land before traffic runs out; if the stream
+            # still ends undecided, settle from the evidence gathered
+            # rather than hanging a server with no remaining traffic.
+            expected_canary = args.clients * args.requests * args.canary_fraction
+            server.start_canary(args.model_id, args.to_version,
+                                fraction=args.canary_fraction,
+                                min_requests=max(4, int(expected_canary / 2)))
+            stream.join()
+            status = server.canary_status(args.model_id)
+            if status is not None and status["active"]:
+                decision = "rollback" if status["batch_errors"] else "promote"
+                try:
+                    server.decide_canary(args.model_id, decision,
+                                         reason="stream ended before "
+                                                "min_requests")
+                except ValueError:
+                    pass  # decided itself between status() and here
+            outcome = server.wait_canary(args.model_id, timeout=120.0)
+            print(f"canary decision: {outcome['decision']} "
+                  f"({outcome['reason']})")
+        else:
+            report = server.swap(args.model_id, args.to_version)
+            stream.join()
+            print(f"swap report: {json.dumps(report, indent=2)}")
+        run = out[0]
+        print(f"streamed {run['total_samples']} samples, "
+              f"lost={len(run['errors'])}")
+        deployments = server.deployments()
+    print(f"now serving: {deployments}")
+    return 1 if run["errors"] else 0
+
+
+def _cmd_fleet(args) -> int:
+    handlers = {
+        "publish": _fleet_publish,
+        "list": _fleet_list,
+        "serve": _fleet_serve,
+        "swap": _fleet_swap,
+    }
+    return handlers[args.fleet_command](args)
+
+
 def _cmd_buildings(_args) -> int:
     from repro.data import ALL_DEVICES
     from repro.data.buildings import benchmark_buildings
@@ -458,6 +752,7 @@ def main(argv: list[str] | None = None) -> int:
         "infer-bench": _cmd_infer_bench,
         "serve": _cmd_serve,
         "quantize": _cmd_quantize,
+        "fleet": _cmd_fleet,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,316 @@
+"""Content-addressed, versioned on-disk registry of inference snapshots.
+
+The registry is the control-plane storage of the fleet subsystem: every
+retrain/quantize cycle :meth:`ModelRegistry.publish`\\ es its serving
+snapshot (float32 ``repro.infer.session/v1`` or quantized
+``repro.quant.session/v1`` — anything :func:`repro.infer.restore_session`
+dispatches on), and :class:`repro.fleet.FleetServer` deploys, hot-swaps
+and canaries straight out of it.
+
+On-disk layout (all writes atomic via ``os.replace``)::
+
+    <root>/blobs/<sha256>.pkl          # pickled snapshots, deduplicated
+    <root>/models/<model_id>/v00001.json   # one manifest per version
+    <root>/models/<model_id>/PINNED        # optional pinned version
+
+* **Content addressing** — the blob name *is* the SHA-256 of the pickled
+  payload, so identical snapshots published twice (or under two model
+  ids) share one blob, and every load re-hashes the payload and raises
+  :class:`IntegrityError` on any mismatch before unpickling.
+* **Manifests** are small JSON records: digest, byte size, snapshot
+  geometry (:func:`repro.infer.snapshot_info` — image size, classes,
+  quantization scheme) plus caller metadata (building, device set,
+  accuracy from eval, notes).
+* **Pinning** — ``resolve`` returns the pinned version when one is set,
+  else the latest; ``FleetServer.deploy(model_id)`` serves whatever
+  ``resolve`` says, so pinning a version is the rollback story *across*
+  server restarts (the in-process rollback is the canary path).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+import time
+
+from repro.infer.session import restore_session, snapshot_info
+
+#: Manifest schema tag written into every version manifest.
+MANIFEST_SCHEMA = "repro.fleet.manifest/v1"
+
+_MODEL_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class RegistryError(Exception):
+    """Base error of the model registry."""
+
+
+class IntegrityError(RegistryError):
+    """A stored payload does not hash to its manifest digest."""
+
+
+def read_snapshot_file(path: str) -> dict:
+    """Load a pickled engine snapshot from ``path`` and validate it.
+
+    Shared loader behind ``repro.cli serve --snapshot`` and
+    ``repro.cli fleet publish`` — accepts exactly what
+    :func:`repro.infer.restore_session` restores and fails fast (with the
+    standard unknown-format / truncated-state errors) on anything else.
+    """
+    with open(path, "rb") as handle:
+        snapshot = pickle.load(handle)
+    snapshot_info(snapshot)  # raises ValueError if not restorable
+    return snapshot
+
+
+class RegistryEntry:
+    """One published version: manifest fields plus lazy payload access."""
+
+    def __init__(self, registry: "ModelRegistry", manifest: dict):
+        self._registry = registry
+        self.model_id: str = manifest["model_id"]
+        self.version: int = int(manifest["version"])
+        self.digest: str = manifest["digest"]
+        self.bytes: int = int(manifest["bytes"])
+        self.created_unix: float = manifest["created_unix"]
+        self.info: dict = manifest["info"]
+        self.metadata: dict = manifest.get("metadata", {})
+
+    def manifest(self) -> dict:
+        """The manifest as the JSON-serializable dict that is on disk."""
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "model_id": self.model_id,
+            "version": self.version,
+            "digest": self.digest,
+            "bytes": self.bytes,
+            "created_unix": self.created_unix,
+            "info": self.info,
+            "metadata": self.metadata,
+        }
+
+    def load_snapshot(self) -> dict:
+        """The stored snapshot, integrity-checked against the digest."""
+        return self._registry._load_blob(self.digest, context=repr(self))
+
+    def load_session(self):
+        """Restore a serving-ready session (float32 or quantized)."""
+        return restore_session(self.load_snapshot())
+
+    def __repr__(self) -> str:
+        return (
+            f"RegistryEntry({self.model_id}@v{self.version}, "
+            f"{self.info.get('format')}, {self.bytes:,} B, "
+            f"sha256={self.digest[:12]}…)"
+        )
+
+
+class ModelRegistry:
+    """Versioned store of serving snapshots under a root directory.
+
+    Single-writer semantics: concurrent publishes to the *same* model id
+    from multiple processes may race on version numbers (last writer
+    wins a number); everything else — content-addressed blobs, atomic
+    manifest writes, integrity-checked loads — is safe under concurrent
+    readers.
+    """
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self._blob_dir = os.path.join(self.root, "blobs")
+        self._model_dir = os.path.join(self.root, "models")
+        os.makedirs(self._blob_dir, exist_ok=True)
+        os.makedirs(self._model_dir, exist_ok=True)
+
+    # -- publishing ----------------------------------------------------
+    def publish(self, model_id: str, snapshot, metadata: dict | None = None) -> int:
+        """Store ``snapshot`` as the next version of ``model_id``.
+
+        ``snapshot`` may be a snapshot dict or any session object with a
+        ``snapshot()`` method.  Returns the new version number.
+        """
+        self._check_model_id(model_id)
+        if hasattr(snapshot, "snapshot"):
+            snapshot = snapshot.snapshot()
+        info = snapshot_info(snapshot)  # validates restorability up front
+        payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest()
+
+        blob_path = self._blob_path(digest)
+        if not os.path.exists(blob_path):  # content-addressed: dedupe
+            self._atomic_write(blob_path, payload)
+
+        version = self.latest(model_id, default=0) + 1
+        manifest = {
+            "schema": MANIFEST_SCHEMA,
+            "model_id": model_id,
+            "version": version,
+            "digest": digest,
+            "bytes": len(payload),
+            "created_unix": time.time(),
+            "info": info,
+            "metadata": dict(metadata or {}),
+        }
+        directory = os.path.join(self._model_dir, model_id)
+        os.makedirs(directory, exist_ok=True)
+        self._atomic_write(
+            os.path.join(directory, f"v{version:05d}.json"),
+            (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode(),
+        )
+        return version
+
+    # -- lookup --------------------------------------------------------
+    def models(self) -> list[str]:
+        """All model ids with at least one published version, sorted."""
+        if not os.path.isdir(self._model_dir):
+            return []
+        return sorted(
+            name for name in os.listdir(self._model_dir)
+            if self.versions(name)
+        )
+
+    def versions(self, model_id: str) -> list[int]:
+        """Published version numbers of ``model_id``, ascending."""
+        directory = os.path.join(self._model_dir, model_id)
+        if not os.path.isdir(directory):
+            return []
+        found = []
+        for name in os.listdir(directory):
+            match = re.fullmatch(r"v(\d+)\.json", name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest(self, model_id: str, default: int | None = None) -> int:
+        """Highest published version (pin-agnostic)."""
+        versions = self.versions(model_id)
+        if versions:
+            return versions[-1]
+        if default is not None:
+            return default
+        raise KeyError(f"no versions published for model {model_id!r}")
+
+    def resolve(self, model_id: str) -> int:
+        """The serving version: the pinned one if set, else the latest."""
+        pinned = self.pinned(model_id)
+        return pinned if pinned is not None else self.latest(model_id)
+
+    def get(self, model_id: str, version: int | None = None) -> RegistryEntry:
+        """The manifest entry for ``model_id`` at ``version``
+        (default: :meth:`resolve` — pinned, else latest)."""
+        self._check_model_id(model_id)
+        if version is None:
+            version = self.resolve(model_id)
+        path = os.path.join(self._model_dir, model_id, f"v{int(version):05d}.json")
+        try:
+            with open(path) as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            raise KeyError(
+                f"model {model_id!r} has no version {version} "
+                f"(published: {self.versions(model_id)})"
+            ) from None
+        return RegistryEntry(self, manifest)
+
+    def list(self, model_id: str | None = None) -> list[RegistryEntry]:
+        """Entries of one model (or every model), version-ascending."""
+        names = [model_id] if model_id is not None else self.models()
+        return [
+            self.get(name, version)
+            for name in names
+            for version in self.versions(name)
+        ]
+
+    def load_snapshot(self, model_id: str, version: int | None = None) -> dict:
+        """Integrity-checked snapshot of ``model_id`` at ``version``."""
+        return self.get(model_id, version).load_snapshot()
+
+    def load_session(self, model_id: str, version: int | None = None):
+        """Restored serving session of ``model_id`` at ``version``."""
+        return self.get(model_id, version).load_session()
+
+    # -- pinning -------------------------------------------------------
+    def pin(self, model_id: str, version: int) -> None:
+        """Pin ``model_id`` to ``version`` (must exist); ``resolve`` and
+        version-less ``get``/``deploy`` then serve it instead of latest."""
+        self.get(model_id, version)  # raises KeyError if absent
+        self._atomic_write(
+            os.path.join(self._model_dir, model_id, "PINNED"),
+            (json.dumps({"version": int(version)}) + "\n").encode(),
+        )
+
+    def unpin(self, model_id: str) -> None:
+        try:
+            os.remove(os.path.join(self._model_dir, model_id, "PINNED"))
+        except FileNotFoundError:
+            pass
+
+    def pinned(self, model_id: str) -> int | None:
+        try:
+            with open(os.path.join(self._model_dir, model_id, "PINNED")) as handle:
+                return int(json.load(handle)["version"])
+        except (FileNotFoundError, json.JSONDecodeError, KeyError, ValueError):
+            return None
+
+    # -- internals -----------------------------------------------------
+    def _blob_path(self, digest: str) -> str:
+        return os.path.join(self._blob_dir, f"{digest}.pkl")
+
+    def _load_blob(self, digest: str, context: str) -> dict:
+        path = self._blob_path(digest)
+        try:
+            with open(path, "rb") as handle:
+                payload = handle.read()
+        except FileNotFoundError:
+            raise RegistryError(f"missing blob {digest} for {context}") from None
+        actual = hashlib.sha256(payload).hexdigest()
+        if actual != digest:
+            raise IntegrityError(
+                f"blob for {context} is corrupted: manifest digest {digest}, "
+                f"stored payload hashes to {actual}"
+            )
+        return pickle.loads(payload)
+
+    @staticmethod
+    def _atomic_write(path: str, payload: bytes) -> None:
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _check_model_id(model_id: str) -> None:
+        if not isinstance(model_id, str) or not _MODEL_ID.match(model_id):
+            raise ValueError(
+                f"invalid model id {model_id!r}: use 1-64 chars of "
+                "letters/digits/._- (leading alphanumeric)"
+            )
+
+    def stats(self) -> dict:
+        """Registry-wide accounting (models, versions, blob dedupe)."""
+        entries = self.list()
+        digests = {entry.digest for entry in entries}
+        blob_bytes = 0
+        for digest in digests:
+            try:
+                blob_bytes += os.path.getsize(self._blob_path(digest))
+            except OSError:
+                pass
+        return {
+            "root": self.root,
+            "models": len(self.models()),
+            "versions": len(entries),
+            "unique_blobs": len(digests),
+            "blob_bytes": blob_bytes,
+            "deduped_versions": len(entries) - len(digests),
+        }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"ModelRegistry({self.root!r}, models={stats['models']}, "
+            f"versions={stats['versions']})"
+        )

@@ -32,12 +32,18 @@ from repro.infer.compile import (
     compile_module,
 )
 from repro.infer.ops import QuantizedLinear
-from repro.infer.session import SNAPSHOT_FORMAT, InferenceSession, restore_session
+from repro.infer.session import (
+    SNAPSHOT_FORMAT,
+    InferenceSession,
+    restore_session,
+    snapshot_info,
+)
 
 __all__ = [
     "InferenceSession",
     "SNAPSHOT_FORMAT",
     "restore_session",
+    "snapshot_info",
     "QuantizedLinear",
     "CompiledModule",
     "UnsupportedModuleError",

@@ -38,6 +38,41 @@ from repro.vit.patching import patch_index_grid
 #: Version tag of the picklable session snapshot shipped to serving workers.
 SNAPSHOT_FORMAT = "repro.infer.session/v1"
 
+#: State keys every restorable session snapshot must carry.  ``__setstate__``
+#: dereferences these while rebuilding scratch buffers, so a snapshot missing
+#: any of them is truncated/corrupted and must be rejected up front with a
+#: clear error instead of an AttributeError deep inside allocation.
+_REQUIRED_STATE_KEYS = (
+    "max_batch",
+    "image_size",
+    "channels",
+    "patch_size",
+    "num_patches",
+    "num_classes",
+    "patch_grid",
+    "w_embed",
+    "pos_bias",
+    "blocks",
+    "head_weights",
+    "eps_final",
+    "final_width",
+)
+
+
+def _validate_state(state, fmt: str) -> dict:
+    """Reject truncated/corrupted snapshot state before restoring from it."""
+    if not isinstance(state, dict):
+        raise ValueError(
+            f"corrupted {fmt} snapshot: state must be a dict, "
+            f"got {type(state).__name__}"
+        )
+    missing = [key for key in _REQUIRED_STATE_KEYS if key not in state]
+    if missing:
+        raise ValueError(
+            f"truncated {fmt} snapshot: state is missing {missing}"
+        )
+    return state
+
 
 def _validate_max_batch(value) -> int:
     """Validate a micro-batch capacity before any buffer allocation happens.
@@ -302,7 +337,7 @@ class InferenceSession:
                 f"{SNAPSHOT_FORMAT!r}, got {snapshot.get('format') if isinstance(snapshot, dict) else snapshot!r})"
             )
         session = cls.__new__(cls)
-        session.__setstate__(snapshot["state"])
+        session.__setstate__(_validate_state(snapshot.get("state"), SNAPSHOT_FORMAT))
         return session
 
     # ------------------------------------------------------------------
@@ -416,3 +451,40 @@ def restore_session(snapshot: dict) -> "InferenceSession":
         f"not a restorable session snapshot (format {fmt!r}; expected "
         f"{SNAPSHOT_FORMAT!r} or a repro.quant.session/* snapshot)"
     )
+
+
+def snapshot_info(snapshot) -> dict:
+    """Cheap metadata peek at any restorable engine snapshot.
+
+    Returns geometry + format facts (image size, channels, classes,
+    micro-batch capacity, block count; quantization scheme/mode/bits for
+    int8 snapshots) without rebuilding a session — the
+    :mod:`repro.fleet` registry records this in every version manifest,
+    and the CLI uses it to validate ``--snapshot`` files before serving.
+    Raises ``ValueError`` for unknown formats or truncated state, the
+    same contract as :func:`restore_session`.
+    """
+    fmt = snapshot.get("format") if isinstance(snapshot, dict) else None
+    quantized = isinstance(fmt, str) and fmt.startswith("repro.quant.session/")
+    if fmt != SNAPSHOT_FORMAT and not quantized:
+        raise ValueError(
+            f"not a restorable session snapshot (format {fmt!r}; expected "
+            f"{SNAPSHOT_FORMAT!r} or a repro.quant.session/* snapshot)"
+        )
+    state = _validate_state(snapshot.get("state"), fmt)
+    info = {
+        "format": fmt,
+        "quantized": quantized,
+        "image_size": int(state["image_size"]),
+        "channels": int(state["channels"]),
+        "num_classes": int(state["num_classes"]),
+        "max_batch": int(state["max_batch"]),
+        "blocks": len(state["blocks"]),
+    }
+    if quantized:
+        info.update(
+            scheme=snapshot.get("scheme"),
+            mode=snapshot.get("mode"),
+            bits=snapshot.get("bits"),
+        )
+    return info

@@ -32,7 +32,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.infer.ops import QuantizedLinear
-from repro.infer.session import InferenceSession, _BlockProgram, _validate_max_batch
+from repro.infer.session import (
+    InferenceSession,
+    _BlockProgram,
+    _validate_max_batch,
+    _validate_state,
+)
 from repro.nn.quantization import quantize_tensor, quantize_tensor_per_channel
 from repro.quant.calibrate import Calibration, calibrate_session
 
@@ -246,7 +251,7 @@ class QuantizedSession(InferenceSession):
             )
         session = cls.__new__(cls)
         session._install(
-            snapshot["state"],
+            _validate_state(snapshot.get("state"), QUANT_SNAPSHOT_FORMAT),
             scheme=snapshot["scheme"],
             mode=mode or snapshot["mode"],
             bits=snapshot["bits"],
@@ -273,6 +278,14 @@ class QuantizedSession(InferenceSession):
             bits=state["bits"],
             calibration=state.get("calibration"),
         )
+
+    # -- metadata ------------------------------------------------------
+    def info(self) -> dict:
+        """Snapshot metadata (geometry + scheme/mode/bits) — what the
+        :mod:`repro.fleet` registry records in a version manifest."""
+        from repro.infer.session import snapshot_info
+
+        return snapshot_info(self.snapshot())
 
     # -- footprint accounting -----------------------------------------
     def quantized_weight_bytes(self) -> int:

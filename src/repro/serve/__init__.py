@@ -14,27 +14,44 @@ into an online serving system:
 * :mod:`repro.serve.bench` — the closed-loop load generator and the
   worker-scaling / batching-deadline / fault-tolerance benchmark recorded
   in ``BENCH_serving.json`` (CLI: ``repro serve``).
+
+Workers hold a *table* of sessions keyed by route, so one pool can serve
+many model versions at once — :mod:`repro.fleet` builds the multi-tenant
+registry/hot-swap/canary control plane on exactly that protocol.
 """
 
 from repro.serve.batcher import AdaptiveBatchPolicy
 from repro.serve.bench import (
+    ACCEPTED_SCHEMAS,
+    check_record,
     closed_loop_load,
     format_summary,
+    load_record,
     make_session,
     run_fault_tolerance_drill,
     run_serving_benchmark,
     write_benchmark,
 )
-from repro.serve.server import LocalizationServer
-from repro.serve.stats import LatencyReservoir, ShardStats, SnapshotTransport
+from repro.serve.server import DEFAULT_MODEL, LocalizationServer
+from repro.serve.stats import (
+    LatencyReservoir,
+    RouteStats,
+    ShardStats,
+    SnapshotTransport,
+)
 
 __all__ = [
     "LocalizationServer",
+    "DEFAULT_MODEL",
     "AdaptiveBatchPolicy",
     "LatencyReservoir",
+    "RouteStats",
     "ShardStats",
     "SnapshotTransport",
+    "ACCEPTED_SCHEMAS",
+    "check_record",
     "closed_loop_load",
+    "load_record",
     "make_session",
     "run_fault_tolerance_drill",
     "run_serving_benchmark",

@@ -4,27 +4,35 @@ Architecture::
 
     client threads ──submit()──▶ pending deque ──▶ dispatcher thread
                                                        │  adaptive micro-batcher
-                                                       │  (AdaptiveBatchPolicy)
+                                                       │  + per-model routing
                                                        ▼
                               least-loaded shard task queue (one per worker)
                                                        │
-                 worker process 0..N-1: InferenceSession.from_snapshot(...)
+                 worker process 0..N-1: {route key → restored session}
                                                        │
                               per-worker result pipe ──▶ collector thread
                                                        │
     client threads ◀──result()── request events ◀──────┘
 
-* Each worker process restores a compiled :class:`InferenceSession` from a
-  snapshot shipped as flat float32 arrays over its task queue — no model,
-  no tape, no closures cross the process boundary.
-* The dispatcher coalesces pending requests up to ``max_batch`` samples or
-  an adaptive latency deadline (:mod:`repro.serve.batcher`) and routes each
-  batch to the shard with the fewest outstanding samples.
+* Each worker process holds a *table* of compiled sessions keyed by route
+  key, each restored from a snapshot shipped as flat arrays over its task
+  queue — no model, no tape, no closures cross the process boundary.  A
+  single-model :class:`LocalizationServer` uses one key
+  (:data:`DEFAULT_MODEL`); the multi-tenant :class:`repro.fleet.FleetServer`
+  loads one key per deployed model version and hot-swaps between them.
+* Requests carry a model id; the dispatcher resolves it to a route key at
+  dispatch time (so a routing flip instantly redirects queued traffic),
+  coalesces same-key requests up to ``max_batch`` samples or an adaptive
+  latency deadline (:mod:`repro.serve.batcher`), and routes each batch to
+  the shard with the fewest outstanding samples.
 * Results travel over per-worker pipes (single writer each), so a worker
   dying mid-write can never corrupt another shard's channel.
 * A monitor thread health-checks the workers and restarts crashed ones;
-  every dispatched-but-unfinished batch is tracked in ``_in_flight`` and is
-  re-dispatched after a restart — no request is ever lost to a crash.
+  a restarted worker is re-seeded with *every* currently loaded snapshot
+  and every dispatched-but-unfinished batch is tracked in ``_in_flight``
+  and re-dispatched after the restart — no request is ever lost to a
+  crash, and no request is ever lost to a hot swap (the outgoing version
+  stays loaded until its last in-flight batch drains).
 """
 
 from __future__ import annotations
@@ -39,17 +47,32 @@ from multiprocessing import connection as mp_connection
 
 import numpy as np
 
-from repro.infer.session import InferenceSession, _validate_max_batch, restore_session
+from repro.infer.session import (
+    InferenceSession,
+    _validate_max_batch,
+    restore_session,
+    snapshot_info,
+)
 from repro.serve.batcher import AdaptiveBatchPolicy
-from repro.serve.stats import LatencyReservoir, ShardStats, SnapshotTransport
+from repro.serve.stats import (
+    LatencyReservoir,
+    RouteStats,
+    ShardStats,
+    SnapshotTransport,
+)
+
+#: Model id (and route key) a single-model server serves under.
+DEFAULT_MODEL = "default"
 
 
 def _worker_main(worker_id: int, task_queue, result_conn) -> None:
-    """Worker process loop: restore the session, serve batches until stopped.
+    """Worker process loop: restore sessions on demand, serve batches.
 
-    Protocol (task queue → worker): ``("init", snapshot)``,
-    ``("batch", batch_id, images)``, ``("stop",)``.
-    Protocol (worker → result pipe): ``("ready", worker_id)``,
+    Protocol (task queue → worker): ``("load", key, snapshot)``,
+    ``("unload", key)``, ``("batch", batch_id, key, images)``,
+    ``("stop",)``.
+    Protocol (worker → result pipe): ``("loaded", worker_id, key)``,
+    ``("load_failed", worker_id, key, message)``,
     ``("done", batch_id, logits, compute_s)``,
     ``("error", batch_id, message)``.
     """
@@ -60,19 +83,30 @@ def _worker_main(worker_id: int, task_queue, result_conn) -> None:
     except (ImportError, ValueError, OSError):
         pass
 
-    session = None
+    sessions: dict[str, InferenceSession] = {}
     try:
         while True:
             message = task_queue.get()
             kind = message[0]
-            if kind == "init":
-                session = restore_session(message[1])
-                result_conn.send(("ready", worker_id))
-            elif kind == "batch":
-                _, batch_id, images = message
+            if kind == "load":
+                _, key, snapshot = message
                 try:
+                    sessions[key] = restore_session(snapshot)
+                except Exception as error:  # report, keep serving others
+                    result_conn.send(
+                        ("load_failed", worker_id, key,
+                         f"{type(error).__name__}: {error}")
+                    )
+                else:
+                    result_conn.send(("loaded", worker_id, key))
+            elif kind == "unload":
+                sessions.pop(message[1], None)
+            elif kind == "batch":
+                _, batch_id, key, images = message
+                try:
+                    session = sessions.get(key)
                     if session is None:
-                        raise RuntimeError("worker received batch before init")
+                        raise RuntimeError(f"model {key!r} not loaded on worker")
                     start = time.perf_counter()
                     logits = session.predict_many(images)
                     compute_s = time.perf_counter() - start
@@ -90,12 +124,16 @@ def _worker_main(worker_id: int, task_queue, result_conn) -> None:
 class _Request:
     """One client request: a micro-batch of images plus its rendezvous."""
 
-    __slots__ = ("id", "images", "n", "enqueued", "event", "result", "error")
+    __slots__ = ("id", "images", "n", "model", "routed_key", "forced_key",
+                 "enqueued", "event", "result", "error")
 
-    def __init__(self, request_id: int, images: np.ndarray):
+    def __init__(self, request_id: int, images: np.ndarray, model: str):
         self.id = request_id
         self.images = images
         self.n = len(images)
+        self.model = model
+        self.routed_key: str | None = None  # sticky dispatch-time resolution
+        self.forced_key: str | None = None  # canary-retry pin to the incumbent
         self.enqueued = time.perf_counter()
         self.event = threading.Event()
         self.result: np.ndarray | None = None
@@ -105,12 +143,13 @@ class _Request:
 class _Batch:
     """A dispatched coalesced batch, retained until its results return."""
 
-    __slots__ = ("id", "shard", "requests", "images", "n", "dispatched")
+    __slots__ = ("id", "shard", "key", "requests", "images", "n", "dispatched")
 
-    def __init__(self, batch_id: int, shard: int, requests: list[_Request],
-                 images: np.ndarray):
+    def __init__(self, batch_id: int, shard: int, key: str,
+                 requests: list[_Request], images: np.ndarray):
         self.id = batch_id
         self.shard = shard
+        self.key = key
         self.requests = requests
         self.images = images
         self.n = len(images)
@@ -127,6 +166,9 @@ class _Shard:
         self.result_conn = None  # parent end of the worker's result pipe
         self.outstanding = 0  # dispatched-but-unfinished samples
         self.ready = threading.Event()
+        self.expected: set[str] = set()  # keys shipped at spawn
+        self.load_acks: dict[str, threading.Event] = {}
+        self.load_failures: dict[str, str] = {}
         self.stats = ShardStats()
         self.failed = False  # exceeded the restart budget
         self.conn_dead = False  # EOF seen; awaiting monitor restart
@@ -140,12 +182,14 @@ class LocalizationServer:
     source:
         A compiled :class:`InferenceSession`, a trained
         :class:`repro.vit.VitalModel`, or a session snapshot dict
-        (:meth:`InferenceSession.snapshot`).
+        (:meth:`InferenceSession.snapshot`).  ``None`` starts the server
+        with no model loaded — the multi-tenant mode used by
+        :class:`repro.fleet.FleetServer`, which deploys models by key.
     workers:
         Number of worker processes (shards).
     max_batch:
         Micro-batcher capacity in samples; defaults to the session's
-        ``max_batch``.
+        ``max_batch`` (32 when starting empty).
     max_delay_ms:
         Hard ceiling on batching delay before a partial batch dispatches.
     start_method:
@@ -168,18 +212,7 @@ class LocalizationServer:
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        session = self._as_session(source)
-        self._snapshot = session.snapshot()
-        self._transport = SnapshotTransport(
-            self._snapshot.get("format"), len(pickle.dumps(self._snapshot))
-        )
-        self.image_size = session.image_size
-        self.channels = session.channels
-        self.num_classes = session.num_classes
         self.workers = int(workers)
-        self.max_batch = _validate_max_batch(
-            max_batch if max_batch is not None else session.max_batch
-        )
         self.max_delay_ms = float(max_delay_ms)
         self.restart_limit = int(restart_limit)
         self.health_interval_s = float(health_interval_s)
@@ -190,13 +223,28 @@ class LocalizationServer:
         self._ctx = mp.get_context(start_method)
         self.start_method = start_method
 
-        self._policy = AdaptiveBatchPolicy(self.max_batch, self.max_delay_ms)
+        # -- model table: route key → snapshot / metadata / transport ---
+        self._snapshots: dict[str, dict] = {}
+        self._model_info: dict[str, dict] = {}
+        self._transports: dict[str, SnapshotTransport] = {}
+        self._route_stats: dict[str, RouteStats] = {}
+        self._routes: dict[str, str] = {}  # model id → route key
+        # Cumulative accounting of unloaded (retired) versions, so a
+        # long-lived hot-swapping server neither leaks per-version state
+        # nor loses its transport totals.
+        self._retired_routes = 0
+        self._retired_bytes_shipped = 0
+
         self._shards: list[_Shard] = []
         self._pending: deque[_Request] = deque()
         self._cond = threading.Condition()  # guards _pending + policy
         self._lock = threading.RLock()  # guards requests/in-flight/shard state
         self._requests: dict[int, _Request] = {}
         self._in_flight: dict[int, _Batch] = {}
+        #: Requests popped by the dispatcher but not yet in _in_flight —
+        #: written under _cond (gather), cleared under _lock (dispatch),
+        #: so anything holding both locks sees every live request.
+        self._staged: list[_Request] = []
         self._request_ids = itertools.count()
         self._batch_ids = itertools.count()
         self._threads: list[threading.Thread] = []
@@ -206,6 +254,17 @@ class LocalizationServer:
         self._completed = 0
         self._failed = 0
         self._request_latency = LatencyReservoir(maxlen=4096)
+
+        if source is not None:
+            session = self._as_session(source)
+            self._register(DEFAULT_MODEL, session.snapshot())
+            self._routes[DEFAULT_MODEL] = DEFAULT_MODEL
+            if max_batch is None:
+                max_batch = session.max_batch
+        self.max_batch = _validate_max_batch(
+            max_batch if max_batch is not None else 32
+        )
+        self._policy = AdaptiveBatchPolicy(self.max_batch, self.max_delay_ms)
 
     @staticmethod
     def _as_session(source) -> InferenceSession:
@@ -223,10 +282,45 @@ class LocalizationServer:
             f"{type(source).__name__}"
         )
 
+    def _register(self, key: str, snapshot: dict,
+                  model: str | None = None, version: int | None = None) -> dict:
+        """Record a snapshot under ``key``; returns its metadata."""
+        info = snapshot_info(snapshot)
+        info["model"] = model if model is not None else key
+        info["version"] = version
+        self._snapshots[key] = snapshot
+        self._model_info[key] = info
+        self._transports[key] = SnapshotTransport(
+            snapshot.get("format"), len(pickle.dumps(snapshot))
+        )
+        self._route_stats.setdefault(key, RouteStats())
+        return info
+
+    # -- single-model convenience geometry (the default route's) --------
+    @property
+    def _default_info(self) -> dict | None:
+        key = self._routes.get(DEFAULT_MODEL)
+        return self._model_info.get(key) if key is not None else None
+
+    @property
+    def image_size(self) -> int | None:
+        info = self._default_info
+        return info["image_size"] if info else None
+
+    @property
+    def channels(self) -> int | None:
+        info = self._default_info
+        return info["channels"] if info else None
+
+    @property
+    def num_classes(self) -> int | None:
+        info = self._default_info
+        return info["num_classes"] if info else None
+
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "LocalizationServer":
         """Launch the worker processes and serving threads; blocks until
-        every worker has restored its session and reported ready."""
+        every worker has restored its session(s) and reported loaded."""
         if self._started:
             raise RuntimeError("server already started")
         self._started = True
@@ -253,16 +347,34 @@ class LocalizationServer:
                     f"worker {shard.index} failed to become ready within "
                     f"{self.startup_timeout_s:.0f}s"
                 )
+            if shard.load_failures:
+                failures = dict(shard.load_failures)
+                self.close(drain=False)
+                raise RuntimeError(
+                    f"worker {shard.index} failed to restore: {failures}"
+                )
         return self
 
     def _spawn_worker(self, shard: _Shard) -> None:
-        """Create the queue/pipe pair and process for ``shard`` and send the
-        session snapshot as its first message."""
+        """Create the queue/pipe pair and process for ``shard`` and seed it
+        with every currently loaded snapshot."""
         shard.task_queue = self._ctx.Queue()
         receive_conn, send_conn = self._ctx.Pipe(duplex=False)
         shard.result_conn = receive_conn
         shard.conn_dead = False
         shard.ready.clear()
+        shard.expected = set(self._snapshots)
+        # Keep existing ack events: a load_model() caller may be blocked on
+        # one while this restart re-seeds the worker — the fresh worker's
+        # "loaded" message must reach that same event, not a replacement.
+        # (An already-set event stays set; that is safe, because every
+        # batch is queued behind this spawn's load messages anyway.)
+        previous_acks = shard.load_acks
+        shard.load_acks = {
+            key: previous_acks.get(key) or threading.Event()
+            for key in shard.expected
+        }
+        shard.load_failures = {}
         shard.process = self._ctx.Process(
             target=_worker_main,
             args=(shard.index, shard.task_queue, send_conn),
@@ -271,8 +383,11 @@ class LocalizationServer:
         )
         shard.process.start()
         send_conn.close()  # parent keeps only the receiving end
-        shard.task_queue.put(("init", self._snapshot))
-        self._transport.record_ship()
+        for key, snapshot in self._snapshots.items():
+            shard.task_queue.put(("load", key, snapshot))
+            self._transports[key].record_ship()
+        if not shard.expected:
+            shard.ready.set()  # empty multi-tenant server: nothing to restore
 
     def __enter__(self) -> "LocalizationServer":
         if not self._started:
@@ -291,7 +406,7 @@ class LocalizationServer:
             deadline = time.perf_counter() + timeout
             while time.perf_counter() < deadline:
                 with self._lock:
-                    idle = not self._in_flight
+                    idle = not self._in_flight and not self._staged
                 if idle and not self._pending:
                     break
                 time.sleep(0.01)
@@ -327,25 +442,109 @@ class LocalizationServer:
         with self._lock:
             batches = list(self._in_flight.values())
             self._in_flight.clear()
+            staged = self._staged
+            self._staged = []
             with self._cond:
                 pending = list(self._pending)
                 self._pending.clear()
             for batch in batches:
                 for request in batch.requests:
                     self._finish_error(request, message)
-            for request in pending:
+            for request in staged + pending:
                 self._finish_error(request, message)
 
+    # -- model management (used by repro.fleet) -------------------------
+    def load_model(self, key: str, snapshot: dict, model: str | None = None,
+                   version: int | None = None, timeout: float = 60.0) -> dict:
+        """Ship ``snapshot`` to every live worker under route ``key``.
+
+        Blocks until every worker acknowledges the restore (or raises on
+        timeout / restore failure).  Before :meth:`start` it only records
+        the snapshot — the spawn seeds it.  Returns the model metadata.
+        """
+        acks: list[tuple[_Shard, threading.Event]] = []
+        with self._lock:
+            if key in self._snapshots:
+                raise ValueError(f"route key {key!r} already loaded")
+            info = self._register(key, snapshot, model=model, version=version)
+            if self._started:
+                for shard in self._shards:
+                    if shard.failed or shard.task_queue is None:
+                        continue
+                    event = threading.Event()
+                    shard.load_acks[key] = event
+                    try:
+                        shard.task_queue.put(("load", key, snapshot))
+                        self._transports[key].record_ship()
+                        acks.append((shard, event))
+                    except (ValueError, OSError):
+                        pass  # broken queue: the monitor restart re-seeds it
+        deadline = time.perf_counter() + timeout
+        for shard, event in acks:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0 or not event.wait(timeout=remaining):
+                self.unload_model(key)
+                raise RuntimeError(
+                    f"worker {shard.index} did not load {key!r} within {timeout}s"
+                )
+        failures = {
+            shard.index: shard.load_failures.pop(key)
+            for shard, _ in acks if key in shard.load_failures
+        }
+        if failures:
+            self.unload_model(key)
+            raise RuntimeError(f"loading {key!r} failed on workers: {failures}")
+        return info
+
+    def unload_model(self, key: str) -> None:
+        """Drop ``key`` from the model table and from every live worker.
+
+        The caller is responsible for making sure no route points at the
+        key and no batch for it is in flight (see
+        :meth:`repro.fleet.FleetServer.swap`, which drains first)."""
+        with self._lock:
+            self._snapshots.pop(key, None)
+            self._model_info.pop(key, None)
+            self._route_stats.pop(key, None)
+            transport = self._transports.pop(key, None)
+            if transport is not None:
+                self._retired_routes += 1
+                self._retired_bytes_shipped += \
+                    transport.summary()["bytes_shipped"]
+            for shard in self._shards:
+                shard.load_acks.pop(key, None)
+                shard.load_failures.pop(key, None)
+                if shard.failed or shard.task_queue is None:
+                    continue
+                try:
+                    shard.task_queue.put(("unload", key))
+                except (ValueError, OSError):
+                    pass
+
+    def set_route(self, model: str, key: str) -> None:
+        """Atomically point ``model`` at route ``key`` (queued requests not
+        yet dispatched follow the new route immediately)."""
+        with self._lock:
+            if key not in self._snapshots:
+                raise ValueError(f"cannot route {model!r} to unloaded key {key!r}")
+            self._routes[model] = key
+
     # -- client API ----------------------------------------------------
-    def submit(self, images) -> int:
-        """Enqueue one request (a single image or a small batch of images);
-        returns a request id for :meth:`result`."""
+    def submit(self, images, model: str | None = None) -> int:
+        """Enqueue one request (a single image or a small batch of images)
+        for ``model`` (default: the single-model route); returns a request
+        id for :meth:`result`."""
         if not self._started:
             raise RuntimeError("server not started (call start() or use `with`)")
         if self._stopping:
             raise RuntimeError("server is shutting down")
-        x = self._coerce(images)
-        request = _Request(next(self._request_ids), x)
+        model = model if model is not None else DEFAULT_MODEL
+        route = self._routes.get(model)
+        if route is None:
+            known = sorted(self._routes)
+            raise ValueError(f"unknown model {model!r} (deployed: {known})")
+        x = self._coerce(images, self._model_info[route])
+        request = _Request(next(self._request_ids), x, model)
         with self._lock:
             self._requests[request.id] = request
             self._submitted += 1
@@ -393,49 +592,79 @@ class LocalizationServer:
                 pass  # already dispatched (or completed)
         return True
 
-    def predict_many(self, images, timeout: float | None = None) -> np.ndarray:
+    def predict_many(self, images, timeout: float | None = None,
+                     model: str | None = None) -> np.ndarray:
         """Logits for an arbitrary workload, fanned out across the shards in
         ``max_batch``-sample requests and reassembled in order."""
-        x = self._coerce(images)
+        model = model if model is not None else DEFAULT_MODEL
+        route = self._routes.get(model)
+        if route is None:
+            known = sorted(self._routes)
+            raise ValueError(f"unknown model {model!r} (deployed: {known})")
+        info = self._model_info[route]
+        x = self._coerce(images, info)
         if len(x) == 0:
-            return np.empty((0, self.num_classes), dtype=np.float32)
+            return np.empty((0, info["num_classes"]), dtype=np.float32)
         ids = [
-            self.submit(x[begin : begin + self.max_batch])
+            self.submit(x[begin : begin + self.max_batch], model=model)
             for begin in range(0, len(x), self.max_batch)
         ]
         return np.concatenate([self.result(i, timeout=timeout) for i in ids], axis=0)
 
-    def predict_labels(self, images, timeout: float | None = None) -> np.ndarray:
+    def predict_labels(self, images, timeout: float | None = None,
+                       model: str | None = None) -> np.ndarray:
         """Argmax reference-point indices for an arbitrary workload."""
-        return self.predict_many(images, timeout=timeout).argmax(axis=1)
+        return self.predict_many(images, timeout=timeout, model=model).argmax(axis=1)
 
-    def _coerce(self, images) -> np.ndarray:
+    def _coerce(self, images, info: dict) -> np.ndarray:
+        size, channels = info["image_size"], info["channels"]
         x = np.asarray(images, dtype=np.float32)
         if x.ndim == 3:
             x = x[None]
-        if x.ndim != 4 or x.shape[1] != self.image_size \
-                or x.shape[2] != self.image_size or x.shape[3] != self.channels:
+        if x.ndim != 4 or x.shape[1] != size or x.shape[2] != size \
+                or x.shape[3] != channels:
             raise ValueError(
-                f"expected (batch, {self.image_size}, {self.image_size}, "
-                f"{self.channels}) images, got {np.shape(images)}"
+                f"expected (batch, {size}, {size}, {channels}) images, "
+                f"got {np.shape(images)}"
             )
         return np.ascontiguousarray(x)
 
     # -- dispatcher ----------------------------------------------------
     def _dispatcher_loop(self) -> None:
         while not self._stopping:
-            batch_requests = self._gather_batch()
+            key, batch_requests = self._gather_batch()
             if batch_requests:
-                self._dispatch(batch_requests)
+                self._dispatch(key, batch_requests)
 
-    def _gather_batch(self) -> list[_Request]:
-        """Coalesce pending requests per the adaptive policy; blocks until
-        there is something to dispatch or the server stops."""
+    def _route_for(self, request: _Request) -> str:
+        """Resolve (once, stickily) which route key serves ``request``.
+
+        Resolution happens at dispatch time so a hot swap redirects even
+        already-queued traffic; it sticks so a request skipped by one
+        coalescing round keeps its assignment (canary fractions stay
+        exact).  Only the dispatcher thread calls this."""
+        if request.routed_key is not None:
+            return request.routed_key
+        if request.forced_key is not None:
+            key = request.forced_key
+        else:
+            key = self._resolve_route(request.model)
+        request.routed_key = key
+        return key
+
+    def _resolve_route(self, model: str) -> str:
+        """Routing-table lookup; :class:`repro.fleet.FleetServer` overrides
+        this to split a canary fraction off to a candidate version."""
+        return self._routes[model]
+
+    def _gather_batch(self) -> tuple[str | None, list[_Request]]:
+        """Coalesce pending same-route requests per the adaptive policy;
+        blocks until there is something to dispatch or the server stops."""
         with self._cond:
             while not self._pending and not self._stopping:
                 self._cond.wait(timeout=0.1)
             if self._stopping:
-                return []
+                return None, []
             while True:
                 pending_samples = sum(r.n for r in self._pending)
                 oldest_age = time.perf_counter() - self._pending[0].enqueued
@@ -444,16 +673,37 @@ class LocalizationServer:
                     break
                 self._cond.wait(timeout=budget)
                 if self._stopping or not self._pending:
-                    return []
-            taken: list[_Request] = [self._pending.popleft()]
-            total = taken[0].n
-            while self._pending and total + self._pending[0].n <= self.max_batch:
+                    return None, []
+            head = self._pending.popleft()
+            key = self._route_for(head)
+            if key not in self._snapshots:
+                self._finish_error(head, f"model route {key!r} is not loaded")
+                return None, []
+            taken: list[_Request] = [head]
+            total = head.n
+            # Collect same-route requests until the batch is full or a
+            # same-route request no longer fits (stopping there preserves
+            # per-route FIFO order); other routes are set aside in one
+            # O(scanned) pass and restored to the front in order.
+            skipped: deque[_Request] = deque()
+            while self._pending and total < self.max_batch:
                 request = self._pending.popleft()
+                if self._route_for(request) != key:
+                    skipped.append(request)
+                    continue
+                if total + request.n > self.max_batch:
+                    skipped.append(request)
+                    break
                 taken.append(request)
                 total += request.n
-            return taken
+            self._pending.extendleft(reversed(skipped))
+            # Stage the taken requests (still under _cond) so a concurrent
+            # drain cannot see them in neither _pending nor _in_flight
+            # during the hand-off to _dispatch.
+            self._staged = taken
+            return key, taken
 
-    def _dispatch(self, requests: list[_Request]) -> None:
+    def _dispatch(self, key: str, requests: list[_Request]) -> None:
         if len(requests) == 1:
             images = requests[0].images  # zero-copy for pre-chunked workloads
         else:
@@ -463,14 +713,16 @@ class LocalizationServer:
             if not shards:
                 for request in requests:
                     self._finish_error(request, "all shards failed")
+                self._staged = []
                 return
             shard = min(shards, key=lambda s: (s.outstanding, s.index))
-            batch = _Batch(next(self._batch_ids), shard.index, requests, images)
+            batch = _Batch(next(self._batch_ids), shard.index, key, requests, images)
             self._in_flight[batch.id] = batch
+            self._staged = []  # same lock hold: staged→in-flight is atomic
             shard.outstanding += batch.n
             shard.stats.record_dispatch(batch.n)
             try:
-                shard.task_queue.put(("batch", batch.id, images))
+                shard.task_queue.put(("batch", batch.id, key, images))
             except (ValueError, OSError):
                 # Queue already broken — leave the batch in _in_flight; the
                 # monitor will re-dispatch it when the shard restarts.
@@ -508,8 +760,19 @@ class LocalizationServer:
 
     def _handle_result(self, shard: _Shard, message) -> None:
         kind = message[0]
-        if kind == "ready":
-            shard.ready.set()
+        if kind in ("loaded", "load_failed"):
+            _, _worker, key = message[:3]
+            with self._lock:
+                if kind == "load_failed":
+                    shard.load_failures[key] = message[3]
+                event = shard.load_acks.get(key)
+                if event is not None:
+                    event.set()
+                if all(
+                    shard.load_acks[k].is_set()
+                    for k in shard.expected if k in shard.load_acks
+                ):
+                    shard.ready.set()
             return
         if kind == "done":
             _, batch_id, logits, _compute_s = message
@@ -523,13 +786,17 @@ class LocalizationServer:
                 current.stats.record_complete(
                     batch.n, (now - batch.dispatched) * 1e3
                 )
+                route = self._route_stats.setdefault(batch.key, RouteStats())
                 offset = 0
                 for request in batch.requests:
                     request.result = logits[offset : offset + request.n]
                     offset += request.n
                     self._completed += 1
-                    self._request_latency.add((now - request.enqueued) * 1e3)
+                    latency_ms = (now - request.enqueued) * 1e3
+                    self._request_latency.add(latency_ms)
+                    route.record_complete(latency_ms)
                     request.event.set()
+                self._on_batch_done(batch)
             return
         if kind == "error":
             _, batch_id, text = message
@@ -540,8 +807,33 @@ class LocalizationServer:
                 current = self._shards[batch.shard]
                 current.outstanding = max(0, current.outstanding - batch.n)
                 current.stats.record_error()
+                if self._on_batch_error(batch, text):
+                    return  # handled (e.g. canary retry on the incumbent)
+                route = self._route_stats.setdefault(batch.key, RouteStats())
                 for request in batch.requests:
+                    route.record_failure()
                     self._finish_error(request, text)
+
+    def _on_batch_done(self, batch: _Batch) -> None:
+        """Hook, called under the bookkeeping lock after a batch completes;
+        :class:`repro.fleet.FleetServer` drives canary decisions here."""
+
+    def _on_batch_error(self, batch: _Batch, text: str) -> bool:
+        """Hook, called under the bookkeeping lock when a batch errors.
+        Return True if the batch was handled (requests re-queued) — the
+        fleet canary path retries on the incumbent; the base server fails
+        the requests."""
+        return False
+
+    def _requeue(self, requests: list[_Request], forced_key: str | None) -> None:
+        """Put requests back at the head of the pending queue (canary
+        retry / swap-drain path); called with the bookkeeping lock held."""
+        with self._cond:
+            for request in reversed(requests):
+                request.routed_key = None
+                request.forced_key = forced_key
+                self._pending.appendleft(request)
+            self._cond.notify()
 
     def _finish_error(self, request: _Request, message: str) -> None:
         request.error = message
@@ -594,16 +886,30 @@ class LocalizationServer:
                     pass
             self._spawn_worker(shard)
             # Everything this shard had not finished goes back on its queue,
-            # behind the fresh init message — order guarantees the restored
-            # session exists before the first re-dispatched batch runs.
+            # behind the fresh load messages — order guarantees the restored
+            # sessions exist before the first re-dispatched batch runs.
             redispatched = [b for b in self._in_flight.values()
                             if b.shard == shard.index]
             shard.outstanding = sum(b.n for b in redispatched)
             for batch in redispatched:
                 batch.dispatched = time.perf_counter()
-                shard.task_queue.put(("batch", batch.id, batch.images))
+                shard.task_queue.put(("batch", batch.id, batch.key, batch.images))
 
     # -- observability -------------------------------------------------
+    def _snapshot_summary(self) -> dict:
+        """Transport accounting: the single-model server reports its one
+        snapshot flat (back-compat); multi-tenant servers report per key
+        plus cumulative totals for retired (unloaded) versions."""
+        if len(self._transports) == 1 and not self._retired_routes:
+            return next(iter(self._transports.values())).summary()
+        per_key = {key: t.summary() for key, t in self._transports.items()}
+        return {
+            "models": per_key,
+            "retired_routes": self._retired_routes,
+            "bytes_shipped": self._retired_bytes_shipped
+            + sum(s["bytes_shipped"] for s in per_key.values()),
+        }
+
     def stats(self) -> dict:
         """Point-in-time serving statistics (JSON-serializable)."""
         with self._lock:
@@ -631,14 +937,19 @@ class LocalizationServer:
                     "failed": self._failed,
                 },
                 "request_latency_ms": self._request_latency.summary(),
-                "snapshot": self._transport.summary(),
+                "snapshot": self._snapshot_summary(),
+                "routes": dict(self._routes),
+                "route_stats": {
+                    key: stats.summary()
+                    for key, stats in self._route_stats.items()
+                },
                 "shards": shards,
             }
 
     def __repr__(self) -> str:
         state = "running" if self._started and not self._stopping else "idle"
         return (
-            f"LocalizationServer(workers={self.workers}, "
+            f"{type(self).__name__}(workers={self.workers}, "
             f"max_batch={self.max_batch}, max_delay_ms={self.max_delay_ms}, "
             f"{state})"
         )

@@ -67,6 +67,50 @@ class SnapshotTransport:
         }
 
 
+class RouteStats:
+    """Counters for one routed model version (a serving route key).
+
+    Every dispatched batch carries a route key (``model_id@version`` in a
+    :class:`repro.fleet.FleetServer`, the default key in a single-model
+    :class:`repro.serve.LocalizationServer`); completions, failures and
+    canary retries are tallied per key so ``stats()`` can report exactly
+    where traffic went — the read-out the canary comparison runs on.
+    """
+
+    def __init__(self):
+        self.completed = 0
+        self.failed = 0
+        self.retried = 0
+        self.latency_ms = LatencyReservoir(maxlen=1024)
+
+    def record_complete(self, latency_ms: float) -> None:
+        self.completed += 1
+        self.latency_ms.add(latency_ms)
+
+    def record_failure(self) -> None:
+        self.failed += 1
+
+    def record_retry(self) -> None:
+        self.retried += 1
+
+    def error_rate(self) -> float:
+        """Failures + retries over all finished requests for this route.
+
+        A canary-retried request never fails at the client API, but it
+        *is* evidence against the canary version — both count."""
+        total = self.completed + self.failed + self.retried
+        return (self.failed + self.retried) / total if total else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "completed": self.completed,
+            "failed": self.failed,
+            "retried": self.retried,
+            "error_rate": self.error_rate(),
+            "latency_ms": self.latency_ms.summary(),
+        }
+
+
 class ShardStats:
     """Counters for one worker shard: batches, samples, restarts, timing.
 

@@ -155,6 +155,69 @@ class TestVitEquivalence:
         with pytest.raises(ValueError, match="snapshot"):
             InferenceSession.from_snapshot("not a dict")
 
+    def test_restore_session_error_paths(self):
+        """restore_session must fail loudly — unknown format strings,
+        truncated state dicts, non-dict garbage — never deep inside
+        scratch allocation."""
+        from repro.infer import restore_session, snapshot_info
+
+        model = _build(12, *CONFIGS[1])
+        snapshot = InferenceSession(model, max_batch=2).snapshot()
+
+        with pytest.raises(ValueError, match="not a restorable"):
+            restore_session({"format": "repro.bogus/v9", "state": {}})
+        with pytest.raises(ValueError, match="not a restorable"):
+            restore_session("garbage")
+        with pytest.raises(ValueError, match="not a restorable"):
+            restore_session({})
+
+        truncated = {
+            "format": snapshot["format"],
+            "state": {k: v for k, v in snapshot["state"].items()
+                      if k not in ("blocks", "w_embed")},
+        }
+        with pytest.raises(ValueError, match="truncated.*blocks"):
+            restore_session(truncated)
+        with pytest.raises(ValueError, match="truncated"):
+            snapshot_info(truncated)
+        with pytest.raises(ValueError, match="corrupted.*state"):
+            restore_session({"format": snapshot["format"], "state": [1, 2]})
+
+        # The same contract holds for quantized snapshots.
+        from repro.quant import QuantizedSession
+
+        qsnap = QuantizedSession(
+            InferenceSession(model, max_batch=2)
+        ).snapshot()
+        broken = {**qsnap, "state": {k: v for k, v in qsnap["state"].items()
+                                     if k != "head_weights"}}
+        with pytest.raises(ValueError, match="truncated.*head_weights"):
+            restore_session(broken)
+
+    def test_snapshot_info_reports_geometry(self):
+        from repro.infer import snapshot_info
+        from repro.quant import QuantizedSession
+
+        model = _build(13, *CONFIGS[1])
+        session = InferenceSession(model, max_batch=6)
+        info = snapshot_info(session.snapshot())
+        assert info == {
+            "format": "repro.infer.session/v1",
+            "quantized": False,
+            "image_size": 12,
+            "channels": 3,
+            "num_classes": 5,
+            "max_batch": 6,
+            "blocks": 1,
+        }
+        quantized = QuantizedSession(session, scheme="per_tensor", mode="int8")
+        qinfo = snapshot_info(quantized.snapshot())
+        assert qinfo["quantized"] is True
+        assert qinfo["scheme"] == "per_tensor"
+        assert qinfo["mode"] == "int8"
+        assert qinfo["bits"] == 8
+        assert qinfo == quantized.info()
+
     def test_from_state_dict_roundtrip(self):
         geometry = CONFIGS[1]
         model = _build(7, *geometry)
