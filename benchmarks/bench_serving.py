@@ -1,17 +1,22 @@
-"""Serving-layer benchmark: worker scaling, batching deadlines, fault drill.
+"""Serving-layer benchmark: worker scaling, deadlines, faults, transport.
 
 Drives :func:`repro.serve.run_serving_benchmark` — closed-loop clients
 against the sharded multi-process :class:`repro.serve.LocalizationServer` —
 and records the result to ``BENCH_serving.json``
-(schema ``repro.serve.bench.v2``; ``--check`` also accepts ``v1``
+(schema ``repro.serve.bench.v3``; ``--check`` also accepts ``v1``/``v2``
 records).  Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_serving.py [--quick]
     PYTHONPATH=src python benchmarks/bench_serving.py --check
+    PYTHONPATH=src python benchmarks/bench_serving.py --parity
 
 or as part of the benchmark suite (``pytest benchmarks/``).  ``--check``
 validates the *recorded* JSON gates without re-running the sweep (the
-fleet section, when present, is gated too — see bench_fleet.py).
+fleet and transport sections, when present, are gated too — see
+bench_fleet.py and the ``transport`` section of repro.serve.bench).
+``--parity`` serves one workload under the shared-memory and the pickle
+transport and exits non-zero unless the predictions are bit-identical —
+the CI gate behind running the serving smoke lane once per transport.
 
 Worker processes each pin a single BLAS thread (set below, before NumPy
 loads) so the scaling sweep measures *process* sharding, not BLAS
@@ -38,12 +43,14 @@ from repro.serve import (
     format_summary,
     load_record,
     run_serving_benchmark,
+    run_transport_parity,
     write_benchmark,
 )
 
 
-def run(quick: bool = False, out: str | None = None) -> dict:
-    result = run_serving_benchmark(quick=quick)
+def run(quick: bool = False, out: str | None = None,
+        transport: str = "shm") -> dict:
+    result = run_serving_benchmark(quick=quick, transport=transport)
     print()
     print(format_summary(result))
     destination = out or os.path.join(REPO_ROOT, "BENCH_serving.json")
@@ -81,10 +88,24 @@ def check(out: str | None = None) -> int:
             print(f"  - {problem}")
         return 1
     sections = [name for name in ("throughput_vs_workers", "deadline_sweep",
-                                  "fault_tolerance", "fleet") if name in record]
+                                  "fault_tolerance", "transport", "fleet")
+                if name in record]
     print(f"check OK: {destination} (schema {record.get('schema')}, "
           f"sections: {', '.join(sections)})")
     return 0
+
+
+def parity() -> int:
+    """Serve one workload under both transports; exit 0 only when the
+    predictions are bit-identical."""
+    report = run_transport_parity()
+    print(f"transport parity: modes={report['modes']}, "
+          f"{report['samples']} samples, "
+          f"bit_identical={report['bit_identical']}")
+    if not report["shm_available"]:
+        print("  (shared_memory unavailable here: both lanes served over "
+              "pickle — parity is trivially required to hold)")
+    return 0 if report["bit_identical"] else 1
 
 
 def _gates_ok(result: dict) -> bool:
@@ -93,6 +114,10 @@ def _gates_ok(result: dict) -> bool:
         return False
     scaling = result["scaling"]
     if not scaling["hardware_limited"] and not scaling["gate_2x_at_4_workers"]:
+        return False
+    transport = result.get("transport")
+    if transport and transport.get("available") \
+            and not transport.get("gate_transport"):
         return False
     return True
 
@@ -106,6 +131,13 @@ def test_serving_baseline():
     drill = result["fault_tolerance"]
     assert drill["lost"] == 0, f"lost requests after worker crash: {drill}"
     assert drill["restarts"] >= 1, f"no restart recorded: {drill}"
+    assert drill["ring_leases_after"] == 0, f"leaked ring leases: {drill}"
+    transport = result["transport"]
+    if transport["available"]:
+        assert transport["gate_transport"], (
+            f"shm transport gate failed: {transport['dispatch_overhead_us']} "
+            f"/ {transport['end_to_end'].get('speedup_shm_vs_pickle')}"
+        )
     scaling = result["scaling"]
     if not scaling["hardware_limited"]:
         assert scaling["gate_2x_at_4_workers"], (
@@ -121,11 +153,21 @@ if __name__ == "__main__":
                              "in seconds")
     parser.add_argument("--check", action="store_true",
                         help="validate the recorded JSON gates (accepts "
-                             "schema v1 and v2) instead of re-running")
+                             "schema v1, v2 and v3) instead of re-running")
+    parser.add_argument("--parity", action="store_true",
+                        help="serve one workload under the shm and pickle "
+                             "transports and require bit-identical "
+                             "predictions (CI gate)")
+    parser.add_argument("--transport", default="shm",
+                        choices=("shm", "pickle"),
+                        help="transport the sweep experiments serve over "
+                             "(the transport section always compares both)")
     parser.add_argument("--out", default=None,
                         help="result path (default: <repo>/BENCH_serving.json)")
     args = parser.parse_args()
     if args.check:
         sys.exit(check(out=args.out))
-    result = run(quick=args.quick, out=args.out)
+    if args.parity:
+        sys.exit(parity())
+    result = run(quick=args.quick, out=args.out, transport=args.transport)
     sys.exit(0 if _gates_ok(result) else 1)

@@ -11,7 +11,7 @@ Commands
 ``serve``       multi-process serving demo / benchmark → BENCH_serving.json
 ``quantize``    calibrate + quantize saved weights → int8 serving snapshot
 ``fleet``       versioned model registry + multi-tenant hot-swap serving
-                (``fleet publish|list|serve|swap``)
+                (``fleet publish|list|serve|swap|gc``)
 
 Every command is deterministic given ``--seed`` (timings aside).
 """
@@ -109,6 +109,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="serve a saved engine snapshot .pkl (float32 or "
                             "quantized) instead of compiling a fresh demo "
                             "session in-process")
+    serve.add_argument("--transport", default="shm",
+                       choices=("shm", "pickle"),
+                       help="batch payload transport: zero-copy shared-memory "
+                            "rings (default; auto-falls-back to pickle where "
+                            "shared_memory is unavailable) or pickled ndarrays")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--bench", action="store_true",
                        help="run the full worker-scaling + deadline-sweep + "
@@ -225,6 +230,20 @@ def _build_parser() -> argparse.ArgumentParser:
                            "promote/rollback instead of an immediate swap")
     swap.add_argument("--canary-fraction", type=float, default=0.25)
     swap.add_argument("--seed", type=int, default=0)
+
+    gc = fleet_sub.add_parser(
+        "gc",
+        help="garbage-collect the registry: delete blobs unreferenced by "
+             "any manifest (pinned versions always survive)",
+    )
+    gc.add_argument("--registry", required=True)
+    gc.add_argument("--keep-latest", type=int, default=None,
+                    help="first prune each model's manifests down to its "
+                         "newest N versions (the pinned version is always "
+                         "kept); blobs those manifests referenced become "
+                         "collectable")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be reclaimed without deleting")
     return parser
 
 
@@ -409,6 +428,7 @@ def _cmd_serve(args) -> int:
             max_batch=args.max_batch,
             quick=args.quick,
             seed=args.seed,
+            transport=args.transport,
         )
         print()
         print(format_summary(result))
@@ -441,10 +461,11 @@ def _cmd_serve(args) -> int:
         (4 * args.max_batch, image_size, image_size, channels)
     ).astype(np.float32)
     print(f"starting {args.workers} worker(s), max_batch={args.max_batch}, "
-          f"deadline={args.deadline_ms}ms ...")
+          f"deadline={args.deadline_ms}ms, transport={args.transport} ...")
     with LocalizationServer(session, workers=args.workers,
                             max_batch=args.max_batch,
-                            max_delay_ms=args.deadline_ms) as server:
+                            max_delay_ms=args.deadline_ms,
+                            transport=args.transport) as server:
         run = closed_loop_load(
             server, pool, clients=args.clients,
             requests_per_client=requests,
@@ -712,12 +733,30 @@ def _fleet_swap(args) -> int:
     return 1 if run["errors"] else 0
 
 
+def _fleet_gc(args) -> int:
+    from repro.fleet import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    report = registry.gc(keep_latest=args.keep_latest, dry_run=args.dry_run)
+    verb = "would reclaim" if args.dry_run else "reclaimed"
+    for entry in report["removed_versions"]:
+        print(f"  pruned {entry['model_id']}@v{entry['version']}")
+    for digest in report["removed_blobs"]:
+        print(f"  removed blob {digest[:12]}…")
+    print(f"gc: {len(report['removed_versions'])} version(s) pruned, "
+          f"{len(report['removed_blobs'])} blob(s) removed — {verb} "
+          f"{report['bytes_reclaimed']:,} bytes"
+          + (" (dry run)" if args.dry_run else ""))
+    return 0
+
+
 def _cmd_fleet(args) -> int:
     handlers = {
         "publish": _fleet_publish,
         "list": _fleet_list,
         "serve": _fleet_serve,
         "swap": _fleet_swap,
+        "gc": _fleet_gc,
     }
     return handlers[args.fleet_command](args)
 

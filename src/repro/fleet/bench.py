@@ -33,8 +33,9 @@ from repro.fleet.registry import ModelRegistry
 from repro.fleet.server import FleetServer
 from repro.serve.bench import closed_loop_load, make_session
 
-#: Schema the merged BENCH_serving.json record carries once the fleet
-#: section is attached (the serving sections themselves are unchanged).
+#: Minimum schema a merged BENCH_serving.json record carries once the
+#: fleet section is attached (the serving sections themselves are
+#: unchanged); a record already on a newer schema keeps it.
 FLEET_SCHEMA = "repro.serve.bench.v2"
 
 
@@ -217,11 +218,17 @@ def run_fleet_benchmark(
 
 
 def attach_fleet_section(record: dict, fleet: dict) -> dict:
-    """Merge the fleet record into a serving benchmark record (v1 or v2),
-    bumping the schema to :data:`FLEET_SCHEMA`."""
+    """Merge the fleet record into a serving benchmark record, bumping the
+    schema to at least :data:`FLEET_SCHEMA` — a record already on a newer
+    schema (v3's ``transport`` section) must not be downgraded."""
+    from repro.serve.bench import ACCEPTED_SCHEMAS
+
     merged = dict(record)
     merged["fleet"] = fleet
-    merged["schema"] = FLEET_SCHEMA
+    current = record.get("schema")
+    order = {schema: index for index, schema in enumerate(ACCEPTED_SCHEMAS)}
+    if order.get(current, -1) < order[FLEET_SCHEMA]:
+        merged["schema"] = FLEET_SCHEMA
     return merged
 
 

@@ -25,6 +25,10 @@ On-disk layout (all writes atomic via ``os.replace``)::
   else the latest; ``FleetServer.deploy(model_id)`` serves whatever
   ``resolve`` says, so pinning a version is the rollback story *across*
   server restarts (the in-process rollback is the canary path).
+* **Garbage collection** — :meth:`ModelRegistry.gc` deletes blobs no
+  remaining manifest references (optionally pruning each model down to
+  its newest versions first; pinned versions always survive) and reports
+  the bytes reclaimed — ``repro.cli fleet gc [--dry-run]``.
 """
 
 from __future__ import annotations
@@ -254,6 +258,78 @@ class ModelRegistry:
                 return int(json.load(handle)["version"])
         except (FileNotFoundError, json.JSONDecodeError, KeyError, ValueError):
             return None
+
+    # -- garbage collection --------------------------------------------
+    def gc(self, keep_latest: int | None = None, dry_run: bool = False) -> dict:
+        """Reclaim registry disk space; returns a report of what went.
+
+        Two passes:
+
+        1. With ``keep_latest`` set, each model's version manifests are
+           pruned down to its newest ``keep_latest`` versions.  The
+           **pinned version always survives**, however old — pinning is
+           the rollback story across restarts and gc must never break it.
+        2. Blobs referenced by **no remaining manifest** are deleted.
+           Content addressing makes this safe under dedup: a blob shared
+           by several versions (or several model ids) survives as long
+           as *any* surviving manifest references its digest.  This pass
+           also sweeps orphans from interrupted publishes, so a plain
+           ``gc()`` (no pruning) is already useful.
+
+        ``dry_run=True`` computes the same report — including
+        ``bytes_reclaimed`` — without deleting anything (the CLI's
+        ``fleet gc --dry-run``).
+        """
+        if keep_latest is not None and keep_latest < 1:
+            raise ValueError(f"keep_latest must be >= 1, got {keep_latest}")
+        removed_versions: list[dict] = []
+        doomed: set[tuple[str, int]] = set()
+        if keep_latest is not None:
+            for model_id in self.models():
+                versions = self.versions(model_id)
+                keep = set(versions[-keep_latest:])
+                pinned = self.pinned(model_id)
+                if pinned is not None:
+                    keep.add(pinned)
+                for version in versions:
+                    if version in keep:
+                        continue
+                    doomed.add((model_id, version))
+                    removed_versions.append(
+                        {"model_id": model_id, "version": version}
+                    )
+                    if not dry_run:
+                        os.remove(os.path.join(
+                            self._model_dir, model_id, f"v{version:05d}.json"
+                        ))
+        referenced = {
+            entry.digest
+            for entry in self.list()
+            if (entry.model_id, entry.version) not in doomed
+        }
+        removed_blobs: list[str] = []
+        bytes_reclaimed = 0
+        for name in sorted(os.listdir(self._blob_dir)):
+            if not name.endswith(".pkl"):
+                continue
+            digest = name[: -len(".pkl")]
+            if digest in referenced:
+                continue
+            path = os.path.join(self._blob_dir, name)
+            try:
+                bytes_reclaimed += os.path.getsize(path)
+            except OSError:
+                continue
+            removed_blobs.append(digest)
+            if not dry_run:
+                os.remove(path)
+        return {
+            "dry_run": dry_run,
+            "keep_latest": keep_latest,
+            "removed_versions": removed_versions,
+            "removed_blobs": removed_blobs,
+            "bytes_reclaimed": bytes_reclaimed,
+        }
 
     # -- internals -----------------------------------------------------
     def _blob_path(self, digest: str) -> str:

@@ -6,7 +6,11 @@
 * **Multi-tenant** — every deployed model (one per building, device
   group, or precision) lives under a route key ``model_id@vN``; each
   worker process holds all deployed sessions, requests carry a
-  ``model_id`` and the dispatcher coalesces per route.
+  ``model_id`` and the dispatcher coalesces per route.  All routes share
+  the pool's shared-memory ring segments (:mod:`repro.serve.shm`): a
+  batch for any tenant leases ring space on its target shard, and the
+  per-route ``transport`` stats split each model's payload bytes by how
+  they crossed the worker boundary.
 * **Hot swap** — :meth:`swap` loads the new version on every worker,
   atomically flips the routing table (queued requests follow instantly —
   routes resolve at dispatch time), drains the outgoing version's
@@ -22,6 +26,13 @@
   incumbent, so a broken canary version never fails a request at the
   client API — the failure is evidence against the canary, not against
   the client.
+
+Zero-lost guarantees survive the shared-memory transport: a worker that
+dies while holding ring leases for swap-drain or canary batches is
+restarted by the base server, which keeps the parent-owned ring segment
+alive, reclaims nothing early, and re-dispatches every leased batch
+under the replacement worker's generation — so a drain always completes
+and a canary retry never observes a torn payload.
 """
 
 from __future__ import annotations
@@ -487,12 +498,19 @@ class FleetServer(LocalizationServer):
     # -- observability -------------------------------------------------
     def stats(self) -> dict:
         """Base serving stats plus the fleet control-plane section:
-        per-model routing counts, swap reports, canary outcomes."""
+        per-model routing counts (each with its transport byte split),
+        swap reports, canary outcomes, and a fleet-wide transport rollup
+        over the currently deployed routes."""
         base = super().stats()
         with self._lock:
             models = {}
+            rollup = {"shm_batches": 0, "shm_bytes": 0,
+                      "pickle_batches": 0, "pickle_bytes": 0, "spills": 0}
             for model, entry in self._deployed.items():
                 route = self._route_stats.get(entry["key"])
+                summary = route.summary() if route else {}
+                for field, value in summary.get("transport", {}).items():
+                    rollup[field] += value
                 models[model] = {
                     "version": entry["version"],
                     "key": entry["key"],
@@ -500,10 +518,11 @@ class FleetServer(LocalizationServer):
                         self._canaries[model].status()
                         if model in self._canaries else None
                     ),
-                    **(route.summary() if route else {}),
+                    **summary,
                 }
             base["fleet"] = {
                 "models": models,
+                "transport": rollup,
                 "swaps": list(self._swap_log),
                 "canaries": list(self._canary_log),
             }

@@ -9,18 +9,23 @@ into an online serving system:
   fronted by a request queue, an adaptive micro-batcher
   (:class:`AdaptiveBatchPolicy`) and least-loaded shard routing, with
   health-checked workers that restart on crash without losing requests.
-* :mod:`repro.serve.stats` — per-shard counters, batch-size histograms
-  and latency reservoirs surfaced by ``LocalizationServer.stats()``.
+* :mod:`repro.serve.shm` — the zero-copy shared-memory batch transport:
+  per-shard ring segments carry the float32 image/logit blocks while
+  only small ``(offset, shape, generation)`` descriptors cross the
+  queues; full rings backpressure then spill to pickle, never drop.
+* :mod:`repro.serve.stats` — per-shard counters, batch-size histograms,
+  transport/ring-occupancy counters and latency reservoirs surfaced by
+  ``LocalizationServer.stats()``.
 * :mod:`repro.serve.bench` — the closed-loop load generator and the
-  worker-scaling / batching-deadline / fault-tolerance benchmark recorded
-  in ``BENCH_serving.json`` (CLI: ``repro serve``).
+  worker-scaling / batching-deadline / fault-tolerance / transport
+  benchmark recorded in ``BENCH_serving.json`` (CLI: ``repro serve``).
 
 Workers hold a *table* of sessions keyed by route, so one pool can serve
 many model versions at once — :mod:`repro.fleet` builds the multi-tenant
 registry/hot-swap/canary control plane on exactly that protocol.
 """
 
-from repro.serve.batcher import AdaptiveBatchPolicy
+from repro.serve.batcher import AdaptiveBatchPolicy, assemble_images
 from repro.serve.bench import (
     ACCEPTED_SCHEMAS,
     check_record,
@@ -30,24 +35,36 @@ from repro.serve.bench import (
     make_session,
     run_fault_tolerance_drill,
     run_serving_benchmark,
+    run_transport_benchmark,
+    run_transport_parity,
     write_benchmark,
 )
 from repro.serve.server import DEFAULT_MODEL, LocalizationServer
+from repro.serve.shm import HAVE_SHM, RingAllocator, ShmRing, ShmTransportError
 from repro.serve.stats import (
     LatencyReservoir,
+    RingCounters,
     RouteStats,
     ShardStats,
     SnapshotTransport,
+    TransportStats,
 )
 
 __all__ = [
     "LocalizationServer",
     "DEFAULT_MODEL",
     "AdaptiveBatchPolicy",
+    "assemble_images",
+    "HAVE_SHM",
+    "RingAllocator",
+    "ShmRing",
+    "ShmTransportError",
     "LatencyReservoir",
+    "RingCounters",
     "RouteStats",
     "ShardStats",
     "SnapshotTransport",
+    "TransportStats",
     "ACCEPTED_SCHEMAS",
     "check_record",
     "closed_loop_load",
@@ -55,6 +72,8 @@ __all__ = [
     "make_session",
     "run_fault_tolerance_drill",
     "run_serving_benchmark",
+    "run_transport_benchmark",
+    "run_transport_parity",
     "format_summary",
     "write_benchmark",
 ]

@@ -1,7 +1,7 @@
 """Serving benchmark: closed-loop load generation, scaling + deadline sweeps.
 
-Three experiments, recorded to ``BENCH_serving.json``
-(schema ``repro.serve.bench.v1``):
+Four experiments, recorded to ``BENCH_serving.json``
+(schema ``repro.serve.bench.v3``):
 
 * **throughput_vs_workers** — closed-loop clients hammer the server with
   ``max_batch``-sized requests at worker counts 1/2/4; aggregate
@@ -15,6 +15,13 @@ Three experiments, recorded to ``BENCH_serving.json``
 * **fault_tolerance** — a kill-one-worker drill: SIGKILL a busy shard
   mid-load and verify every submitted request still completes (the
   monitor restarts the worker and re-dispatches its in-flight batches).
+  Under the shm transport the drill additionally asserts that every ring
+  lease the dead worker held was reclaimed (no leaked segments).
+* **transport** — the shared-memory vs pickle comparison: a marshalling
+  micro-benchmark (what one batch costs to cross the worker boundary and
+  back, per transport) plus an end-to-end closed-loop A/B at the same
+  worker count.  The acceptance gate is ≥30% lower per-batch dispatch
+  overhead *or* ≥1.3x end-to-end samples/s for shm over pickle.
 
 Run via ``python -m repro.cli serve --bench`` or
 ``python benchmarks/bench_serving.py``.
@@ -24,20 +31,28 @@ from __future__ import annotations
 
 import json
 import os
+import pickle
 import threading
 import time
 
 import numpy as np
 
 from repro.infer.session import InferenceSession
+from repro.serve import shm as shm_transport
 from repro.serve.server import LocalizationServer
 
 DEFAULT_OUTPUT = "BENCH_serving.json"
-SCHEMA = "repro.serve.bench.v2"
+SCHEMA = "repro.serve.bench.v3"
 
-#: Record schemas ``--check`` accepts: v1 (pre-fleet) records stay valid —
-#: v2 only *adds* the optional ``"fleet"`` section (bench_fleet.py).
-ACCEPTED_SCHEMAS = ("repro.serve.bench.v1", "repro.serve.bench.v2")
+#: Record schemas ``--check`` accepts: older records stay valid — v2 only
+#: *added* the optional ``"fleet"`` section (bench_fleet.py) and v3 only
+#: adds the optional ``"transport"`` section; each section is gated only
+#: when present.
+ACCEPTED_SCHEMAS = (
+    "repro.serve.bench.v1",
+    "repro.serve.bench.v2",
+    "repro.serve.bench.v3",
+)
 
 
 def make_session(
@@ -128,16 +143,21 @@ def run_fault_tolerance_drill(
     request_size: int = 8,
     workers: int = 2,
     timeout: float = 60.0,
+    transport: str = "shm",
 ) -> dict:
     """Kill a busy worker mid-load; verify no request is lost.
 
     Submits ``requests`` requests, SIGKILLs shard 0's process once a few
     results are in, then collects *every* result.  Success means all
-    requests completed and the stats show at least one restart.
+    requests completed and the stats show at least one restart — and,
+    under the shm transport, that every ring lease the crashed worker
+    was holding has been reclaimed (``ring_leases_after == 0``): a crash
+    must neither lose requests nor leak ring segments.
     """
     rng = np.random.default_rng(7)
     with LocalizationServer(session, workers=workers, max_delay_ms=1.0,
-                            health_interval_s=0.05) as server:
+                            health_interval_s=0.05,
+                            transport=transport) as server:
         ids = []
         victim = server._shards[0].process
         for index in range(requests):
@@ -157,13 +177,175 @@ def run_fault_tolerance_drill(
                 failures.append(str(error))
         stats = server.stats()
     restarts = sum(shard["restarts"] for shard in stats["shards"])
+    leases_after = sum(
+        ring["live_leases"]
+        for ring in stats["transport"]["rings"] if ring is not None
+    )
     return {
         "requests": requests,
         "completed": completed,
         "lost": requests - completed,
         "failures": failures[:5],
         "restarts": restarts,
-        "ok": completed == requests and restarts >= 1,
+        "transport": stats["transport"]["mode"],
+        "ring_leases_after": leases_after,
+        "ok": completed == requests and restarts >= 1 and leases_after == 0,
+    }
+
+
+def run_transport_parity(
+    image_size: int = 16,
+    num_classes: int = 16,
+    max_batch: int = 16,
+    samples: int = 48,
+    workers: int = 2,
+    seed: int = 0,
+    timeout: float = 60.0,
+) -> dict:
+    """Serve one workload under both transports; predictions must be
+    bit-identical (the CI gate behind ``bench_serving.py --parity``)."""
+    session = make_session(image_size, num_classes, max_batch, seed)
+    rng = np.random.default_rng(seed + 1)
+    images = rng.standard_normal(
+        (samples, image_size, image_size, 3)
+    ).astype(np.float32)
+    outputs = {}
+    modes = {}
+    for transport in ("shm", "pickle"):
+        with LocalizationServer(session, workers=workers, max_delay_ms=1.0,
+                                transport=transport) as server:
+            outputs[transport] = server.predict_many(images, timeout=timeout)
+            modes[transport] = server.stats()["transport"]["mode"]
+    return {
+        "samples": samples,
+        "modes": modes,  # shm may have degraded to pickle on this platform
+        "shm_available": shm_transport.HAVE_SHM,
+        "bit_identical": bool(
+            np.array_equal(outputs["shm"], outputs["pickle"])
+        ),
+    }
+
+
+def run_transport_benchmark(
+    image_size: int = 24,
+    num_classes: int = 32,
+    max_batch: int = 32,
+    workers: int = 2,
+    quick: bool = False,
+    seed: int = 0,
+    verbose: bool = False,
+) -> dict:
+    """The shm-vs-pickle comparison recorded as the ``transport`` section.
+
+    Part 1 isolates the per-batch *dispatch overhead* — what moving one
+    ``(max_batch, size, size, 3)`` float32 batch to a worker and its
+    logits back costs in marshalling alone: a pickle dumps/loads round
+    trip each way vs a ring write + zero-copy view + logits copy-out.
+    Part 2 runs the same closed-loop load end-to-end under each
+    transport at the same worker count.
+    """
+    iters = 60 if quick else 300
+    rng = np.random.default_rng(seed)
+    batch = rng.standard_normal(
+        (max_batch, image_size, image_size, 3)
+    ).astype(np.float32)
+    logits = rng.standard_normal((max_batch, num_classes)).astype(np.float32)
+
+    def log(message: str) -> None:
+        if verbose:
+            print(message, flush=True)
+
+    # --- part 1: marshalling micro-benchmark ---------------------------
+    start = time.perf_counter()
+    for _ in range(iters):
+        payload = pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
+        _gathered = pickle.loads(payload)
+        reply = pickle.dumps(logits, protocol=pickle.HIGHEST_PROTOCOL)
+        _ = pickle.loads(reply)
+    pickle_us = (time.perf_counter() - start) / iters * 1e6
+
+    shm_us = None
+    if shm_transport.HAVE_SHM:
+        in_bytes = shm_transport.align(batch.nbytes)
+        out_bytes = shm_transport.align(logits.nbytes)
+        ring = shm_transport.ShmRing(4 * (in_bytes + out_bytes))
+        try:
+            start = time.perf_counter()
+            for _ in range(iters):
+                offset = ring.allocate(in_bytes + out_bytes)
+                ring.view(offset, batch.shape)[:] = batch  # dispatch write
+                gathered = ring.view(offset, batch.shape)  # worker view
+                out = ring.view(offset + in_bytes, logits.shape)
+                out[:] = logits  # worker writes its result block
+                _ = np.array(out, copy=True)  # collector copies slices out
+                del gathered, out
+                ring.free(offset)
+            shm_us = (time.perf_counter() - start) / iters * 1e6
+        finally:
+            ring.close()
+    reduction = (1.0 - shm_us / pickle_us) if shm_us is not None else None
+    log(f"    marshalling: pickle {pickle_us:.0f} us/batch vs "
+        f"shm {shm_us and round(shm_us)} us/batch")
+
+    # --- part 2: end-to-end closed-loop A/B ----------------------------
+    session = make_session(image_size, num_classes, max_batch, seed)
+    pool = rng.standard_normal(
+        (4 * max_batch, image_size, image_size, 3)
+    ).astype(np.float32)
+    clients = 4
+    requests_per_client = 4 if quick else 12
+    end_to_end = {}
+    for transport in ("pickle", "shm"):
+        if transport == "shm" and not shm_transport.HAVE_SHM:
+            continue
+        with LocalizationServer(session, workers=workers,
+                                max_batch=max_batch, max_delay_ms=2.0,
+                                transport=transport) as server:
+            run = closed_loop_load(
+                server, pool, clients=clients,
+                requests_per_client=requests_per_client,
+                request_size=max_batch, seed=seed + 3,
+            )
+        end_to_end[transport] = {
+            "samples_per_s": run["samples_per_s"],
+            "errors": len(run["errors"]),
+            "transport_stats": run["stats"]["transport"],
+        }
+        log(f"    end-to-end {transport}: "
+            f"{run['samples_per_s']:.0f} samples/s")
+    speedup = None
+    if "shm" in end_to_end and end_to_end["pickle"]["samples_per_s"] > 0:
+        speedup = (end_to_end["shm"]["samples_per_s"]
+                   / end_to_end["pickle"]["samples_per_s"])
+
+    gate = bool(
+        (reduction is not None and reduction >= 0.30)
+        or (speedup is not None and speedup >= 1.3)
+    )
+    return {
+        "available": shm_transport.HAVE_SHM,
+        "config": {
+            "image_size": image_size,
+            "num_classes": num_classes,
+            "max_batch": max_batch,
+            "workers": workers,
+            "marshal_iters": iters,
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+        },
+        "batch_payload_bytes": int(batch.nbytes + logits.nbytes),
+        "dispatch_overhead_us": {
+            "pickle": pickle_us,
+            "shm": shm_us,
+            "reduction": reduction,
+        },
+        "end_to_end": {
+            **end_to_end,
+            "speedup_shm_vs_pickle": speedup,
+        },
+        # ≥30% lower per-batch dispatch overhead OR ≥1.3x end-to-end
+        # throughput for shm over pickle (None = shm unavailable here).
+        "gate_transport": gate if shm_transport.HAVE_SHM else None,
     }
 
 
@@ -176,8 +358,9 @@ def run_serving_benchmark(
     quick: bool = False,
     seed: int = 0,
     verbose: bool = True,
+    transport: str = "shm",
 ) -> dict:
-    """Run all three serving experiments; returns the result record."""
+    """Run all four serving experiments; returns the result record."""
     requests_per_client = 6 if quick else 24
     clients = 4 if quick else 8
     deadline_requests = 30 if quick else 120
@@ -197,7 +380,8 @@ def run_serving_benchmark(
     throughput_rows = []
     for workers in worker_counts:
         with LocalizationServer(session, workers=workers, max_batch=max_batch,
-                                max_delay_ms=2.0) as server:
+                                max_delay_ms=2.0,
+                                transport=transport) as server:
             run = closed_loop_load(
                 server, pool, clients=clients,
                 requests_per_client=requests_per_client,
@@ -225,7 +409,8 @@ def run_serving_benchmark(
     for deadline_ms in deadlines_ms:
         with LocalizationServer(session, workers=sweep_workers,
                                 max_batch=max_batch,
-                                max_delay_ms=deadline_ms) as server:
+                                max_delay_ms=deadline_ms,
+                                transport=transport) as server:
             run = closed_loop_load(
                 server, pool, clients=max(8, clients),
                 requests_per_client=max(4, deadline_requests // max(8, clients)),
@@ -252,9 +437,23 @@ def run_serving_benchmark(
     log("  fault-tolerance drill (SIGKILL one busy worker)...")
     drill = run_fault_tolerance_drill(
         session, pool, requests=drill_requests, request_size=8, workers=2,
+        transport=transport,
     )
     log(f"  drill: {drill['completed']}/{drill['requests']} completed, "
-        f"{drill['restarts']} restart(s), lost={drill['lost']}")
+        f"{drill['restarts']} restart(s), lost={drill['lost']}, "
+        f"leases leaked={drill['ring_leases_after']}")
+
+    # --- experiment 4: shm-vs-pickle transport comparison
+    log("  transport comparison (shm vs pickle dispatch overhead)...")
+    transport_section = run_transport_benchmark(
+        image_size=image_size, num_classes=num_classes, max_batch=max_batch,
+        workers=2, quick=quick, seed=seed + 7, verbose=verbose,
+    )
+    overhead = transport_section["dispatch_overhead_us"]
+    if overhead["reduction"] is not None:
+        log(f"  transport: pickle {overhead['pickle']:.0f} us/batch vs shm "
+            f"{overhead['shm']:.0f} us/batch "
+            f"({overhead['reduction']:.0%} lower dispatch overhead)")
 
     cpu_count = os.cpu_count() or 1
     hardware_limited = cpu_count < 4
@@ -273,10 +472,12 @@ def run_serving_benchmark(
             "cpu_count": cpu_count,
             "quick": quick,
             "seed": seed,
+            "transport": transport,
         },
         "throughput_vs_workers": throughput_rows,
         "deadline_sweep": deadline_rows,
         "fault_tolerance": drill,
+        "transport": transport_section,
         "scaling": {
             "peak_samples_per_s": peak["samples_per_s"],
             "peak_workers": peak["workers"],
@@ -324,8 +525,9 @@ def load_record(path: str = DEFAULT_OUTPUT) -> dict:
 def check_record(record: dict) -> list[str]:
     """Validate a recorded benchmark's gates; returns the problems found.
 
-    Accepts both schema v1 (pre-fleet) and v2 records — the ``"fleet"``
-    section is checked only when present, so old records keep passing.
+    Accepts schema v1 (pre-fleet), v2 (adds ``"fleet"``) and v3 (adds
+    ``"transport"``) records — each section is checked only when present,
+    so old records keep passing.
     """
     problems: list[str] = []
     schema = record.get("schema")
@@ -338,8 +540,25 @@ def check_record(record: dict) -> list[str]:
     if drill is not None:
         if drill.get("lost", 1) != 0:
             problems.append(f"fault-tolerance drill lost requests: {drill}")
+        if drill.get("ring_leases_after", 0) != 0:
+            problems.append(
+                f"fault-tolerance drill leaked ring leases: "
+                f"{drill['ring_leases_after']}"
+            )
         if not drill.get("ok"):
             problems.append("fault-tolerance drill did not pass")
+    transport = record.get("transport")
+    if transport is not None and transport.get("available"):
+        overhead = transport.get("dispatch_overhead_us", {})
+        reduction = overhead.get("reduction")
+        speedup = transport.get("end_to_end", {}).get("speedup_shm_vs_pickle")
+        if not ((reduction is not None and reduction >= 0.30)
+                or (speedup is not None and speedup >= 1.3)):
+            problems.append(
+                "transport gate failed: shm must cut per-batch dispatch "
+                f"overhead ≥30% (got {reduction}) or deliver ≥1.3x "
+                f"end-to-end samples/s (got {speedup})"
+            )
     scaling = record.get("scaling")
     # A hardware_limited record legitimately skips the scaling gate (v2
     # records also carry the reason under scaling.skipped).
@@ -400,6 +619,17 @@ def format_summary(result: dict) -> str:
         f"completed after SIGKILL, {drill['restarts']} restart(s), "
         f"lost={drill['lost']} → {'OK' if drill['ok'] else 'FAIL'}"
     )
+    transport = result.get("transport")
+    if transport is not None and transport.get("available"):
+        overhead = transport["dispatch_overhead_us"]
+        speedup = transport["end_to_end"].get("speedup_shm_vs_pickle")
+        lines.append(
+            f"  transport (shm vs pickle): dispatch {overhead['shm']:.0f} vs "
+            f"{overhead['pickle']:.0f} us/batch "
+            f"({overhead['reduction']:.0%} lower), end-to-end "
+            + (f"{speedup:.2f}x" if speedup is not None else "n/a")
+            + f" → {'OK' if transport['gate_transport'] else 'FAIL'}"
+        )
     scaling = result["scaling"]
     if scaling["hardware_limited"]:
         lines.append(

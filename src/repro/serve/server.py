@@ -25,6 +25,15 @@ Architecture::
   coalesces same-key requests up to ``max_batch`` samples or an adaptive
   latency deadline (:mod:`repro.serve.batcher`), and routes each batch to
   the shard with the fewest outstanding samples.
+* Batch payloads default to the **zero-copy shared-memory transport**
+  (:mod:`repro.serve.shm`): the dispatcher writes each micro-batch's
+  float32 image block straight into the target shard's ring segment and
+  sends only a small ``(offset, shape, generation)`` descriptor over the
+  queue; the worker gathers by offset and writes its logits into the
+  lease's reserved output block.  A full ring applies backpressure
+  (bounded wait, then a per-batch *spill* to the pickle transport — never
+  a drop), and hosts without ``multiprocessing.shared_memory`` fall back
+  to pickle wholesale.
 * Results travel over per-worker pipes (single writer each), so a worker
   dying mid-write can never corrupt another shard's channel.
 * A monitor thread health-checks the workers and restarts crashed ones;
@@ -53,27 +62,36 @@ from repro.infer.session import (
     restore_session,
     snapshot_info,
 )
-from repro.serve.batcher import AdaptiveBatchPolicy
+from repro.serve import shm as shm_transport
+from repro.serve.batcher import AdaptiveBatchPolicy, assemble_images
 from repro.serve.stats import (
     LatencyReservoir,
     RouteStats,
     ShardStats,
     SnapshotTransport,
+    TransportStats,
 )
 
 #: Model id (and route key) a single-model server serves under.
 DEFAULT_MODEL = "default"
 
 
-def _worker_main(worker_id: int, task_queue, result_conn) -> None:
+def _worker_main(worker_id: int, task_queue, result_conn,
+                 ring_name: str | None = None, generation: int = 0) -> None:
     """Worker process loop: restore sessions on demand, serve batches.
 
     Protocol (task queue → worker): ``("load", key, snapshot)``,
-    ``("unload", key)``, ``("batch", batch_id, key, images)``,
-    ``("stop",)``.
+    ``("unload", key)``, ``("batch", batch_id, key, payload)``,
+    ``("stop",)``.  ``payload`` is either a pickled ndarray (the pickle
+    transport) or a shared-memory batch descriptor
+    (:func:`repro.serve.shm.batch_descriptor`) naming offsets in the
+    shard's ring segment ``ring_name``; descriptors are stamped with the
+    worker ``generation`` and a mismatch (or a failed ring attach) is
+    reported as :class:`~repro.serve.shm.ShmTransportError` so the
+    parent re-dispatches the batch over pickle instead of failing it.
     Protocol (worker → result pipe): ``("loaded", worker_id, key)``,
     ``("load_failed", worker_id, key, message)``,
-    ``("done", batch_id, logits, compute_s)``,
+    ``("done", batch_id, logits_or_descriptor, compute_s)``,
     ``("error", batch_id, message)``.
     """
     try:
@@ -82,6 +100,15 @@ def _worker_main(worker_id: int, task_queue, result_conn) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ImportError, ValueError, OSError):
         pass
+
+    ring = None
+    if ring_name is not None:
+        try:
+            # No untrack: an mp child shares the parent's resource
+            # tracker, so the attach-register is an idempotent no-op.
+            ring = shm_transport.ShmWorkerRing(ring_name)
+        except Exception:  # serve on — shm batches fall back to pickle
+            ring = None
 
     sessions: dict[str, InferenceSession] = {}
     try:
@@ -102,20 +129,34 @@ def _worker_main(worker_id: int, task_queue, result_conn) -> None:
             elif kind == "unload":
                 sessions.pop(message[1], None)
             elif kind == "batch":
-                _, batch_id, key, images = message
+                _, batch_id, key, payload = message
                 try:
                     session = sessions.get(key)
                     if session is None:
                         raise RuntimeError(f"model {key!r} not loaded on worker")
-                    start = time.perf_counter()
-                    logits = session.predict_many(images)
-                    compute_s = time.perf_counter() - start
-                    result_conn.send(("done", batch_id, logits, compute_s))
+                    if shm_transport.is_descriptor(payload):
+                        images, out_offset, out_shape = shm_transport.open_batch(
+                            ring, payload, generation
+                        )
+                        start = time.perf_counter()
+                        logits = session.predict_many(images)
+                        ring.view(out_offset, out_shape)[:] = logits
+                        compute_s = time.perf_counter() - start
+                        result = shm_transport.result_descriptor(
+                            out_offset, out_shape, generation
+                        )
+                    else:
+                        start = time.perf_counter()
+                        result = session.predict_many(payload)
+                        compute_s = time.perf_counter() - start
+                    result_conn.send(("done", batch_id, result, compute_s))
                 except Exception as error:  # report, keep serving
                     result_conn.send(
                         ("error", batch_id, f"{type(error).__name__}: {error}")
                     )
             elif kind == "stop":
+                if ring is not None:
+                    ring.close()
                 return
     except (EOFError, BrokenPipeError, KeyboardInterrupt):
         return  # parent went away — nothing sensible left to do
@@ -141,18 +182,28 @@ class _Request:
 
 
 class _Batch:
-    """A dispatched coalesced batch, retained until its results return."""
+    """A dispatched coalesced batch, retained until its results return.
 
-    __slots__ = ("id", "shard", "key", "requests", "images", "n", "dispatched")
+    ``transport`` is ``"shm"`` or ``"pickle"``.  A shm batch carries no
+    parent-side image array — its data lives in the ring at ``lease``
+    ``(offset, in_shape, out_offset, out_shape)`` until the lease is
+    freed; a pickle batch keeps ``images`` for crash re-dispatch.
+    """
+
+    __slots__ = ("id", "shard", "key", "requests", "images", "n",
+                 "dispatched", "transport", "lease")
 
     def __init__(self, batch_id: int, shard: int, key: str,
-                 requests: list[_Request], images: np.ndarray):
+                 requests: list[_Request], images: np.ndarray | None,
+                 n: int, transport: str = "pickle", lease: tuple | None = None):
         self.id = batch_id
         self.shard = shard
         self.key = key
         self.requests = requests
         self.images = images
-        self.n = len(images)
+        self.n = n
+        self.transport = transport
+        self.lease = lease
         self.dispatched = time.perf_counter()
 
 
@@ -172,6 +223,8 @@ class _Shard:
         self.stats = ShardStats()
         self.failed = False  # exceeded the restart budget
         self.conn_dead = False  # EOF seen; awaiting monitor restart
+        self.ring = None  # parent-owned ShmRing; survives restarts
+        self.generation = 0  # bumped per (re)spawn; stamps descriptors
 
 
 class LocalizationServer:
@@ -197,6 +250,19 @@ class LocalizationServer:
         zero-copy snapshot) and falls back to ``spawn``.
     restart_limit:
         Restarts allowed per shard before it is marked failed.
+    transport:
+        ``"shm"`` (default) moves batch payloads through per-shard
+        shared-memory rings (:mod:`repro.serve.shm`) and only small
+        descriptors through the queues; ``"pickle"`` ships the ndarrays
+        themselves.  ``"shm"`` silently degrades to ``"pickle"`` on
+        platforms without ``multiprocessing.shared_memory`` (the reason
+        is surfaced under ``stats()["transport"]["fallback_reason"]``).
+    ring_bytes:
+        Per-shard ring segment size; default sizes ``ring_slots`` full
+        batches of the largest loaded model geometry (floor 2 MiB).
+    spill_wait_ms:
+        How long a dispatch may block on a full ring before spilling the
+        batch to the pickle transport (backpressure bound — never drop).
     """
 
     def __init__(
@@ -209,14 +275,34 @@ class LocalizationServer:
         restart_limit: int = 5,
         health_interval_s: float = 0.2,
         startup_timeout_s: float = 60.0,
+        transport: str = "shm",
+        ring_bytes: int | None = None,
+        ring_slots: int = 4,
+        spill_wait_ms: float = 50.0,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if transport not in ("shm", "pickle"):
+            raise ValueError(
+                f"transport must be 'shm' or 'pickle', got {transport!r}"
+            )
         self.workers = int(workers)
         self.max_delay_ms = float(max_delay_ms)
         self.restart_limit = int(restart_limit)
         self.health_interval_s = float(health_interval_s)
         self.startup_timeout_s = float(startup_timeout_s)
+
+        self._transport_fallback: str | None = None
+        if transport == "shm" and not shm_transport.HAVE_SHM:
+            transport = "pickle"
+            self._transport_fallback = (
+                "multiprocessing.shared_memory unavailable on this platform"
+            )
+        self.transport = transport
+        self.ring_bytes = None if ring_bytes is None else int(ring_bytes)
+        self.ring_slots = max(1, int(ring_slots))
+        self.spill_wait_ms = float(spill_wait_ms)
+        self._transport_totals = TransportStats()
 
         if start_method is None:
             start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -239,6 +325,9 @@ class LocalizationServer:
         self._pending: deque[_Request] = deque()
         self._cond = threading.Condition()  # guards _pending + policy
         self._lock = threading.RLock()  # guards requests/in-flight/shard state
+        #: Signaled whenever a ring lease is freed — the dispatcher waits
+        #: on this (releasing _lock) when a shard's ring is full.
+        self._ring_cond = threading.Condition(self._lock)
         self._requests: dict[int, _Request] = {}
         self._in_flight: dict[int, _Batch] = {}
         #: Requests popped by the dispatcher but not yet in _in_flight —
@@ -355,9 +444,41 @@ class LocalizationServer:
                 )
         return self
 
+    # -- shared-memory ring sizing --------------------------------------
+    def _batch_bytes(self, info: dict) -> int:
+        """Ring bytes one full batch of ``info``'s geometry needs
+        (aligned input block + aligned output block)."""
+        frame = info["image_size"] * info["image_size"] * info["channels"] * 4
+        return (shm_transport.align(self.max_batch * frame)
+                + shm_transport.align(self.max_batch * info["num_classes"] * 4))
+
+    def _ring_capacity(self) -> int:
+        if self.ring_bytes is not None:
+            return self.ring_bytes  # explicit size wins (tests force tiny rings)
+        per_batch = [self._batch_bytes(info)
+                     for info in self._model_info.values()]
+        need = max(per_batch) * self.ring_slots if per_batch else 0
+        return max(need, shm_transport.MIN_RING_BYTES)
+
     def _spawn_worker(self, shard: _Shard) -> None:
         """Create the queue/pipe pair and process for ``shard`` and seed it
-        with every currently loaded snapshot."""
+        with every currently loaded snapshot.
+
+        The shard's ring segment is created once and *survives* restarts
+        (the parent owns it, and re-dispatched batch data lives in it);
+        each spawn bumps the shard generation, so descriptors minted for
+        a dead worker can never be honored by its replacement without
+        being re-stamped."""
+        if self.transport == "shm" and shard.ring is None:
+            try:
+                shard.ring = shm_transport.ShmRing(self._ring_capacity())
+            except Exception as error:  # /dev/shm missing or full
+                self.transport = "pickle"
+                self._transport_fallback = (
+                    f"ring segment creation failed: "
+                    f"{type(error).__name__}: {error}"
+                )
+        shard.generation += 1
         shard.task_queue = self._ctx.Queue()
         receive_conn, send_conn = self._ctx.Pipe(duplex=False)
         shard.result_conn = receive_conn
@@ -377,7 +498,9 @@ class LocalizationServer:
         shard.load_failures = {}
         shard.process = self._ctx.Process(
             target=_worker_main,
-            args=(shard.index, shard.task_queue, send_conn),
+            args=(shard.index, shard.task_queue, send_conn,
+                  shard.ring.name if shard.ring is not None else None,
+                  shard.generation),
             name=f"repro-serve-worker-{shard.index}",
             daemon=True,
         )
@@ -413,6 +536,8 @@ class LocalizationServer:
         self._stopping = True
         with self._cond:
             self._cond.notify_all()
+        with self._ring_cond:
+            self._ring_cond.notify_all()  # unblock a backpressured dispatch
         for shard in self._shards:
             try:
                 if shard.task_queue is not None:
@@ -428,15 +553,44 @@ class LocalizationServer:
                 if process.is_alive():
                     process.terminate()
                     process.join(timeout=1.0)
-            if shard.task_queue is not None:
-                shard.task_queue.close()
-                shard.task_queue.cancel_join_thread()
-            if shard.result_conn is not None:
-                try:
-                    shard.result_conn.close()
-                except OSError:
-                    pass
+            self._teardown_shard(shard, unlink_ring=True)
         self._fail_outstanding("server closed")
+
+    def _teardown_shard(self, shard: _Shard, unlink_ring: bool = False) -> None:
+        """Idempotently release a shard's IPC resources.
+
+        Shared by the stop path (:meth:`close`) and the failure path
+        (:meth:`_restart_shard`): each resource is nulled as it is
+        released, so calling this twice — or once from each path — closes
+        the queue and pipe exactly once.  The ring segment is parent-owned
+        state that must *survive* restarts (re-dispatched batch data lives
+        in it), so it is only unlinked when ``unlink_ring`` is set — the
+        shutdown path — and that too exactly once
+        (:meth:`repro.serve.shm.ShmRing.close` is itself idempotent)."""
+        if shard.task_queue is not None:
+            shard.task_queue.close()
+            shard.task_queue.cancel_join_thread()
+            shard.task_queue = None
+        if shard.result_conn is not None:
+            try:
+                shard.result_conn.close()
+            except OSError:
+                pass
+            shard.result_conn = None
+        if unlink_ring and shard.ring is not None:
+            shard.ring.close(unlink=True)
+            shard.ring = None
+
+    def _free_lease(self, batch: _Batch) -> None:
+        """Release a shm batch's ring lease (no-op for pickle batches);
+        called under the bookkeeping lock."""
+        if batch.transport != "shm" or batch.lease is None:
+            return
+        ring = self._shards[batch.shard].ring
+        if ring is not None:
+            ring.free(batch.lease[0])
+        batch.lease = None
+        self._ring_cond.notify_all()
 
     def _fail_outstanding(self, message: str) -> None:
         with self._lock:
@@ -448,6 +602,7 @@ class LocalizationServer:
                 pending = list(self._pending)
                 self._pending.clear()
             for batch in batches:
+                self._free_lease(batch)
                 for request in batch.requests:
                     self._finish_error(request, message)
             for request in staged + pending:
@@ -704,28 +859,93 @@ class LocalizationServer:
             return key, taken
 
     def _dispatch(self, key: str, requests: list[_Request]) -> None:
-        if len(requests) == 1:
-            images = requests[0].images  # zero-copy for pre-chunked workloads
-        else:
-            images = np.concatenate([r.images for r in requests], axis=0)
+        n = sum(r.n for r in requests)
+        info = self._model_info.get(key)
+        # A pure-pickle server assembles outside the bookkeeping lock (the
+        # stack is a full-batch memcpy); the shm path must assemble under
+        # it — the destination is a ring lease only the lock hands out —
+        # and a *spilled* batch assembles under it too, a price only the
+        # rare overflow path pays.
+        assembled = None
+        if self.transport != "shm":
+            assembled = assemble_images([r.images for r in requests])
+        deadline = time.perf_counter() + self.spill_wait_ms / 1e3
         with self._lock:
-            shards = [s for s in self._shards if not s.failed]
-            if not shards:
-                for request in requests:
-                    self._finish_error(request, "all shards failed")
-                self._staged = []
-                return
-            shard = min(shards, key=lambda s: (s.outstanding, s.index))
-            batch = _Batch(next(self._batch_ids), shard.index, key, requests, images)
+            while True:
+                shards = [s for s in self._shards if not s.failed]
+                if not shards:
+                    for request in requests:
+                        self._finish_error(request, "all shards failed")
+                    self._staged = []
+                    return
+                shard = min(shards, key=lambda s: (s.outstanding, s.index))
+                if self.transport != "shm" or shard.ring is None \
+                        or info is None:
+                    transport, offset = "pickle", None
+                    break
+                in_shape = (n, info["image_size"], info["image_size"],
+                            info["channels"])
+                out_shape = (n, info["num_classes"])
+                in_bytes = shm_transport.align(4 * int(np.prod(in_shape)))
+                out_bytes = shm_transport.align(4 * int(np.prod(out_shape)))
+                oversized = in_bytes + out_bytes > shard.ring.capacity
+                offset = None if oversized \
+                    else shard.ring.allocate(in_bytes + out_bytes)
+                if offset is not None:
+                    transport = "shm"
+                    break
+                remaining = deadline - time.perf_counter()
+                # A batch that can never fit (bigger than the whole ring)
+                # spills immediately — waiting cannot help it.
+                if oversized or self._stopping or remaining <= 0:
+                    # Bounded backpressure exhausted: spill this batch to
+                    # the pickle transport rather than stall or drop it.
+                    transport, offset = "pickle", None
+                    self._transport_totals.record_spill()
+                    self._route_stats.setdefault(
+                        key, RouteStats()
+                    ).transport.record_spill()
+                    break
+                # Wait (releasing _lock) for the collector to free leases;
+                # shard health may change meanwhile, so re-pick on wake.
+                self._ring_cond.wait(timeout=remaining)
+
+            payload_bytes = n * (
+                info["image_size"] * info["image_size"] * info["channels"]
+                + info["num_classes"]
+            ) * 4 if info is not None else sum(r.images.nbytes for r in requests)
+            if transport == "shm":
+                # Assemble the batch *in place*: request blocks are written
+                # straight into the ring lease — no stacked temporary, no
+                # pickled payload; only the descriptor crosses the queue.
+                lease = (offset, in_shape, offset + in_bytes, out_shape)
+                assemble_images([r.images for r in requests],
+                                out=shard.ring.view(offset, in_shape))
+                payload = shm_transport.batch_descriptor(
+                    offset, in_shape, offset + in_bytes, out_shape,
+                    shard.generation,
+                )
+                images = None
+            else:
+                lease = None
+                images = assembled if assembled is not None \
+                    else assemble_images([r.images for r in requests])
+                payload = images
+            batch = _Batch(next(self._batch_ids), shard.index, key, requests,
+                           images, n, transport=transport, lease=lease)
             self._in_flight[batch.id] = batch
             self._staged = []  # same lock hold: staged→in-flight is atomic
             shard.outstanding += batch.n
             shard.stats.record_dispatch(batch.n)
+            self._transport_totals.record_batch(transport, payload_bytes)
+            self._route_stats.setdefault(
+                key, RouteStats()
+            ).transport.record_batch(transport, payload_bytes)
             try:
-                shard.task_queue.put(("batch", batch.id, key, images))
-            except (ValueError, OSError):
-                # Queue already broken — leave the batch in _in_flight; the
-                # monitor will re-dispatch it when the shard restarts.
+                shard.task_queue.put(("batch", batch.id, key, payload))
+            except (ValueError, OSError, AttributeError):
+                # Queue already broken/torn down — leave the batch in
+                # _in_flight; the monitor re-dispatches it on restart.
                 pass
 
     # -- collector -----------------------------------------------------
@@ -786,6 +1006,15 @@ class LocalizationServer:
                 current.stats.record_complete(
                     batch.n, (now - batch.dispatched) * 1e3
                 )
+                if shm_transport.is_descriptor(logits):
+                    # Gather the logits block from the ring; the lease is
+                    # freed right after the per-request slices are copied
+                    # out, so the block becomes reusable immediately.
+                    _tag, out_offset, out_shape, _gen = logits
+                    logits = np.array(
+                        current.ring.view(out_offset, out_shape), copy=True
+                    )
+                self._free_lease(batch)
                 route = self._route_stats.setdefault(batch.key, RouteStats())
                 offset = 0
                 for request in batch.requests:
@@ -807,12 +1036,41 @@ class LocalizationServer:
                 current = self._shards[batch.shard]
                 current.outstanding = max(0, current.outstanding - batch.n)
                 current.stats.record_error()
+                if batch.transport == "shm" \
+                        and text.startswith("ShmTransportError") \
+                        and not self._stopping:
+                    # The *transport* failed (stale generation, lost ring
+                    # attach), not the model: recover the batch data from
+                    # the parent-owned ring and re-dispatch over pickle —
+                    # requests must never be lost to transport trouble.
+                    self._redispatch_as_pickle(batch, current)
+                    return
+                self._free_lease(batch)
                 if self._on_batch_error(batch, text):
                     return  # handled (e.g. canary retry on the incumbent)
                 route = self._route_stats.setdefault(batch.key, RouteStats())
                 for request in batch.requests:
                     route.record_failure()
                     self._finish_error(request, text)
+
+    def _redispatch_as_pickle(self, batch: _Batch, shard: _Shard) -> None:
+        """Convert a shm batch whose descriptor the worker rejected into a
+        pickle batch and re-send it; called under the bookkeeping lock."""
+        offset, in_shape, _out_offset, _out_shape = batch.lease
+        batch.images = np.array(shard.ring.view(offset, in_shape), copy=True)
+        self._free_lease(batch)
+        batch.transport = "pickle"
+        batch.dispatched = time.perf_counter()
+        self._in_flight[batch.id] = batch
+        shard.outstanding += batch.n
+        self._transport_totals.record_spill()
+        self._route_stats.setdefault(
+            batch.key, RouteStats()
+        ).transport.record_spill()
+        try:
+            shard.task_queue.put(("batch", batch.id, batch.key, batch.images))
+        except (ValueError, OSError, AttributeError):
+            pass  # monitor restart will re-dispatch it
 
     def _on_batch_done(self, batch: _Batch) -> None:
         """Hook, called under the bookkeeping lock after a batch completes;
@@ -865,6 +1123,7 @@ class LocalizationServer:
                             if b.shard == shard.index]
                 for batch in stranded:
                     self._in_flight.pop(batch.id, None)
+                    self._free_lease(batch)  # reclaim, don't leak the ring
                     for request in batch.requests:
                         self._finish_error(
                             request,
@@ -876,24 +1135,28 @@ class LocalizationServer:
                 shard.process.terminate()
             if shard.process is not None:
                 shard.process.join(timeout=1.0)
-            if shard.task_queue is not None:
-                shard.task_queue.close()
-                shard.task_queue.cancel_join_thread()
-            if shard.result_conn is not None:
-                try:
-                    shard.result_conn.close()
-                except OSError:
-                    pass
+            self._teardown_shard(shard)  # ring kept: re-dispatch data lives there
             self._spawn_worker(shard)
             # Everything this shard had not finished goes back on its queue,
             # behind the fresh load messages — order guarantees the restored
-            # sessions exist before the first re-dispatched batch runs.
+            # sessions exist before the first re-dispatched batch runs.  A
+            # shm batch's lease survived the crash (the parent owns the
+            # ring), so only its descriptor is re-minted, stamped with the
+            # replacement worker's generation.
             redispatched = [b for b in self._in_flight.values()
                             if b.shard == shard.index]
             shard.outstanding = sum(b.n for b in redispatched)
             for batch in redispatched:
                 batch.dispatched = time.perf_counter()
-                shard.task_queue.put(("batch", batch.id, batch.key, batch.images))
+                if batch.transport == "shm" and batch.lease is not None:
+                    offset, in_shape, out_offset, out_shape = batch.lease
+                    payload = shm_transport.batch_descriptor(
+                        offset, in_shape, out_offset, out_shape,
+                        shard.generation,
+                    )
+                else:
+                    payload = batch.images
+                shard.task_queue.put(("batch", batch.id, batch.key, payload))
 
     # -- observability -------------------------------------------------
     def _snapshot_summary(self) -> dict:
@@ -919,6 +1182,7 @@ class LocalizationServer:
                     "alive": bool(shard.process is not None
                                   and shard.process.is_alive()),
                     "failed": shard.failed,
+                    "generation": shard.generation,
                     "outstanding_samples": shard.outstanding,
                     **shard.stats.summary(),
                 }
@@ -938,6 +1202,16 @@ class LocalizationServer:
                 },
                 "request_latency_ms": self._request_latency.summary(),
                 "snapshot": self._snapshot_summary(),
+                "transport": {
+                    "mode": self.transport,
+                    "fallback_reason": self._transport_fallback,
+                    "spill_wait_ms": self.spill_wait_ms,
+                    **self._transport_totals.summary(),
+                    "rings": [
+                        shard.ring.stats() if shard.ring is not None else None
+                        for shard in self._shards
+                    ],
+                },
                 "routes": dict(self._routes),
                 "route_stats": {
                     key: stats.summary()

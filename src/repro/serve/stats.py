@@ -67,6 +67,85 @@ class SnapshotTransport:
         }
 
 
+class TransportStats:
+    """Per-scope accounting of how batch payloads crossed the worker
+    boundary: shared-memory descriptors vs pickled ndarrays.
+
+    One instance per route key (embedded in :class:`RouteStats`) plus one
+    server-wide rollup.  ``bytes`` counts the raw float32 payload (images
+    plus logits) — the same quantity either transport must move — so the
+    shm/pickle split reads directly as "how many bytes skipped pickling".
+    ``spills`` counts batches that *wanted* the ring but fell back to
+    pickle under backpressure (ring full past the bounded wait).
+    """
+
+    def __init__(self):
+        self.shm_batches = 0
+        self.shm_bytes = 0
+        self.pickle_batches = 0
+        self.pickle_bytes = 0
+        self.spills = 0
+
+    def record_batch(self, transport: str, payload_bytes: int) -> None:
+        if transport == "shm":
+            self.shm_batches += 1
+            self.shm_bytes += int(payload_bytes)
+        else:
+            self.pickle_batches += 1
+            self.pickle_bytes += int(payload_bytes)
+
+    def record_spill(self) -> None:
+        self.spills += 1
+
+    def summary(self) -> dict:
+        return {
+            "shm_batches": self.shm_batches,
+            "shm_bytes": self.shm_bytes,
+            "pickle_batches": self.pickle_batches,
+            "pickle_bytes": self.pickle_bytes,
+            "spills": self.spills,
+        }
+
+
+class RingCounters:
+    """Occupancy counters of one shared-memory ring segment.
+
+    Recorded by :class:`repro.serve.shm.RingAllocator` under the server's
+    bookkeeping lock; ``peak_used_bytes`` is the high-water mark the ring
+    actually needed — the number to size ``ring_bytes`` from.
+    """
+
+    def __init__(self):
+        self.allocations = 0
+        self.frees = 0
+        self.wraps = 0
+        self.alloc_failures = 0
+        self.peak_used_bytes = 0
+
+    def record_alloc(self, used_bytes: int) -> None:
+        self.allocations += 1
+        if used_bytes > self.peak_used_bytes:
+            self.peak_used_bytes = int(used_bytes)
+
+    def record_free(self) -> None:
+        self.frees += 1
+
+    def record_wrap(self) -> None:
+        self.wraps += 1
+
+    def record_alloc_failure(self) -> None:
+        self.alloc_failures += 1
+
+    def summary(self) -> dict:
+        return {
+            "allocations": self.allocations,
+            "frees": self.frees,
+            "wraps": self.wraps,
+            "alloc_failures": self.alloc_failures,
+            "peak_used_bytes": self.peak_used_bytes,
+        }
+
+
 class RouteStats:
     """Counters for one routed model version (a serving route key).
 
@@ -75,6 +154,8 @@ class RouteStats:
     :class:`repro.serve.LocalizationServer`); completions, failures and
     canary retries are tallied per key so ``stats()`` can report exactly
     where traffic went — the read-out the canary comparison runs on.
+    ``transport`` splits the route's payload bytes by how they crossed
+    the worker boundary (shared memory vs pickle).
     """
 
     def __init__(self):
@@ -82,6 +163,7 @@ class RouteStats:
         self.failed = 0
         self.retried = 0
         self.latency_ms = LatencyReservoir(maxlen=1024)
+        self.transport = TransportStats()
 
     def record_complete(self, latency_ms: float) -> None:
         self.completed += 1
@@ -108,6 +190,7 @@ class RouteStats:
             "retried": self.retried,
             "error_rate": self.error_rate(),
             "latency_ms": self.latency_ms.summary(),
+            "transport": self.transport.summary(),
         }
 
 

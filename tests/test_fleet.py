@@ -320,3 +320,107 @@ class TestFleetCli:
         ]) == 0
         out = capsys.readouterr().out
         assert "lost=0" in out and "'version': 2" in out
+
+
+class TestRegistryGc:
+    def _orphan_blob(self, registry: ModelRegistry) -> str:
+        """Plant a blob no manifest references (an interrupted publish)."""
+        path = os.path.join(registry.root, "blobs", "f" * 64 + ".pkl")
+        with open(path, "wb") as handle:
+            handle.write(b"x" * 1024)
+        return path
+
+    def test_plain_gc_sweeps_orphan_blobs_only(self, tmp_path, session_a):
+        registry = ModelRegistry(str(tmp_path / "reg"))
+        registry.publish("m", session_a)
+        orphan = self._orphan_blob(registry)
+        report = registry.gc()
+        assert not os.path.exists(orphan)
+        assert report["removed_versions"] == []
+        assert len(report["removed_blobs"]) == 1
+        assert report["bytes_reclaimed"] == 1024
+        # The referenced blob survived and still loads with integrity.
+        assert registry.load_session("m") is not None
+
+    def test_dry_run_reports_without_deleting(self, tmp_path, session_a):
+        registry = ModelRegistry(str(tmp_path / "reg"))
+        registry.publish("m", session_a)
+        orphan = self._orphan_blob(registry)
+        report = registry.gc(dry_run=True)
+        assert report["dry_run"] is True
+        assert report["bytes_reclaimed"] == 1024
+        assert os.path.exists(orphan)  # nothing actually deleted
+        assert registry.versions("m") == [1]
+
+    def test_keep_latest_prunes_versions_and_their_blobs(
+        self, tmp_path, session_a, session_b
+    ):
+        registry = ModelRegistry(str(tmp_path / "reg"))
+        registry.publish("m", session_a)
+        registry.publish("m", session_b)
+        third = _tiny_session(seed=2)
+        registry.publish("m", third)
+        sizes_before = sum(
+            os.path.getsize(os.path.join(registry.root, "blobs", name))
+            for name in os.listdir(os.path.join(registry.root, "blobs"))
+        )
+        report = registry.gc(keep_latest=1)
+        assert registry.versions("m") == [3]
+        assert {(e["model_id"], e["version"])
+                for e in report["removed_versions"]} == {("m", 1), ("m", 2)}
+        assert len(report["removed_blobs"]) == 2
+        assert 0 < report["bytes_reclaimed"] < sizes_before
+        # The survivor still loads.
+        assert registry.get("m").version == 3
+
+    def test_pinned_version_always_survives(self, tmp_path, session_a,
+                                            session_b):
+        registry = ModelRegistry(str(tmp_path / "reg"))
+        registry.publish("m", session_a)
+        registry.publish("m", session_b)
+        registry.publish("m", _tiny_session(seed=2))
+        registry.pin("m", 1)
+        report = registry.gc(keep_latest=1)
+        # v1 is pinned: only v2 was prunable.
+        assert registry.versions("m") == [1, 3]
+        assert [e["version"] for e in report["removed_versions"]] == [2]
+        assert registry.resolve("m") == 1
+        registry.load_session("m", 1)  # pinned blob intact
+
+    def test_dedup_shared_blob_survives_partial_prune(self, tmp_path,
+                                                      session_a):
+        """A blob shared by two versions (content-addressed dedup) must
+        survive as long as either version's manifest remains."""
+        registry = ModelRegistry(str(tmp_path / "reg"))
+        snapshot = session_a.snapshot()
+        registry.publish("m", snapshot)
+        registry.publish("m", snapshot)  # same digest, deduped blob
+        registry.publish("m", _tiny_session(seed=3))
+        report = registry.gc(keep_latest=2)  # prunes v1 only; v2 shares blob
+        assert registry.versions("m") == [2, 3]
+        assert report["removed_blobs"] == []  # shared blob still referenced
+        registry.load_session("m", 2)
+
+    def test_keep_latest_validation(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path / "reg"))
+        with pytest.raises(ValueError, match="keep_latest"):
+            registry.gc(keep_latest=0)
+
+    def test_cli_gc_dry_run_then_real(self, tmp_path, session_a, session_b,
+                                      capsys):
+        from repro.cli import main
+
+        registry_dir = str(tmp_path / "reg")
+        registry = ModelRegistry(registry_dir)
+        registry.publish("bldg-1", session_a)
+        registry.publish("bldg-1", session_b)
+        assert main(["fleet", "gc", "--registry", registry_dir,
+                     "--keep-latest", "1", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would reclaim" in out and "dry run" in out
+        assert registry.versions("bldg-1") == [1, 2]  # untouched
+        assert main(["fleet", "gc", "--registry", registry_dir,
+                     "--keep-latest", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "reclaimed" in out and "bldg-1@v1" in out
+        assert registry.versions("bldg-1") == [2]
