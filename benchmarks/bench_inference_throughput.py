@@ -15,6 +15,12 @@ import argparse
 import os
 import sys
 
+# Pin the BLAS/OpenMP pool to one thread before NumPy loads, so the
+# recorded numbers measure the engine rather than the host's thread
+# topology; the actual setting lands in the record's `config.threads`.
+for _key in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_key, "1")
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 from repro.infer import format_summary, run_inference_benchmark, write_benchmark

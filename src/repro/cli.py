@@ -78,6 +78,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="batch-throughput workload size")
     bench.add_argument("--quick", action="store_true",
                        help="smoke mode: shrink iteration counts to run in seconds")
+    bench.add_argument("--kernel", default="auto",
+                       choices=("auto", "blocked", "naive"),
+                       help="GEMM layer for the fused lane (auto resolves to "
+                            "the product default, honoring REPRO_KERNEL); the "
+                            "kernels section always measures both")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--out", default="BENCH_inference.json",
                        help="result JSON path (default: BENCH_inference.json)")
@@ -370,6 +375,7 @@ def _cmd_infer_bench(args) -> int:
         batch_samples=args.samples,
         seed=args.seed,
         quick=args.quick,
+        kernel=args.kernel,
     )
     print(format_summary(result))
     if args.check:
@@ -777,10 +783,10 @@ def _cmd_buildings(_args) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    if argv is None and args.command == "serve":
+    if argv is None and args.command in ("serve", "infer-bench"):
         # Real CLI invocation only (never when main() is called with an
         # explicit argv, e.g. from tests): pin BLAS threads for the
-        # serving benchmark via a one-time re-exec.
+        # timing-sensitive benchmark commands via a one-time re-exec.
         _reexec_with_pinned_blas()
     handlers = {
         "survey": _cmd_survey,

@@ -23,10 +23,15 @@ import numpy as np
 from scipy import special as _special
 
 from repro import nn
+from repro.infer.kernels import PackedWeight, autotune_gemm
 from repro.infer.ops import contiguous_f32, fold_norm_into_dense, softmax_
 from repro.infer.session import _validate_max_batch
 
 _Op = Callable[[np.ndarray], np.ndarray]
+
+#: Row count the blocked-kernel dense ops are tuned for — the default
+#: ``predict_many`` chunk, i.e. the server-style batch shape.
+_TUNE_ROWS = 256
 
 
 class UnsupportedModuleError(TypeError):
@@ -99,7 +104,22 @@ def _activation_op(layer: nn.Module) -> _Op | None:
     return None
 
 
-def _dense_op(weight: np.ndarray, bias: np.ndarray | None) -> _Op:
+def _dense_op(weight: np.ndarray, bias: np.ndarray | None,
+              kernel: str = "naive") -> _Op:
+    if kernel == "blocked":
+        weight = contiguous_f32(weight)
+        plan = autotune_gemm(_TUNE_ROWS, weight.shape[0], weight.shape[1])
+        packed = PackedWeight(weight, plan)
+
+        def blocked(x: np.ndarray) -> np.ndarray:
+            x = np.ascontiguousarray(x, dtype=np.float32)
+            out = np.empty(x.shape[:-1] + (weight.shape[1],), dtype=np.float32)
+            packed.matmul_into(x, out)
+            if bias is not None:
+                out += bias
+            return out
+
+        return blocked
     if bias is None:
         return lambda x: x @ weight
     return lambda x: x @ weight + bias
@@ -226,8 +246,14 @@ class CompiledModule:
         return f"CompiledModule({self.source}, ops={len(self._ops)})"
 
 
-def compile_chain(modules: Iterable[nn.Module], source: str = "chain") -> CompiledModule:
-    """Compile an explicit sequence of modules applied one after another."""
+def compile_chain(modules: Iterable[nn.Module], source: str = "chain",
+                  kernel: str = "naive") -> CompiledModule:
+    """Compile an explicit sequence of modules applied one after another.
+
+    ``kernel="blocked"`` routes every dense op through a pre-packed,
+    autotuned :func:`repro.infer.kernels.gemm_into` layout (tuned for the
+    default ``predict_many`` chunk); the default ``"naive"`` keeps the
+    plain ``x @ w`` closures."""
     leaves: list[nn.Module] = []
     for module in modules:
         leaves.extend(_flatten(module))
@@ -240,7 +266,8 @@ def compile_chain(modules: Iterable[nn.Module], source: str = "chain") -> Compil
             index += 1
             continue
         if isinstance(layer, Residual):
-            inner = compile_chain(layer.modules, source=f"{source}.residual")
+            inner = compile_chain(layer.modules, source=f"{source}.residual",
+                                  kernel=kernel)
             ops.append(lambda x, _inner=inner: x + _inner.predict(x))
             index += 1
             continue
@@ -264,6 +291,7 @@ def compile_chain(modules: Iterable[nn.Module], source: str = "chain") -> Compil
             ops.append(_dense_op(
                 contiguous_f32(layer.weight.data),
                 contiguous_f32(layer.bias.data) if layer.bias is not None else None,
+                kernel=kernel,
             ))
             index += 1
             continue
@@ -297,7 +325,7 @@ def compile_chain(modules: Iterable[nn.Module], source: str = "chain") -> Compil
                     following.bias.data if following.bias is not None else None,
                 )
                 ops.append(_affine_free_norm_op(layer.eps))
-                ops.append(_dense_op(w, b))
+                ops.append(_dense_op(w, b, kernel=kernel))
                 index += 2
             elif isinstance(following, nn.MultiHeadSelfAttention):
                 ops.append(_affine_free_norm_op(layer.eps))
@@ -325,7 +353,7 @@ def compile_chain(modules: Iterable[nn.Module], source: str = "chain") -> Compil
                     following.weight.data,
                     following.bias.data if following.bias is not None else None,
                 )
-                ops.append(_dense_op(w, b))
+                ops.append(_dense_op(w, b, kernel=kernel))
                 index += 2
             else:
                 ops.append(_dense_op_affine(contiguous_f32(scale), contiguous_f32(shift)))
@@ -350,6 +378,6 @@ def _dense_op_affine(scale: np.ndarray, shift: np.ndarray) -> _Op:
     return lambda x: x * scale + shift
 
 
-def compile_module(module: nn.Module) -> CompiledModule:
+def compile_module(module: nn.Module, kernel: str = "naive") -> CompiledModule:
     """Compile a Sequential/ModuleList module tree into a tape-free program."""
-    return compile_chain([module], source=type(module).__name__)
+    return compile_chain([module], source=type(module).__name__, kernel=kernel)

@@ -12,7 +12,18 @@ from __future__ import annotations
 import numpy as np
 from scipy import special as _special
 
+from repro.infer.kernels import (
+    PackedWeight,
+    int8_accumulate_into,
+    quantize_rows_,
+)
+
 _INV_SQRT2 = np.float32(1.0 / np.sqrt(2.0))
+
+#: Matmul strategies of a :class:`QuantizedLinear`: decode int8 tiles to
+#: float32 inside the matmul (the PR-3 baseline) vs. quantize the
+#: activations on the fly and accumulate int8 x int8 products exactly.
+MATMUL_MODES = ("dequant_tile", "int8_accumulate")
 
 
 def contiguous_f32(array: np.ndarray) -> np.ndarray:
@@ -78,23 +89,42 @@ def gelu_(x: np.ndarray, tmp: np.ndarray) -> np.ndarray:
 
 
 class QuantizedLinear:
-    """An int8 weight matrix that dequantizes per-tile inside the matmul.
+    """An int8 weight matrix with two in-matmul execution strategies.
 
     Holds ``(in, out)`` int8 codes plus either one scalar scale
     (per-tensor) or a ``(out,)`` per-output-channel scale vector, so the
-    resident weight footprint stays ~4x below float32.  :meth:`matmul_into`
-    decodes ``tile`` output columns at a time into one reusable float32
-    scratch tile and matmuls straight into the caller's output slice —
-    no full float32 copy of the weight ever exists.  :meth:`materialize`
-    produces one (for the dequantize-on-load serving mode).
+    resident weight footprint stays ~4x below float32.  ``matmul_mode``
+    selects how :meth:`matmul_into` runs:
 
-    The scratch tile is lazily allocated and excluded from pickles, so a
-    quantized session snapshot ships codes + scales only.
+    * ``"dequant_tile"`` (the PR-3 fallback, tuned) streams ``tile``
+      output columns at a time through one reusable float32 scratch tile
+      and matmuls straight into the caller's output slice — no full
+      float32 copy of the weight ever exists.  The panel is *cast* from
+      int8 (never multiplied by its scale); the weight scale lands on
+      the output block instead, which is the same column scaling
+      (``(x @ c) * s == x @ (c * s)`` up to float rounding) at a
+      fraction of the per-call decode cost, since the output block has
+      ``M x tile`` elements against the panel's ``K x tile``.
+    * ``"int8_accumulate"`` quantizes the incoming activations to int8
+      codes on the fly (per-row dynamic scale,
+      :func:`repro.infer.kernels.quantize_rows_`) and contracts codes
+      against codes with int32-exact accumulation
+      (:func:`repro.infer.kernels.int8_accumulate_into`), applying
+      ``act_scale * weight_scale`` once per output block.  The weight
+      panel is *cast*, never multiplied by its scale, which is what
+      makes this the faster int8-resident path.
+
+    :meth:`materialize` decodes to a full float32 matrix (for the
+    dequantize-on-load serving mode).  All scratch buffers are lazily
+    allocated and excluded from pickles, so a quantized session snapshot
+    ships codes + scales only.
     """
 
-    __slots__ = ("codes", "scales", "tile", "_scratch")
+    __slots__ = ("codes", "scales", "tile", "matmul_mode",
+                 "_scratch", "_q", "_row_scales")
 
-    def __init__(self, codes: np.ndarray, scales, tile: int = 64):
+    def __init__(self, codes: np.ndarray, scales, tile: int = 64,
+                 matmul_mode: str = "dequant_tile"):
         codes = np.asarray(codes)
         if not np.issubdtype(codes.dtype, np.integer):
             raise ValueError(f"codes must be integers, got dtype {codes.dtype}")
@@ -115,10 +145,23 @@ class QuantizedLinear:
             raise ValueError(
                 f"scales must be scalar or ({codes.shape[1]},), got {scales.shape}"
             )
+        if isinstance(tile, bool) or not isinstance(tile, (int, np.integer)) \
+                or tile < 1:
+            raise ValueError(
+                f"tile must be a positive integer, got {tile!r}; the decode "
+                "tile width is respected as given, not clamped"
+            )
+        if matmul_mode not in MATMUL_MODES:
+            raise ValueError(
+                f"matmul_mode must be one of {MATMUL_MODES}, got {matmul_mode!r}"
+            )
         self.codes = codes
         self.scales = scales
-        self.tile = max(1, int(tile))
+        self.tile = int(tile)
+        self.matmul_mode = matmul_mode
         self._scratch = None
+        self._q = None
+        self._row_scales = None
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -134,43 +177,72 @@ class QuantizedLinear:
         return np.ascontiguousarray(self.codes.astype(np.float32) * self.scales)
 
     def matmul_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
-        """``x @ dequantized_weight`` written into ``out``, tile by tile."""
+        """``x @ weight`` written into ``out`` via the configured mode."""
         n_in, n_out = self.codes.shape
+        if n_out == 0:
+            return out
+        if n_in == 0:
+            # Empty reduction: the sum over zero products is exactly 0 in
+            # either mode; returning early keeps the scale math (which
+            # would divide by a 0-d view) out of the degenerate case.
+            out[...] = 0.0
+            return out
         width = min(self.tile, n_out)
         if self._scratch is None or self._scratch.shape != (n_in, width):
             self._scratch = np.empty((n_in, width), dtype=np.float32)
+        if self.matmul_mode == "int8_accumulate":
+            return self._accumulate_into(x, out)
         per_channel = self.scales.ndim == 1
         for begin in range(0, n_out, width):
             end = min(begin + width, n_out)
             w = self._scratch[:, : end - begin]
+            np.copyto(w, self.codes[:, begin:end], casting="unsafe")
+            target = out[..., begin:end]
+            np.matmul(x, w, out=target)
             scale = self.scales[begin:end] if per_channel else self.scales
-            np.multiply(self.codes[:, begin:end], scale, out=w)
-            np.matmul(x, w, out=out[..., begin:end])
+            np.multiply(target, scale, out=target)
         return out
 
+    def _accumulate_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Int8-accumulate path: dynamic activation codes, exact contraction."""
+        if self._q is None or self._q.shape != x.shape:
+            self._q = np.empty(x.shape, dtype=np.float32)
+            self._row_scales = np.empty(x.shape[:-1] + (1,), dtype=np.float32)
+        quantize_rows_(x, self._q, self._row_scales)
+        return int8_accumulate_into(
+            self._q, self.codes, self.scales, self._row_scales, out, self._scratch
+        )
+
     def __getstate__(self) -> dict:
-        return {"codes": self.codes, "scales": self.scales, "tile": self.tile}
+        return {"codes": self.codes, "scales": self.scales, "tile": self.tile,
+                "matmul_mode": self.matmul_mode}
 
     def __setstate__(self, state: dict) -> None:
         self.codes = state["codes"]
         self.scales = state["scales"]
         self.tile = state["tile"]
+        self.matmul_mode = state.get("matmul_mode", "dequant_tile")
         self._scratch = None
+        self._q = None
+        self._row_scales = None
 
     def __repr__(self) -> str:
         granularity = "per_channel" if self.scales.ndim == 1 else "per_tensor"
-        return f"QuantizedLinear(shape={self.codes.shape}, {granularity})"
+        return (f"QuantizedLinear(shape={self.codes.shape}, {granularity}, "
+                f"{self.matmul_mode})")
 
 
 def dense_(x: np.ndarray, weight, bias: np.ndarray | None,
            out: np.ndarray) -> np.ndarray:
     """``x @ weight + bias`` written into ``out`` (strided ``out`` is fine).
 
-    ``weight`` is either a float32 array or a :class:`QuantizedLinear`,
-    which dequantizes tile-by-tile inside the matmul — the call sites in
-    the fused engine stay identical across precisions.
+    ``weight`` is a float32 array, a :class:`QuantizedLinear` (int8 codes
+    executed per its ``matmul_mode``) or a
+    :class:`repro.infer.kernels.PackedWeight` (float32 bound to a tuned
+    blocked plan) — the call sites in the fused engine stay identical
+    across precisions and kernels.
     """
-    if isinstance(weight, QuantizedLinear):
+    if isinstance(weight, (QuantizedLinear, PackedWeight)):
         weight.matmul_into(x, out)
     else:
         np.matmul(x, weight, out=out)

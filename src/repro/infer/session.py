@@ -23,6 +23,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro import nn
+from repro.infer.kernels import (
+    PackedWeight,
+    autotune_gemm,
+    resolve_kernel,
+)
 from repro.infer.ops import (
     contiguous_f32,
     dense_,
@@ -158,10 +163,13 @@ class _BlockProgram:
         self._buffers_for = None
         self._max_batch = max_batch
 
-    #: Lazily (re)allocated scratch attributes, excluded from pickles so a
-    #: snapshot ships only the compiled weights.
+    #: Lazily (re)allocated scratch attributes — plus the kernel bindings
+    #: rebuilt by :meth:`_bind_kernel` — excluded from pickles so a
+    #: snapshot ships only the compiled weights (the session-level
+    #: ``kernel`` / ``kernel_plans`` entries are the single wire copy).
     _SCRATCH = ("normed", "qkv", "scores", "context", "merged",
-                "mlp_bufs", "gelu_tmp", "block_out")
+                "mlp_bufs", "gelu_tmp", "block_out", "proj", "mlp_out",
+                "_kernel", "_plans", "_w_qkv_exec", "_w_out_exec", "_mlp_exec")
 
     def __getstate__(self) -> dict:
         state = {k: v for k, v in self.__dict__.items() if k not in self._SCRATCH}
@@ -171,6 +179,27 @@ class _BlockProgram:
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._buffers_for = None
+
+    def _bind_kernel(self, kernel: str, plans: dict) -> None:
+        """Bind the session's kernel choice to this block: under the
+        blocked kernel, float weights with a tuned blocked plan are
+        pre-packed into :class:`PackedWeight` panels once; quantized
+        weights and the naive kernel pass the raw objects through."""
+        self._kernel = kernel
+        self._plans = plans
+
+        def wrap(weight, site: str):
+            plan = plans.get(site)
+            if (kernel != "blocked" or plan is None or not plan.blocked
+                    or not isinstance(weight, np.ndarray)):
+                return weight
+            return PackedWeight(weight, plan)
+
+        self._w_qkv_exec = wrap(self.w_qkv, "qkv")
+        self._w_out_exec = wrap(self.w_out, "attn_out")
+        self._mlp_exec = [wrap(w, f"mlp{index}")
+                          for index, (w, _bias) in enumerate(self.mlp_weights)]
+        self._buffers_for = None  # blocked scratch differs; force realloc
 
     def _allocate(self, seq: int) -> None:
         """Scratch buffers for ``(max_batch, seq)`` inputs, reused per call."""
@@ -186,6 +215,11 @@ class _BlockProgram:
         self.mlp_bufs = [np.empty((B, seq, u), dtype=f32) for u in self.mlp_widths[:-1]]
         self.gelu_tmp = np.empty((B, seq, max(self.mlp_widths)), dtype=f32)
         self.block_out = np.empty((B, seq, self.out_dim), dtype=f32)
+        if getattr(self, "_kernel", "naive") == "blocked":
+            # Contiguous targets for the two strided-output sites, so the
+            # folded GEMMs never pay matmul's internal strided buffering.
+            self.proj = np.empty((B, seq, D), dtype=f32)
+            self.mlp_out = np.empty((B, seq, self.out_dim - D), dtype=f32)
         self._buffers_for = seq
 
     def run(self, tokens: np.ndarray) -> np.ndarray:
@@ -194,6 +228,8 @@ class _BlockProgram:
         b, seq, _dim = tokens.shape
         if self._buffers_for != seq:
             self._allocate(seq)
+        if getattr(self, "_kernel", "naive") == "blocked":
+            return self._run_blocked(tokens, b, seq)
         D, h, hd = self.dim, self.heads, self.head_dim
 
         normed = self.normed[:b]
@@ -232,6 +268,57 @@ class _BlockProgram:
         # was written in place, no np.concatenate needed.
         return out
 
+    def _run_blocked(self, tokens: np.ndarray, b: int, seq: int) -> np.ndarray:
+        """Blocked-kernel body of :meth:`run`.
+
+        Token panels fold to 2-D so every dense site is one (tuned) GEMM
+        instead of one BLAS call per sample, and the two strided-output
+        sites (attention out-projection, last MLP dense) write through
+        contiguous scratch (``proj`` / ``mlp_out``) instead of matmul's
+        internal strided-out buffering.  The residual add and the final
+        copy keep the op-for-op float semantics of the naive path."""
+        D, h, hd = self.dim, self.heads, self.head_dim
+        rows = b * seq
+        normed = self.normed[:b]
+        qkv = self.qkv[:b]
+        scores = self.scores[:b]
+        context = self.context[:b]
+        merged = self.merged[:b]
+        proj = self.proj[:b]
+        out = self.block_out[:b]
+        attended = out[..., :D]
+
+        # --- attention sub-block (pre-norm folded into the packed matmul)
+        layer_norm_(tokens, self.eps_attn, out=normed)
+        dense_(normed.reshape(rows, D), self._w_qkv_exec, self.b_qkv,
+               out=qkv.reshape(rows, 3 * D))
+        split = qkv.reshape(b, seq, 3, h, hd)
+        q = split[:, :, 0].transpose(0, 2, 1, 3)  # (b, h, N, hd) views
+        k = split[:, :, 1].transpose(0, 2, 1, 3)
+        v = split[:, :, 2].transpose(0, 2, 1, 3)
+        np.matmul(q, k.transpose(0, 1, 3, 2), out=scores)
+        scores *= self.scale
+        softmax_(scores)
+        np.matmul(scores, v, out=context)
+        np.copyto(merged.reshape(b, seq, h, hd), context.transpose(0, 2, 1, 3))
+        dense_(merged.reshape(rows, D), self._w_out_exec, self.b_out,
+               out=proj.reshape(rows, D))
+        np.add(proj, tokens, out=attended)  # residual
+
+        # --- MLP sub-block (pre-norm folded into the first dense)
+        layer_norm_(attended, self.eps_mlp, out=normed)
+        x2d = normed.reshape(rows, D)
+        for index, (_w, bias) in enumerate(self.mlp_weights):
+            last = index == len(self.mlp_weights) - 1
+            target = self.mlp_out[:b] if last else self.mlp_bufs[index][:b]
+            width = target.shape[-1]
+            dense_(x2d, self._mlp_exec[index], bias,
+                   out=target.reshape(rows, width))
+            gelu_(target, self.gelu_tmp[:b, :, :width])
+            x2d = target.reshape(rows, width)
+        np.copyto(out[..., D:], self.mlp_out[:b])
+        return out
+
 
 class InferenceSession:
     """Compiled, tape-free forward engine for a trained ``VitalModel``.
@@ -245,14 +332,23 @@ class InferenceSession:
         Micro-batch capacity of the scratch buffers.  ``predict`` serves at
         most this many samples per call; ``predict_many`` chunks any
         workload through it.
+    kernel:
+        ``"blocked"`` (folded 2-D GEMMs through autotuned
+        :class:`repro.infer.kernels.GemmPlan` layouts, weights pre-packed
+        once at compile), ``"naive"`` (the pre-kernel-layer per-sample
+        BLAS path, kept for A/B and old snapshots) or ``"auto"`` (honor
+        the ``REPRO_KERNEL`` env override, default blocked).  Tuned plans
+        ship in snapshots, so restored serving workers never re-tune.
     """
 
-    def __init__(self, model: VitalModel, max_batch: int = 32):
+    def __init__(self, model: VitalModel, max_batch: int = 32,
+                 kernel: str = "auto"):
         if not isinstance(model, VitalModel):
             raise TypeError(
                 f"InferenceSession compiles VitalModel, got {type(model).__name__}; "
                 "use repro.infer.compile_module for sequential baseline models"
             )
+        self.kernel = resolve_kernel(kernel)
         self.max_batch = _validate_max_batch(max_batch)
         self.image_size = model.image_size
         self.channels = model.channels
@@ -290,10 +386,49 @@ class InferenceSession:
         self.eps_final = model.final_norm.eps
         self.final_width = model.final_norm.features
 
+        self.kernel_plans = self._tune_plans() if self.kernel == "blocked" else {}
         self._allocate_scratch()
 
+    def _tune_plans(self) -> dict:
+        """One-shot autotune of every distinct GEMM site of this geometry.
+
+        Sites are tuned on the single-sample folded shape
+        ``(num_patches, K) @ (K, N)`` — per-request latency is the
+        product metric, and row blocking degrades gracefully to the
+        monolithic call at small batches anyway.  All encoder blocks
+        share one geometry, so block sites are tuned once; the plans are
+        memoized process-wide per shape and shipped in snapshots, so
+        restored serving workers never re-tune.
+        """
+        rows = self.num_patches
+        patch_dim = self.patch_grid.shape[1]
+        plans = {"embed": autotune_gemm(rows, patch_dim, self.w_embed.shape[1])}
+        if self.blocks:
+            block = self.blocks[0]
+            plans["qkv"] = autotune_gemm(rows, block.w_qkv.shape[0],
+                                         block.w_qkv.shape[1])
+            plans["attn_out"] = autotune_gemm(rows, block.w_out.shape[0],
+                                              block.w_out.shape[1])
+            for index, (w, _bias) in enumerate(block.mlp_weights):
+                plans[f"mlp{index}"] = autotune_gemm(rows, w.shape[0], w.shape[1])
+        return plans
+
     def _allocate_scratch(self) -> None:
-        """(Re)allocate the top-level scratch buffers shared across calls."""
+        """(Re)allocate the top-level scratch buffers shared across calls
+        and (re)bind the kernel layer to the compiled weights."""
+        # Sessions restored from pre-kernel-layer snapshots have no kernel
+        # entry: they run the naive path, preserving their old numerics.
+        self.kernel = getattr(self, "kernel", "naive")
+        self.kernel_plans = getattr(self, "kernel_plans", None) or {}
+        embed_plan = self.kernel_plans.get("embed")
+        if (self.kernel == "blocked" and embed_plan is not None
+                and embed_plan.blocked and isinstance(self.w_embed, np.ndarray)):
+            self._w_embed_exec = PackedWeight(self.w_embed, embed_plan)
+        else:
+            self._w_embed_exec = self.w_embed
+        for block in self.blocks:
+            block._bind_kernel(self.kernel, self.kernel_plans)
+
         B, N = self.max_batch, self.num_patches
         f32 = np.float32
         patch_dim = self.patch_grid.shape[1]
@@ -308,7 +443,7 @@ class InferenceSession:
     # -- snapshot / restore -------------------------------------------
     #: Scratch attributes excluded from pickles; rebuilt on restore.
     _SCRATCH = ("_patches", "_tokens", "_final_normed", "_pooled",
-                "_head_bufs", "_head_tmp")
+                "_head_bufs", "_head_tmp", "_w_embed_exec")
 
     def __getstate__(self) -> dict:
         return {k: v for k, v in self.__dict__.items() if k not in self._SCRATCH}
@@ -383,7 +518,12 @@ class InferenceSession:
         np.take(flat, self.patch_grid, axis=1, out=patches)
 
         tokens = self._tokens[:b]
-        dense_(patches, self.w_embed, None, out=tokens)
+        if self.kernel == "blocked":
+            rows = b * self.num_patches
+            dense_(patches.reshape(rows, patches.shape[-1]), self._w_embed_exec,
+                   None, out=tokens.reshape(rows, tokens.shape[-1]))
+        else:
+            dense_(patches, self.w_embed, None, out=tokens)
         tokens += self.pos_bias
 
         out = tokens
@@ -427,7 +567,7 @@ class InferenceSession:
         return (
             f"InferenceSession(image={self.image_size}, patches={self.num_patches}, "
             f"blocks={len(self.blocks)}, classes={self.num_classes}, "
-            f"max_batch={self.max_batch})"
+            f"max_batch={self.max_batch}, kernel={self.kernel})"
         )
 
 
@@ -480,11 +620,18 @@ def snapshot_info(snapshot) -> dict:
         "num_classes": int(state["num_classes"]),
         "max_batch": int(state["max_batch"]),
         "blocks": len(state["blocks"]),
+        # Pre-kernel-layer snapshots carry no kernel entry and restore
+        # onto the naive path.
+        "kernel": state.get("kernel", "naive"),
     }
     if quantized:
         info.update(
             scheme=snapshot.get("scheme"),
             mode=snapshot.get("mode"),
             bits=snapshot.get("bits"),
+            # Which matmul engine the int8-resident path runs; None for
+            # dequantize-on-load sessions (plain float kernels).
+            matmul=(snapshot.get("matmul", "dequant_tile")
+                    if snapshot.get("mode") == "int8" else None),
         )
     return info

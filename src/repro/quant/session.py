@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.infer.ops import QuantizedLinear
+from repro.infer.kernels import tune_quant_tile
+from repro.infer.ops import MATMUL_MODES, QuantizedLinear
 from repro.infer.session import (
     InferenceSession,
     _BlockProgram,
@@ -49,6 +50,13 @@ SCHEMES = ("per_tensor", "per_channel")
 
 #: Execution modes: decode once at build vs. int8-resident tiled decode.
 MODES = ("dequant", "int8")
+
+#: Matmul engines of the int8-resident mode (see
+#: :data:`repro.infer.ops.MATMUL_MODES`): ``"int8_accumulate"`` quantizes
+#: activations on the fly and accumulates int8 x int8 products exactly;
+#: ``"dequant_tile"`` is the PR-3 decode-per-tile fallback.  ``"auto"``
+#: resolves to the accumulate engine.
+MATMULS = ("auto",) + MATMUL_MODES
 
 
 def _quantize_weight(weight: np.ndarray, scheme: str, bits: int) -> QuantizedLinear:
@@ -162,6 +170,12 @@ class QuantizedSession(InferenceSession):
         inside the packed matmuls.
     bits:
         Code width, 2..8 (codes ship as int8 either way).
+    matmul:
+        Matmul engine of the int8-resident mode: ``"int8_accumulate"``
+        (dynamic per-row activation quantization, int32-exact code-vs-code
+        contraction), ``"dequant_tile"`` (the PR-3 decode-per-tile
+        fallback) or ``"auto"`` (the accumulate engine).  Ignored by
+        ``mode="dequant"``, which runs plain float32 kernels.
     calibration / calibration_images:
         Either a ready :class:`repro.quant.Calibration` or a batch of
         representative images to run through the float engine before
@@ -175,6 +189,7 @@ class QuantizedSession(InferenceSession):
         mode: str = "dequant",
         bits: int = 8,
         max_batch: int | None = None,
+        matmul: str = "auto",
         calibration: Calibration | dict | None = None,
         calibration_images=None,
     ):
@@ -197,6 +212,7 @@ class QuantizedSession(InferenceSession):
             scheme=scheme,
             mode=mode,
             bits=bits,
+            matmul=matmul,
             calibration=calibration,
             max_batch=max_batch,
         )
@@ -209,17 +225,33 @@ class QuantizedSession(InferenceSession):
         mode: str,
         bits: int,
         calibration,
+        matmul: str = "auto",
         max_batch: int | None = None,
     ) -> None:
         """Wire quantized state + metadata into a runnable session."""
         self.scheme = _check_scheme(scheme)
         self.mode = _check_mode(mode)
         self.bits = int(bits)
+        self.matmul = _check_matmul(matmul)
         if isinstance(calibration, Calibration):
             calibration = calibration.summary()
         self.calibration = calibration
         self._qstate = qstate
         InferenceSession.__setstate__(self, _executable_state(qstate, mode, max_batch))
+        if self.mode == "int8":
+            self._bind_matmul()
+
+    def _bind_matmul(self) -> None:
+        """Point every resident :class:`QuantizedLinear` at the configured
+        matmul engine, and — under the blocked kernel — widen its decode
+        panel to the tuned cache-resident width (the naive kernel keeps
+        the fixed PR-3 tile so ``--kernel naive`` reproduces the old
+        baseline exactly)."""
+        for weight in _iter_weight_arrays(InferenceSession.__getstate__(self)):
+            if isinstance(weight, QuantizedLinear):
+                weight.matmul_mode = self.matmul
+                if self.kernel == "blocked":
+                    weight.tile = tune_quant_tile(*weight.shape)
 
     # -- snapshot / restore -------------------------------------------
     def snapshot(self) -> dict:
@@ -235,14 +267,19 @@ class QuantizedSession(InferenceSession):
             "scheme": self.scheme,
             "mode": self.mode,
             "bits": self.bits,
+            "matmul": self.matmul,
             "calibration": self.calibration,
             "state": self._qstate,
         }
 
     @classmethod
-    def from_snapshot(cls, snapshot: dict, mode: str | None = None) -> "QuantizedSession":
-        """Rebuild from :meth:`snapshot`; ``mode`` optionally overrides the
-        recorded execution mode (the wire format is identical for both)."""
+    def from_snapshot(cls, snapshot: dict, mode: str | None = None,
+                      matmul: str | None = None) -> "QuantizedSession":
+        """Rebuild from :meth:`snapshot`; ``mode`` / ``matmul`` optionally
+        override the recorded execution mode and matmul engine (the wire
+        format is identical for all of them).  Pre-kernel-layer snapshots
+        carry no matmul entry and restore onto the dequant-tile engine,
+        preserving their recorded numerics."""
         if not isinstance(snapshot, dict) or snapshot.get("format") != QUANT_SNAPSHOT_FORMAT:
             raise ValueError(
                 f"not a QuantizedSession snapshot (expected format "
@@ -255,6 +292,7 @@ class QuantizedSession(InferenceSession):
             scheme=snapshot["scheme"],
             mode=mode or snapshot["mode"],
             bits=snapshot["bits"],
+            matmul=matmul or snapshot.get("matmul", "dequant_tile"),
             calibration=snapshot.get("calibration"),
         )
         return session
@@ -267,6 +305,7 @@ class QuantizedSession(InferenceSession):
             "scheme": self.scheme,
             "mode": self.mode,
             "bits": self.bits,
+            "matmul": self.matmul,
             "calibration": self.calibration,
         }
 
@@ -276,6 +315,7 @@ class QuantizedSession(InferenceSession):
             scheme=state["scheme"],
             mode=state["mode"],
             bits=state["bits"],
+            matmul=state.get("matmul", "dequant_tile"),
             calibration=state.get("calibration"),
         )
 
@@ -313,7 +353,7 @@ class QuantizedSession(InferenceSession):
             f"QuantizedSession(image={self.image_size}, "
             f"blocks={len(self.blocks)}, classes={self.num_classes}, "
             f"scheme={self.scheme}, mode={self.mode}, bits={self.bits}, "
-            f"max_batch={self.max_batch})"
+            f"matmul={self.matmul}, max_batch={self.max_batch})"
         )
 
 
@@ -329,11 +369,18 @@ def _check_mode(mode: str) -> str:
     return mode
 
 
+def _check_matmul(matmul: str) -> str:
+    if matmul not in MATMULS:
+        raise ValueError(f"matmul must be one of {MATMULS}, got {matmul!r}")
+    return "int8_accumulate" if matmul == "auto" else matmul
+
+
 def quantize_session(
     source,
     scheme: str = "per_channel",
     mode: str = "dequant",
     bits: int = 8,
+    matmul: str = "auto",
     calibration_images=None,
     max_batch: int | None = None,
 ) -> QuantizedSession:
@@ -343,6 +390,7 @@ def quantize_session(
         scheme=scheme,
         mode=mode,
         bits=bits,
+        matmul=matmul,
         max_batch=max_batch,
         calibration_images=calibration_images,
     )

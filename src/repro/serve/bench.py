@@ -37,6 +37,7 @@ import time
 
 import numpy as np
 
+from repro.infer.benchmark import thread_config
 from repro.infer.session import InferenceSession
 from repro.serve import shm as shm_transport
 from repro.serve.server import LocalizationServer
@@ -473,6 +474,7 @@ def run_serving_benchmark(
             "quick": quick,
             "seed": seed,
             "transport": transport,
+            "threads": thread_config(),
         },
         "throughput_vs_workers": throughput_rows,
         "deadline_sweep": deadline_rows,

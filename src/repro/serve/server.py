@@ -1202,6 +1202,11 @@ class LocalizationServer:
                 },
                 "request_latency_ms": self._request_latency.summary(),
                 "snapshot": self._snapshot_summary(),
+                # Per-route engine facts (snapshot_info): geometry plus —
+                # for quantized routes — scheme/mode and which matmul
+                # engine the int8-resident path runs.
+                "models": {key: dict(info)
+                           for key, info in self._model_info.items()},
                 "transport": {
                     "mode": self.transport,
                     "fallback_reason": self._transport_fallback,

@@ -209,6 +209,7 @@ class TestVitEquivalence:
             "num_classes": 5,
             "max_batch": 6,
             "blocks": 1,
+            "kernel": "blocked",
         }
         quantized = QuantizedSession(session, scheme="per_tensor", mode="int8")
         qinfo = snapshot_info(quantized.snapshot())

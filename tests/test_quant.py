@@ -56,14 +56,23 @@ class TestQuantizedExecution:
 
     @pytest.mark.parametrize("scheme", SCHEMES)
     def test_modes_agree(self, float_session, images, scheme):
-        """dequant and int8 decode the same codes — logits must agree to
-        float32 matmul reassociation tolerance."""
+        """dequant and int8/dequant_tile decode the same codes — logits must
+        agree to float32 matmul reassociation tolerance.  The int8-accumulate
+        engine additionally quantizes activations, so it only tracks the
+        dequant lane to activation-quantization tolerance."""
         dequant = QuantizedSession(float_session, scheme=scheme, mode="dequant")
-        int8 = QuantizedSession(float_session, scheme=scheme, mode="int8")
+        int8 = QuantizedSession(float_session, scheme=scheme, mode="int8",
+                                matmul="dequant_tile")
+        reference = dequant.predict_many(images)
         np.testing.assert_allclose(
-            dequant.predict_many(images), int8.predict_many(images),
-            atol=1e-5, rtol=1e-5,
+            reference, int8.predict_many(images), atol=1e-5, rtol=1e-5,
         )
+        accumulate = QuantizedSession(float_session, scheme=scheme, mode="int8",
+                                      matmul="int8_accumulate")
+        logits = accumulate.predict_many(images)
+        assert np.abs(logits - reference).max() < 0.05
+        agreement = (logits.argmax(axis=1) == reference.argmax(axis=1)).mean()
+        assert agreement >= 0.9
 
     def test_int8_mode_weights_stay_quantized(self, float_session):
         quantized = QuantizedSession(float_session, mode="int8")
@@ -157,7 +166,9 @@ class TestQuantizedSnapshots:
             assert quant_bytes <= 0.35 * float_bytes, (scheme, quant_bytes)
 
     def test_mode_override_on_restore(self, float_session, images):
-        snapshot = QuantizedSession(float_session, mode="int8").snapshot()
+        snapshot = QuantizedSession(
+            float_session, mode="int8", matmul="dequant_tile"
+        ).snapshot()
         restored = QuantizedSession.from_snapshot(snapshot, mode="dequant")
         assert restored.mode == "dequant"
         assert not isinstance(restored.w_embed, QuantizedLinear)
@@ -165,6 +176,23 @@ class TestQuantizedSnapshots:
             restored.predict_many(images),
             QuantizedSession.from_snapshot(snapshot).predict_many(images),
             atol=1e-5, rtol=1e-5,
+        )
+
+    def test_matmul_override_on_restore(self, float_session, images):
+        """Snapshots record the matmul engine; from_snapshot honours it and
+        accepts an explicit override."""
+        snapshot = QuantizedSession(float_session, mode="int8").snapshot()
+        assert snapshot["matmul"] == "int8_accumulate"
+        restored = QuantizedSession.from_snapshot(snapshot)
+        assert restored.matmul == "int8_accumulate"
+        overridden = QuantizedSession.from_snapshot(snapshot, matmul="dequant_tile")
+        assert overridden.matmul == "dequant_tile"
+        # legacy snapshots (no "matmul" key) restore the PR-3 dequant-tile path
+        legacy = {key: value for key, value in snapshot.items() if key != "matmul"}
+        assert QuantizedSession.from_snapshot(legacy).matmul == "dequant_tile"
+        reference = QuantizedSession(float_session, mode="dequant").predict_many(images)
+        np.testing.assert_allclose(
+            overridden.predict_many(images), reference, atol=1e-5, rtol=1e-5,
         )
 
     def test_restore_session_dispatches_by_format(self, float_session):
