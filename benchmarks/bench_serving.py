@@ -54,15 +54,16 @@ def run(quick: bool = False, out: str | None = None,
     print()
     print(format_summary(result))
     destination = out or os.path.join(REPO_ROOT, "BENCH_serving.json")
-    # A re-run of the serving sweep must not drop the fleet section a
-    # previous bench_fleet.py run merged into the record.
+    # A re-run of the serving sweep must not drop the sections other
+    # benches merged into the record (bench_fleet.py, bench_obs.py).
     if os.path.exists(destination):
         try:
             previous = load_record(destination)
         except (ValueError, OSError):
             previous = {}
-        if "fleet" in previous:
-            result["fleet"] = previous["fleet"]
+        for section in ("fleet", "observability"):
+            if section in previous:
+                result[section] = previous[section]
     print(f"wrote {write_benchmark(result, destination)}")
     return result
 
@@ -88,7 +89,8 @@ def check(out: str | None = None) -> int:
             print(f"  - {problem}")
         return 1
     sections = [name for name in ("throughput_vs_workers", "deadline_sweep",
-                                  "fault_tolerance", "transport", "fleet")
+                                  "fault_tolerance", "transport", "fleet",
+                                  "observability")
                 if name in record]
     print(f"check OK: {destination} (schema {record.get('schema')}, "
           f"sections: {', '.join(sections)})")

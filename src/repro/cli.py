@@ -12,6 +12,8 @@ Commands
 ``quantize``    calibrate + quantize saved weights → int8 serving snapshot
 ``fleet``       versioned model registry + multi-tenant hot-swap serving
                 (``fleet publish|list|serve|swap|gc``)
+``obs``         observability: per-request span traces, unified metrics,
+                per-phase compute profile (``obs trace|stats|top``)
 
 Every command is deterministic given ``--seed`` (timings aside).
 """
@@ -119,6 +121,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="batch payload transport: zero-copy shared-memory "
                             "rings (default; auto-falls-back to pickle where "
                             "shared_memory is unavailable) or pickled ndarrays")
+    serve.add_argument("--trace-sample", type=float, default=0.0,
+                       help="fraction of requests to span-trace (0 disables "
+                            "tracing; 1.0 traces everything)")
+    serve.add_argument("--json", action="store_true",
+                       help="emit the final stats as the repro.obs metrics "
+                            "snapshot (machine-readable, same schema as "
+                            "`obs stats`) instead of the human stats dump")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--bench", action="store_true",
                        help="run the full worker-scaling + deadline-sweep + "
@@ -213,6 +222,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="closed-loop client threads per model")
     fserve.add_argument("--requests", type=int, default=16,
                         help="requests per client thread")
+    fserve.add_argument("--json", action="store_true",
+                        help="emit the final stats as the repro.obs metrics "
+                             "snapshot (fleet collector included) instead of "
+                             "the human stats dump")
     fserve.add_argument("--seed", type=int, default=0)
 
     swap = fleet_sub.add_parser(
@@ -249,6 +262,56 @@ def _build_parser() -> argparse.ArgumentParser:
                          "collectable")
     gc.add_argument("--dry-run", action="store_true",
                     help="report what would be reclaimed without deleting")
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability demos against a compiled serving stack: span "
+             "traces, metrics snapshots, live tail",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    def _obs_common(p):
+        p.add_argument("--workers", type=int, default=2)
+        p.add_argument("--max-batch", type=int, default=16)
+        p.add_argument("--image-size", type=int, default=24)
+        p.add_argument("--num-classes", type=int, default=32)
+        p.add_argument("--seed", type=int, default=0)
+
+    otrace = obs_sub.add_parser(
+        "trace",
+        help="serve a few requests at trace_sample=1.0 with worker "
+             "profiling and print each request's span chain",
+    )
+    _obs_common(otrace)
+    otrace.add_argument("--requests", type=int, default=8)
+    otrace.add_argument("--request-size", type=int, default=4)
+    otrace.add_argument("--out", default=None,
+                        help="also write the trace buffer as JSON here")
+    otrace.add_argument("--chrome", default=None,
+                        help="also write a Chrome trace_event file here "
+                             "(load in chrome://tracing or Perfetto)")
+
+    ostats = obs_sub.add_parser(
+        "stats",
+        help="run a short load and print the unified metrics registry",
+    )
+    _obs_common(ostats)
+    ostats.add_argument("--requests", type=int, default=32)
+    ostats.add_argument("--prometheus", action="store_true",
+                        help="print Prometheus text exposition instead of "
+                             "the JSON snapshot")
+
+    otop = obs_sub.add_parser(
+        "top",
+        help="live-tail p95 latency / queue depth / trace counters under a "
+             "background closed-loop load",
+    )
+    _obs_common(otop)
+    otop.add_argument("--duration", type=float, default=5.0,
+                      help="seconds to run the background load")
+    otop.add_argument("--interval", type=float, default=0.5,
+                      help="seconds between refresh lines")
+    otop.add_argument("--clients", type=int, default=4)
     return parser
 
 
@@ -471,12 +534,19 @@ def _cmd_serve(args) -> int:
     with LocalizationServer(session, workers=args.workers,
                             max_batch=args.max_batch,
                             max_delay_ms=args.deadline_ms,
-                            transport=args.transport) as server:
+                            transport=args.transport,
+                            trace_sample=args.trace_sample) as server:
         run = closed_loop_load(
             server, pool, clients=args.clients,
             requests_per_client=requests,
             request_size=request_size, seed=args.seed,
         )
+        metrics = server.metrics_snapshot()
+    if args.json:
+        # Machine-readable: the unified obs metrics snapshot (same schema
+        # as `repro obs stats` and the Prometheus exporter's source).
+        print(json.dumps(metrics, indent=2))
+        return 1 if run["errors"] else 0
     print(f"served {run['total_samples']} samples in {run['elapsed_s']:.2f}s "
           f"→ {run['samples_per_s']:.0f} samples/s "
           f"({args.clients} closed-loop clients)")
@@ -659,10 +729,13 @@ def _fleet_serve(args) -> int:
         for thread in threads:
             thread.join()
         stats = server.stats()
+        metrics = server.metrics_snapshot()
 
-    errors = 0
+    errors = sum(len(run["errors"]) for run in runs.values())
+    if args.json:
+        print(json.dumps(metrics, indent=2))
+        return 1 if errors else 0
     for model_id, run in sorted(runs.items()):
-        errors += len(run["errors"])
         print(f"  {model_id}: {run['total_samples']} samples at "
               f"{run['samples_per_s']:.0f} samples/s, "
               f"errors={len(run['errors'])}")
@@ -767,6 +840,131 @@ def _cmd_fleet(args) -> int:
     return handlers[args.fleet_command](args)
 
 
+def _obs_server(args, **kwargs):
+    """A demo LocalizationServer + request pool for the obs subcommands."""
+    import numpy as np
+
+    from repro.serve import LocalizationServer, make_session
+
+    session = make_session(args.image_size, args.num_classes,
+                           args.max_batch, args.seed)
+    pool = np.random.default_rng(args.seed + 1).standard_normal(
+        (4 * args.max_batch, args.image_size, args.image_size, 3)
+    ).astype(np.float32)
+    server = LocalizationServer(session, workers=args.workers,
+                                max_batch=args.max_batch, max_delay_ms=2.0,
+                                **kwargs)
+    return server, pool
+
+
+def _obs_trace(args) -> int:
+    import json
+
+    from repro.obs import to_chrome
+
+    server, pool = _obs_server(args, trace_sample=1.0,
+                               trace_buffer=max(64, args.requests),
+                               profile=True)
+    with server:
+        for index in range(args.requests):
+            offset = (index * args.request_size) % len(pool)
+            block = pool[offset:offset + args.request_size]
+            request_id = server.submit(block)
+            _logits, breakdown = server.result_with_breakdown(
+                request_id, timeout=60.0)
+            print(f"request {breakdown['request_id']} "
+                  f"(n={breakdown['n']}, transport={breakdown['transport']}, "
+                  f"shard={breakdown['shard']}): "
+                  f"{breakdown['total_ms']:.3f} ms total")
+            for span in breakdown["spans"]:
+                bar = "#" * max(1, int(40 * (span["end"] - span["start"])
+                                       / (breakdown["total_ms"] / 1e3)))
+                print(f"    {span['name']:<14} {span['duration_ms']:>9.3f} ms "
+                      f"{bar}")
+            phases = breakdown.get("compute_phases") or {}
+            if phases:
+                inside = ", ".join(
+                    f"{name} {entry['total_ms']:.3f}ms"
+                    for name, entry in phases.items())
+                print(f"    `- compute phases: {inside}")
+        traces = server.traces()
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(server.export_traces_json())
+            print(f"wrote {args.out}")
+        if args.chrome:
+            with open(args.chrome, "w") as handle:
+                json.dump(to_chrome(traces), handle, indent=2)
+            print(f"wrote {args.chrome} (open in chrome://tracing)")
+        summary = server.stats()["tracing"]
+    print(f"tracer: {summary['recorded']} recorded, "
+          f"{summary['buffered']} buffered, {summary['dropped']} dropped")
+    return 0
+
+
+def _obs_stats(args) -> int:
+    import json
+
+    server, pool = _obs_server(args, trace_sample=1.0)
+    with server:
+        for index in range(args.requests):
+            offset = (index * 4) % len(pool)
+            server.result(server.submit(pool[offset:offset + 4]),
+                          timeout=60.0)
+        if args.prometheus:
+            output = server.to_prometheus()
+        else:
+            output = json.dumps(server.metrics_snapshot(), indent=2)
+    print(output, end="" if args.prometheus else "\n")
+    return 0
+
+
+def _obs_top(args) -> int:
+    import threading
+    import time
+
+    from repro.serve import closed_loop_load
+
+    server, pool = _obs_server(args, trace_sample=0.1)
+    stop = threading.Event()
+    with server:
+        def hammer() -> None:
+            while not stop.is_set():
+                closed_loop_load(server, pool, clients=args.clients,
+                                 requests_per_client=8, request_size=4,
+                                 seed=args.seed)
+
+        load = threading.Thread(target=hammer, daemon=True)
+        load.start()
+        print(f"{'time':>6} {'queue':>6} {'inflight':>8} {'p50_ms':>8} "
+              f"{'p95_ms':>8} {'completed':>10} {'traced':>7}")
+        started = time.perf_counter()
+        while time.perf_counter() - started < args.duration:
+            time.sleep(args.interval)
+            stats = server.stats()
+            latency = stats["request_latency_ms"]
+            print(f"{time.perf_counter() - started:>6.1f} "
+                  f"{stats['queue_depth']:>6} "
+                  f"{stats['in_flight_batches']:>8} "
+                  f"{(latency['p50_ms'] or 0.0):>8.2f} "
+                  f"{(latency['p95_ms'] or 0.0):>8.2f} "
+                  f"{stats['requests']['completed']:>10} "
+                  f"{stats['tracing']['recorded']:>7}")
+        stop.set()
+        load.join(timeout=30.0)
+    print("done")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    handlers = {
+        "trace": _obs_trace,
+        "stats": _obs_stats,
+        "top": _obs_top,
+    }
+    return handlers[args.obs_command](args)
+
+
 def _cmd_buildings(_args) -> int:
     from repro.data import ALL_DEVICES
     from repro.data.buildings import benchmark_buildings
@@ -783,7 +981,7 @@ def _cmd_buildings(_args) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    if argv is None and args.command in ("serve", "infer-bench"):
+    if argv is None and args.command in ("serve", "infer-bench", "obs"):
         # Real CLI invocation only (never when main() is called with an
         # explicit argv, e.g. from tests): pin BLAS threads for the
         # timing-sensitive benchmark commands via a one-time re-exec.
@@ -798,6 +996,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "quantize": _cmd_quantize,
         "fleet": _cmd_fleet,
+        "obs": _cmd_obs,
     }
     return handlers[args.command](args)
 

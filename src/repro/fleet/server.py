@@ -148,6 +148,10 @@ class FleetServer(LocalizationServer):
         self._canaries: dict[str, _Canary] = {}
         self._swap_log: list[dict] = []
         self._canary_log: list[dict] = []
+        # Collector (not direct series): canary RouteStats objects are
+        # replaced per rollout for a fresh comparison window, so the
+        # registry must read through to the live objects at scrape time.
+        self.metrics.add_collector(self._collect_fleet_metrics)
 
     # -- deployment ----------------------------------------------------
     @staticmethod
@@ -496,6 +500,31 @@ class FleetServer(LocalizationServer):
             canary.done.set()
 
     # -- observability -------------------------------------------------
+    def _collect_fleet_metrics(self) -> list[dict]:
+        """Fleet control-plane series for the unified metrics registry."""
+        series: list[dict] = []
+        with self._lock:
+            series.append({"name": "fleet_deployed_models", "labels": {},
+                           "kind": "gauge", "value": len(self._deployed)})
+            series.append({
+                "name": "fleet_active_canaries", "labels": {},
+                "kind": "gauge",
+                "value": sum(1 for c in self._canaries.values() if c.active),
+            })
+            series.append({"name": "fleet_swaps_total", "labels": {},
+                           "kind": "counter", "value": len(self._swap_log)})
+            series.append({"name": "fleet_canaries_settled_total",
+                           "labels": {}, "kind": "counter",
+                           "value": len(self._canary_log)})
+            for model, entry in self._deployed.items():
+                if entry["version"] is not None:
+                    series.append({
+                        "name": "fleet_route_version",
+                        "labels": {"model": model},
+                        "kind": "gauge", "value": entry["version"],
+                    })
+        return series
+
     def stats(self) -> dict:
         """Base serving stats plus the fleet control-plane section:
         per-model routing counts (each with its transport byte split),

@@ -218,6 +218,17 @@ def clear_plan_cache() -> None:
     _PLAN_CACHE.clear()
 
 
+def plan_cache_summary() -> dict:
+    """Read-only view of the process-wide autotune cache for observability
+    (``repro.obs`` / ``repro.cli obs``): which GEMM shapes this process
+    has tuned and what plan each got.  Keys are ``"MxKxN"`` strings so the
+    dict is directly JSON-serializable."""
+    return {
+        "%dx%dx%d" % key: plan.as_dict()
+        for key, plan in sorted(_PLAN_CACHE.items())
+    }
+
+
 def tune_quant_tile(n_in: int, n_out: int,
                     cap_bytes: int = QUANT_PANEL_CAP_BYTES) -> int:
     """Panel width for a quantized ``(n_in, n_out)`` weight's in-matmul

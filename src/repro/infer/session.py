@@ -20,6 +20,8 @@ workload through the same buffers, which is the server-style entry point.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro import nn
@@ -413,6 +415,42 @@ class InferenceSession:
                 plans[f"mlp{index}"] = autotune_gemm(rows, w.shape[0], w.shape[1])
         return plans
 
+    def gemm_sites(self) -> list[dict]:
+        """Shape identity of every GEMM site this engine runs, reusing the
+        kernel layer's plan identities (:mod:`repro.infer.kernels`).
+
+        Each entry reports the site name, the ``(m, k, n)`` folded
+        single-sample shape (``m`` is ``None`` for head sites, whose row
+        count is the request batch size), the weight storage (``float32``
+        or ``int8``), and the autotuned :class:`GemmPlan` when the
+        blocked kernel tuned one.  This is the vocabulary profiling
+        output and the ``obs top`` CLI use to talk about compute."""
+
+        def entry(site, m, weight):
+            plan = self.kernel_plans.get(site)
+            k, n = int(weight.shape[0]), int(weight.shape[1])
+            return {
+                "site": site,
+                "m": m,
+                "k": k,
+                "n": n,
+                "weight": "float32" if isinstance(weight, np.ndarray)
+                          else "int8",
+                "plan": plan.as_dict() if plan is not None else None,
+            }
+
+        rows = self.num_patches
+        sites = [entry("embed", rows, self.w_embed)]
+        if self.blocks:
+            block = self.blocks[0]
+            sites.append(entry("qkv", rows, block.w_qkv))
+            sites.append(entry("attn_out", rows, block.w_out))
+            for index, (w, _bias) in enumerate(block.mlp_weights):
+                sites.append(entry(f"mlp{index}", rows, w))
+        for index, (w, _bias) in enumerate(self.head_weights):
+            sites.append(entry(f"head{index}", None, w))
+        return sites
+
     def _allocate_scratch(self) -> None:
         """(Re)allocate the top-level scratch buffers shared across calls
         and (re)bind the kernel layer to the compiled weights."""
@@ -439,11 +477,14 @@ class InferenceSession:
         head_widths = [w.shape[1] for w, _b in self.head_weights]
         self._head_bufs = [np.empty((B, u), dtype=f32) for u in head_widths]
         self._head_tmp = np.empty((B, max(head_widths)), dtype=f32)
+        # Opt-in per-phase profiler (repro.obs.profile.SessionProfiler);
+        # scratch-excluded, so restored sessions always start unprofiled.
+        self._profiler = getattr(self, "_profiler", None)
 
     # -- snapshot / restore -------------------------------------------
     #: Scratch attributes excluded from pickles; rebuilt on restore.
     _SCRATCH = ("_patches", "_tokens", "_final_normed", "_pooled",
-                "_head_bufs", "_head_tmp", "_w_embed_exec")
+                "_head_bufs", "_head_tmp", "_w_embed_exec", "_profiler")
 
     def __getstate__(self) -> dict:
         return {k: v for k, v in self.__dict__.items() if k not in self._SCRATCH}
@@ -513,9 +554,16 @@ class InferenceSession:
             raise ValueError(
                 f"batch {b} exceeds max_batch {self.max_batch}; use predict_many"
             )
+        # Profiling hook: one `is not None` check per phase when disabled
+        # (the default — `_profiler` lives in scratch and restores to None).
+        prof = self._profiler
+        if prof is not None:
+            t0 = time.perf_counter()
         flat = x.reshape(b, -1)
         patches = self._patches[:b]
         np.take(flat, self.patch_grid, axis=1, out=patches)
+        if prof is not None:
+            t0 = prof.lap("patch_gather", t0)
 
         tokens = self._tokens[:b]
         if self.kernel == "blocked":
@@ -525,15 +573,24 @@ class InferenceSession:
         else:
             dense_(patches, self.w_embed, None, out=tokens)
         tokens += self.pos_bias
+        if prof is not None:
+            t0 = prof.lap("embed", t0)
 
         out = tokens
-        for block in self.blocks:
-            out = block.run(out)
+        if prof is not None:
+            for index, block in enumerate(self.blocks):
+                out = block.run(out)
+                t0 = prof.lap(f"block{index}", t0)
+        else:
+            for block in self.blocks:
+                out = block.run(out)
 
         normed = self._final_normed[:b]
         layer_norm_(out, self.eps_final, out=normed)
         pooled = self._pooled[:b]
         np.mean(normed, axis=1, out=pooled)
+        if prof is not None:
+            t0 = prof.lap("final_norm_pool", t0)
 
         x2d = pooled
         for index, (w, bias) in enumerate(self.head_weights):
@@ -542,6 +599,8 @@ class InferenceSession:
             if index < len(self.head_weights) - 1:
                 gelu_(target, self._head_tmp[:b, : target.shape[-1]])
             x2d = target
+        if prof is not None:
+            prof.lap("head", t0)
         return x2d.copy()
 
     def predict_many(self, images, max_batch: int | None = None) -> np.ndarray:

@@ -1,0 +1,42 @@
+"""repro.obs — observability spine for the serving stack.
+
+Three pieces, all zero-dependency:
+
+* :mod:`repro.obs.trace` — per-request span tracing (enqueue ->
+  batch_form -> transport write -> worker_recv -> compute -> transport
+  read -> complete) with configurable sampling, a bounded in-memory
+  buffer, and JSON / Chrome ``trace_event`` export.
+* :mod:`repro.obs.metrics` — Counter/Gauge/Histogram primitives, a
+  labeled :class:`MetricsRegistry` with collector support and bounded
+  cardinality, JSON snapshot + Prometheus text exporters.
+* :mod:`repro.obs.profile` — opt-in per-phase compute profiling inside
+  the fused inference engine, so traces can descend into the compute
+  span.
+"""
+
+from repro.obs.metrics import (METRICS_SCHEMA, Counter, Gauge, Histogram,
+                               MetricsError, MetricsRegistry)
+from repro.obs.profile import (SessionProfiler, attach_profiler,
+                               detach_profiler, profile_predict)
+from repro.obs.trace import (SPAN_CHAIN, TRACE_SCHEMA, RequestTrace, Span,
+                             Tracer, spans_from_stamps, to_chrome)
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "TRACE_SCHEMA",
+    "SPAN_CHAIN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "RequestTrace",
+    "SessionProfiler",
+    "Span",
+    "Tracer",
+    "attach_profiler",
+    "detach_profiler",
+    "profile_predict",
+    "spans_from_stamps",
+    "to_chrome",
+]

@@ -1,0 +1,347 @@
+"""Unified metrics primitives and registry for the serving stack.
+
+``repro.obs.metrics`` is the single vocabulary every serving layer
+speaks when it reports numbers: three primitives (:class:`Counter`,
+:class:`Gauge`, :class:`Histogram`) plus a :class:`MetricsRegistry`
+that holds labeled series and exports them as one JSON snapshot or as
+Prometheus text exposition.
+
+Design notes
+------------
+
+* **Zero dependencies.**  stdlib + numpy only — same constraint as the
+  rest of the repo.
+* **Histogram = lifetime count + bounded window.**  The serving stack's
+  latency reservoirs keep a lifetime observation count but compute
+  percentiles over a bounded sliding window (the last ``window``
+  samples).  :meth:`Histogram.summary` reports **both** explicitly:
+  ``count`` is the lifetime total, ``window`` is how many samples the
+  percentiles actually describe.  (This fixes the historical ambiguity
+  where ``LatencyReservoir.summary()["count"]`` was lifetime while the
+  percentiles silently covered at most 2048 samples.)
+* **Collectors, not only direct series.**  Serving objects that get
+  *replaced* at runtime (e.g. the fleet server installs a fresh
+  ``RouteStats`` when a canary starts, so the comparison window is
+  clean) cannot be absorbed by get-or-create series — the registry
+  would keep handing back the stale object.  Such layers register a
+  *collector*: a callable invoked at snapshot/scrape time that emits
+  the current values.  Direct series and collector output share one
+  wire shape.
+* **Bounded cardinality.**  Labeled series are get-or-create keyed by
+  ``(name, sorted(labels))``; creating a series beyond ``max_series``
+  raises :class:`MetricsError` so a label explosion (e.g. a client id
+  leaking into labels) fails loudly instead of eating memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "MetricsError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Schema tag stamped on :meth:`MetricsRegistry.snapshot` output.
+METRICS_SCHEMA = "repro.obs.metrics.v1"
+
+#: Default bound on the number of distinct labeled series one registry
+#: will create before refusing new ones.
+DEFAULT_MAX_SERIES = 512
+
+
+class MetricsError(ValueError):
+    """A metrics-registry contract violation (cardinality, kind clash)."""
+
+
+class Counter:
+    """Monotonically increasing value.  Not thread-safe by itself; the
+    serving layers mutate counters under their own locks."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError("Counter can only increase; got %r" % (amount,))
+        self.value += amount
+
+    def summary(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, bytes in use)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def summary(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Lifetime-counted, window-bounded distribution.
+
+    Keeps every observation's contribution to ``count`` and ``total``
+    (lifetime), but only the most recent ``window_size`` observations
+    for percentile estimation.  :meth:`summary` therefore reports:
+
+    ``count``
+        lifetime number of observations (never shrinks);
+    ``window``
+        number of samples the percentiles below describe — ``min(count,
+        window_size)``;
+    ``p50`` / ``p95`` / ``p99`` / ``mean``
+        computed over the window only, ``None`` when the window is
+        empty.
+    """
+
+    __slots__ = ("_samples", "count", "total")
+
+    def __init__(self, window_size: int = 2048) -> None:
+        if window_size <= 0:
+            raise MetricsError("Histogram window_size must be positive")
+        self._samples: deque = deque(maxlen=int(window_size))
+        self.count = 0
+        self.total = 0.0
+
+    @property
+    def window_size(self) -> int:
+        return self._samples.maxlen or 0
+
+    @property
+    def window(self) -> int:
+        """Number of samples currently in the percentile window."""
+        return len(self._samples)
+
+    def observe(self, value: float) -> None:
+        self._samples.append(float(value))
+        self.count += 1
+        self.total += float(value)
+
+    def percentile(self, q: float) -> Optional[float]:
+        if not self._samples:
+            return None
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def summary(self) -> dict:
+        if not self._samples:
+            return {"count": self.count, "window": 0, "p50": None,
+                    "p95": None, "p99": None, "mean": None}
+        data = np.asarray(self._samples)
+        return {
+            "count": self.count,
+            "window": int(data.size),
+            "p50": float(np.percentile(data, 50)),
+            "p95": float(np.percentile(data, 95)),
+            "p99": float(np.percentile(data, 99)),
+            "mean": float(data.mean()),
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+def _label_key(name: str, labels: Optional[dict]) -> tuple:
+    return (name, tuple(sorted((labels or {}).items())))
+
+
+class MetricsRegistry:
+    """One process-wide table of labeled metric series + collectors.
+
+    Two ways to feed it:
+
+    * get-or-create a direct series (``registry.counter("x", {"route":
+      "vital"})``) and mutate the returned primitive;
+    * :meth:`add_collector` a zero-arg callable returning an iterable of
+      series dicts, evaluated at snapshot/scrape time.  Use this for
+      values living in objects that get replaced (fresh canary
+      ``RouteStats``) or derived on demand (queue depth).
+
+    Both surface identically in :meth:`snapshot` and
+    :meth:`to_prometheus`.
+    """
+
+    def __init__(self, max_series: int = DEFAULT_MAX_SERIES) -> None:
+        if max_series <= 0:
+            raise MetricsError("max_series must be positive")
+        self.max_series = int(max_series)
+        self._lock = threading.Lock()
+        self._series: dict[tuple, object] = {}
+        self._meta: dict[tuple, tuple] = {}  # key -> (name, labels, kind)
+        self._collectors: list[Callable[[], Iterable[dict]]] = []
+
+    # -- direct series ----------------------------------------------------
+
+    def counter(self, name: str, labels: Optional[dict] = None) -> Counter:
+        return self._get_or_create(name, labels, "counter")
+
+    def gauge(self, name: str, labels: Optional[dict] = None) -> Gauge:
+        return self._get_or_create(name, labels, "gauge")
+
+    def histogram(self, name: str, labels: Optional[dict] = None,
+                  window_size: int = 2048) -> Histogram:
+        return self._get_or_create(name, labels, "histogram",
+                                   window_size=window_size)
+
+    def _get_or_create(self, name, labels, kind, **kwargs):
+        key = _label_key(name, labels)
+        with self._lock:
+            metric = self._series.get(key)
+            if metric is not None:
+                if self._meta[key][2] != kind:
+                    raise MetricsError(
+                        "series %r already registered as %s, requested %s"
+                        % (name, self._meta[key][2], kind))
+                return metric
+            if len(self._series) >= self.max_series:
+                raise MetricsError(
+                    "metric series cardinality bound reached (%d); refusing "
+                    "new series %r labels=%r — check for unbounded label "
+                    "values" % (self.max_series, name, labels))
+            metric = _KINDS[kind](**kwargs)
+            self._series[key] = metric
+            self._meta[key] = (name, dict(labels or {}), kind)
+            return metric
+
+    @property
+    def series_count(self) -> int:
+        with self._lock:
+            return len(self._series)
+
+    # -- collectors -------------------------------------------------------
+
+    def add_collector(self, fn: Callable[[], Iterable[dict]]) -> None:
+        """Register ``fn`` to be called at snapshot/scrape time.  It must
+        return an iterable of dicts shaped like snapshot series entries:
+        ``{"name", "labels", "kind", "value"}`` for counter/gauge or
+        ``{"name", "labels", "kind": "histogram", "summary": {...}}``."""
+        with self._lock:
+            self._collectors.append(fn)
+
+    # -- export -----------------------------------------------------------
+
+    def _collect(self) -> list[dict]:
+        out = []
+        with self._lock:
+            for key, metric in self._series.items():
+                name, labels, kind = self._meta[key]
+                entry = {"name": name, "labels": dict(labels), "kind": kind}
+                if kind == "histogram":
+                    entry["summary"] = metric.summary()
+                else:
+                    entry["value"] = metric.summary()
+                out.append(entry)
+            collectors = list(self._collectors)
+        for fn in collectors:
+            for entry in fn():
+                normalized = {
+                    "name": entry["name"],
+                    "labels": dict(entry.get("labels") or {}),
+                    "kind": entry.get("kind", "gauge"),
+                }
+                if normalized["kind"] == "histogram":
+                    normalized["summary"] = entry["summary"]
+                else:
+                    normalized["value"] = float(entry["value"])
+                out.append(normalized)
+        out.sort(key=lambda e: (e["name"], sorted(e["labels"].items())))
+        return out
+
+    def snapshot(self) -> dict:
+        """All series (direct + collected) as one JSON-serializable doc."""
+        return {"schema": METRICS_SCHEMA, "series": self._collect()}
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (format 0.0.4).
+
+        Counters/gauges emit one sample each.  Histograms emit a summary
+        family: ``name{quantile="0.5"}`` etc. over the window, plus
+        ``name_count`` (lifetime) and ``name_window`` (samples behind
+        the quantiles) — the count/window split mirrors
+        :meth:`Histogram.summary`.
+        """
+        lines = []
+        typed: set = set()
+        for entry in self._collect():
+            name = _prom_name(entry["name"])
+            kind = entry["kind"]
+            if kind == "histogram":
+                if name not in typed:
+                    lines.append("# TYPE %s summary" % name)
+                    typed.add(name)
+                summ = entry["summary"]
+                for q, key in (("0.5", "p50"), ("0.95", "p95"),
+                               ("0.99", "p99")):
+                    if summ.get(key) is None:
+                        continue
+                    labels = dict(entry["labels"])
+                    labels["quantile"] = q
+                    lines.append("%s%s %s" % (name, _prom_labels(labels),
+                                              _prom_value(summ[key])))
+                base_labels = _prom_labels(entry["labels"])
+                lines.append("%s_count%s %d" % (name, base_labels,
+                                                summ["count"]))
+                lines.append("%s_window%s %d" % (name, base_labels,
+                                                 summ["window"]))
+            else:
+                prom_type = "counter" if kind == "counter" else "gauge"
+                if name not in typed:
+                    lines.append("# TYPE %s %s" % (name, prom_type))
+                    typed.add(name)
+                lines.append("%s%s %s" % (name, _prom_labels(entry["labels"]),
+                                          _prom_value(entry["value"])))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_name(name: str) -> str:
+    out = []
+    for i, ch in enumerate(name):
+        if ch.isalnum() or ch == "_" or ch == ":":
+            out.append(ch)
+        else:
+            out.append("_")
+    if out and out[0].isdigit():
+        out.insert(0, "_")
+    return "".join(out)
+
+
+def _prom_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key])
+        value = value.replace("\\", "\\\\").replace('"', '\\"')
+        value = value.replace("\n", "\\n")
+        parts.append('%s="%s"' % (_prom_name(str(key)), value))
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_value(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

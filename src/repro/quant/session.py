@@ -327,6 +327,18 @@ class QuantizedSession(InferenceSession):
 
         return snapshot_info(self.snapshot())
 
+    def gemm_sites(self) -> list[dict]:
+        """Base sites plus the quantization view: which matmul engine an
+        int8-resident site runs (``int8_accumulate``/``dequant_tile``)
+        and the session's scheme/mode — so profiling output names the
+        exact kernel each shape executes."""
+        sites = super().gemm_sites()
+        for site in sites:
+            site["scheme"] = self.scheme
+            site["mode"] = self.mode
+            site["engine"] = self.matmul if site["weight"] == "int8" else None
+        return sites
+
     # -- footprint accounting -----------------------------------------
     def quantized_weight_bytes(self) -> int:
         """Bytes of the quantized weight payload (what a snapshot ships)."""

@@ -15,7 +15,12 @@ into an online serving system:
   queues; full rings backpressure then spill to pickle, never drop.
 * :mod:`repro.serve.stats` — per-shard counters, batch-size histograms,
   transport/ring-occupancy counters and latency reservoirs surfaced by
-  ``LocalizationServer.stats()``.
+  ``LocalizationServer.stats()`` — all built on the unified
+  :mod:`repro.obs` primitives, which also give every server a
+  per-request span tracer (``trace_sample=``), a labeled
+  :class:`repro.obs.MetricsRegistry` (``server.metrics``) with a
+  Prometheus exporter, and opt-in worker-side compute profiling
+  (``profile=True``).
 * :mod:`repro.serve.bench` — the closed-loop load generator and the
   worker-scaling / batching-deadline / fault-tolerance / transport
   benchmark recorded in ``BENCH_serving.json`` (CLI: ``repro serve``).

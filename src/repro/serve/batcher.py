@@ -114,3 +114,16 @@ class AdaptiveBatchPolicy:
             return min(remaining, self.MIN_WAIT_S * 10)
         budget = min(remaining, expected_fill)
         return budget if budget > self.MIN_WAIT_S else 0.0
+
+    def summary(self) -> dict:
+        """The policy's current traffic model, for ``stats()`` and the
+        metrics collectors (``ema_interarrival_ms`` is ``None`` until at
+        least two arrivals have been observed)."""
+        return {
+            "max_batch": self.max_batch,
+            "max_delay_ms": self.max_delay_s * 1e3,
+            "ema_interarrival_ms": (
+                None if self.ema_interarrival_s is None
+                else self.ema_interarrival_s * 1e3
+            ),
+        }

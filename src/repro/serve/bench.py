@@ -43,16 +43,18 @@ from repro.serve import shm as shm_transport
 from repro.serve.server import LocalizationServer
 
 DEFAULT_OUTPUT = "BENCH_serving.json"
-SCHEMA = "repro.serve.bench.v3"
+SCHEMA = "repro.serve.bench.v4"
 
 #: Record schemas ``--check`` accepts: older records stay valid — v2 only
-#: *added* the optional ``"fleet"`` section (bench_fleet.py) and v3 only
-#: adds the optional ``"transport"`` section; each section is gated only
-#: when present.
+#: *added* the optional ``"fleet"`` section (bench_fleet.py), v3 only
+#: adds the optional ``"transport"`` section, and v4 only adds the
+#: optional ``"observability"`` section (bench_obs.py); each section is
+#: gated only when present.
 ACCEPTED_SCHEMAS = (
     "repro.serve.bench.v1",
     "repro.serve.bench.v2",
     "repro.serve.bench.v3",
+    "repro.serve.bench.v4",
 )
 
 
@@ -527,9 +529,9 @@ def load_record(path: str = DEFAULT_OUTPUT) -> dict:
 def check_record(record: dict) -> list[str]:
     """Validate a recorded benchmark's gates; returns the problems found.
 
-    Accepts schema v1 (pre-fleet), v2 (adds ``"fleet"``) and v3 (adds
-    ``"transport"``) records — each section is checked only when present,
-    so old records keep passing.
+    Accepts schema v1 (pre-fleet), v2 (adds ``"fleet"``), v3 (adds
+    ``"transport"``) and v4 (adds ``"observability"``) records — each
+    section is checked only when present, so old records keep passing.
     """
     problems: list[str] = []
     schema = record.get("schema")
@@ -577,6 +579,27 @@ def check_record(record: dict) -> list[str]:
         if not fleet["canary_rollback"].get("ok"):
             problems.append(
                 f"fleet canary-rollback drill failed: {fleet['canary_rollback']}"
+            )
+    obs = record.get("observability")
+    if obs is not None:
+        spans = obs.get("span_chain", {})
+        if not spans.get("ok"):
+            problems.append(
+                "observability span-chain gate failed: every traced request "
+                f"must carry a complete chain whose span durations sum to "
+                f"within 10% of its end-to-end latency ({spans})"
+            )
+        overhead = obs.get("overhead", {})
+        if not overhead.get("enabled_ok"):
+            problems.append(
+                "observability overhead gate failed: 100% sampling must not "
+                f"regress p50 by more than 5% ({overhead.get('enabled_p50_ratio')})"
+            )
+        if not overhead.get("disabled_ok"):
+            problems.append(
+                "observability overhead gate failed: the tracing-disabled "
+                "path must be statistically indistinguishable from baseline "
+                f"({overhead.get('disabled_aa_ratio')})"
             )
     return problems
 

@@ -62,6 +62,9 @@ from repro.infer.session import (
     restore_session,
     snapshot_info,
 )
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.profile import SessionProfiler
+from repro.obs.trace import RequestTrace, Tracer, spans_from_stamps
 from repro.serve import shm as shm_transport
 from repro.serve.batcher import AdaptiveBatchPolicy, assemble_images
 from repro.serve.stats import (
@@ -77,11 +80,12 @@ DEFAULT_MODEL = "default"
 
 
 def _worker_main(worker_id: int, task_queue, result_conn,
-                 ring_name: str | None = None, generation: int = 0) -> None:
+                 ring_name: str | None = None, generation: int = 0,
+                 profile: bool = False) -> None:
     """Worker process loop: restore sessions on demand, serve batches.
 
     Protocol (task queue → worker): ``("load", key, snapshot)``,
-    ``("unload", key)``, ``("batch", batch_id, key, payload)``,
+    ``("unload", key)``, ``("batch", batch_id, key, payload, traced)``,
     ``("stop",)``.  ``payload`` is either a pickled ndarray (the pickle
     transport) or a shared-memory batch descriptor
     (:func:`repro.serve.shm.batch_descriptor`) naming offsets in the
@@ -91,8 +95,17 @@ def _worker_main(worker_id: int, task_queue, result_conn,
     parent re-dispatches the batch over pickle instead of failing it.
     Protocol (worker → result pipe): ``("loaded", worker_id, key)``,
     ``("load_failed", worker_id, key, message)``,
-    ``("done", batch_id, logits_or_descriptor, compute_s)``,
+    ``("done", batch_id, logits_or_descriptor, compute_s, timing)``,
     ``("error", batch_id, message)``.
+
+    ``traced`` marks a batch whose requests sampled tracing; only then
+    does the worker stamp its side of the timeline — ``timing`` rides
+    back as ``(recv, compute_start, compute_end, phases)`` in the same
+    system-wide ``perf_counter`` timebase the parent stamps with, and is
+    ``None`` for untraced batches.  With ``profile=True`` each restored
+    session gets a :class:`repro.obs.profile.SessionProfiler`, and
+    ``phases`` carries the per-phase compute breakdown of the batch
+    (``None`` otherwise).
     """
     try:
         import signal
@@ -119,6 +132,8 @@ def _worker_main(worker_id: int, task_queue, result_conn,
                 _, key, snapshot = message
                 try:
                     sessions[key] = restore_session(snapshot)
+                    if profile:
+                        sessions[key]._profiler = SessionProfiler()
                 except Exception as error:  # report, keep serving others
                     result_conn.send(
                         ("load_failed", worker_id, key,
@@ -129,7 +144,8 @@ def _worker_main(worker_id: int, task_queue, result_conn,
             elif kind == "unload":
                 sessions.pop(message[1], None)
             elif kind == "batch":
-                _, batch_id, key, payload = message
+                _, batch_id, key, payload, traced = message
+                recv = time.perf_counter() if traced else 0.0
                 try:
                     session = sessions.get(key)
                     if session is None:
@@ -149,7 +165,17 @@ def _worker_main(worker_id: int, task_queue, result_conn,
                         start = time.perf_counter()
                         result = session.predict_many(payload)
                         compute_s = time.perf_counter() - start
-                    result_conn.send(("done", batch_id, result, compute_s))
+                    timing = None
+                    profiler = getattr(session, "_profiler", None)
+                    if profiler is not None:
+                        # drain per batch so phases never bleed across traces
+                        phases = profiler.drain()
+                    else:
+                        phases = None
+                    if traced:
+                        timing = (recv, start, start + compute_s, phases)
+                    result_conn.send(("done", batch_id, result, compute_s,
+                                      timing))
                 except Exception as error:  # report, keep serving
                     result_conn.send(
                         ("error", batch_id, f"{type(error).__name__}: {error}")
@@ -166,7 +192,7 @@ class _Request:
     """One client request: a micro-batch of images plus its rendezvous."""
 
     __slots__ = ("id", "images", "n", "model", "routed_key", "forced_key",
-                 "enqueued", "event", "result", "error")
+                 "enqueued", "event", "result", "error", "traced", "breakdown")
 
     def __init__(self, request_id: int, images: np.ndarray, model: str):
         self.id = request_id
@@ -179,6 +205,8 @@ class _Request:
         self.event = threading.Event()
         self.result: np.ndarray | None = None
         self.error: str | None = None
+        self.traced = False  # sampling decision, made once at submit
+        self.breakdown: dict | None = None  # span chain when traced
 
 
 class _Batch:
@@ -191,7 +219,8 @@ class _Batch:
     """
 
     __slots__ = ("id", "shard", "key", "requests", "images", "n",
-                 "dispatched", "transport", "lease")
+                 "dispatched", "transport", "lease",
+                 "traced", "gathered", "write_started", "sent")
 
     def __init__(self, batch_id: int, shard: int, key: str,
                  requests: list[_Request], images: np.ndarray | None,
@@ -205,6 +234,12 @@ class _Batch:
         self.transport = transport
         self.lease = lease
         self.dispatched = time.perf_counter()
+        # Trace stamps (absolute perf_counter, parent side); only batches
+        # carrying at least one sampled request pay for them.
+        self.traced = False
+        self.gathered = 0.0
+        self.write_started = 0.0
+        self.sent = 0.0
 
 
 class _Shard:
@@ -263,6 +298,20 @@ class LocalizationServer:
     spill_wait_ms:
         How long a dispatch may block on a full ring before spilling the
         batch to the pickle transport (backpressure bound — never drop).
+    trace_sample:
+        Fraction of requests to trace end-to-end (0.0 — the default —
+        disables tracing entirely; 1.0 traces every request).  Sampling
+        uses a deterministic fraction accumulator, so 0.25 traces exactly
+        every fourth request.  Traced requests land in a bounded buffer
+        (see :meth:`traces`) and carry a ``breakdown`` span chain
+        retrievable via :meth:`result_with_breakdown`.
+    trace_buffer:
+        Capacity of the in-memory trace buffer (oldest evicted first).
+    profile:
+        Attach a :class:`repro.obs.profile.SessionProfiler` to every
+        worker-side session so traced batches additionally report the
+        per-phase compute breakdown (``patch_gather``/``embed``/
+        ``block{i}``/…) inside their compute span.
     """
 
     def __init__(
@@ -279,6 +328,9 @@ class LocalizationServer:
         ring_bytes: int | None = None,
         ring_slots: int = 4,
         spill_wait_ms: float = 50.0,
+        trace_sample: float = 0.0,
+        trace_buffer: int = 256,
+        profile: bool = False,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -303,6 +355,11 @@ class LocalizationServer:
         self.ring_slots = max(1, int(ring_slots))
         self.spill_wait_ms = float(spill_wait_ms)
         self._transport_totals = TransportStats()
+
+        self.tracer = Tracer(trace_sample, capacity=trace_buffer)
+        self.profile = bool(profile)
+        self.metrics = MetricsRegistry()
+        self.metrics.add_collector(self._collect_metrics)
 
         if start_method is None:
             start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -500,7 +557,7 @@ class LocalizationServer:
             target=_worker_main,
             args=(shard.index, shard.task_queue, send_conn,
                   shard.ring.name if shard.ring is not None else None,
-                  shard.generation),
+                  shard.generation, self.profile),
             name=f"repro-serve-worker-{shard.index}",
             daemon=True,
         )
@@ -703,6 +760,10 @@ class LocalizationServer:
         with self._lock:
             self._requests[request.id] = request
             self._submitted += 1
+            # One attribute check when tracing is off — the whole cost of
+            # the disabled path.
+            if self.tracer.enabled:
+                request.traced = self.tracer.sample()
         with self._cond:
             self._pending.append(request)
             self._policy.observe_arrival(time.perf_counter())
@@ -728,6 +789,25 @@ class LocalizationServer:
         if request.error is not None:
             raise RuntimeError(f"request {request_id} failed: {request.error}")
         return request.result
+
+    def result_with_breakdown(
+        self, request_id: int, timeout: float | None = None
+    ) -> tuple[np.ndarray, dict | None]:
+        """Like :meth:`result` but returns ``(logits, breakdown)`` where
+        ``breakdown`` is the request's span-chain dict when its trace was
+        sampled (``None`` otherwise) — same shape as
+        :meth:`repro.obs.trace.RequestTrace.to_dict`."""
+        with self._lock:
+            request = self._requests.get(request_id)
+        if request is None:
+            raise KeyError(f"unknown request id {request_id}")
+        if not request.event.wait(timeout):
+            raise TimeoutError(f"request {request_id} not done within {timeout}s")
+        with self._lock:
+            self._requests.pop(request_id, None)
+        if request.error is not None:
+            raise RuntimeError(f"request {request_id} failed: {request.error}")
+        return request.result, request.breakdown
 
     def cancel(self, request_id: int) -> bool:
         """Abandon a submitted request and release its bookkeeping.
@@ -861,6 +941,11 @@ class LocalizationServer:
     def _dispatch(self, key: str, requests: list[_Request]) -> None:
         n = sum(r.n for r in requests)
         info = self._model_info.get(key)
+        # A batch is traced when any of its requests sampled tracing; the
+        # parent-side stamps (gathered / write_started / sent) are only
+        # taken then, so untraced dispatches pay one boolean check.
+        traced = self.tracer.enabled and any(r.traced for r in requests)
+        gathered = time.perf_counter() if traced else 0.0
         # A pure-pickle server assembles outside the bookkeeping lock (the
         # stack is a full-batch memcpy); the shm path must assemble under
         # it — the destination is a ring lease only the lock hands out —
@@ -914,6 +999,7 @@ class LocalizationServer:
                 info["image_size"] * info["image_size"] * info["channels"]
                 + info["num_classes"]
             ) * 4 if info is not None else sum(r.images.nbytes for r in requests)
+            write_started = time.perf_counter() if traced else 0.0
             if transport == "shm":
                 # Assemble the batch *in place*: request blocks are written
                 # straight into the ring lease — no stacked temporary, no
@@ -933,6 +1019,9 @@ class LocalizationServer:
                 payload = images
             batch = _Batch(next(self._batch_ids), shard.index, key, requests,
                            images, n, transport=transport, lease=lease)
+            batch.traced = traced
+            batch.gathered = gathered
+            batch.write_started = write_started
             self._in_flight[batch.id] = batch
             self._staged = []  # same lock hold: staged→in-flight is atomic
             shard.outstanding += batch.n
@@ -942,11 +1031,13 @@ class LocalizationServer:
                 key, RouteStats()
             ).transport.record_batch(transport, payload_bytes)
             try:
-                shard.task_queue.put(("batch", batch.id, key, payload))
+                shard.task_queue.put(("batch", batch.id, key, payload, traced))
             except (ValueError, OSError, AttributeError):
                 # Queue already broken/torn down — leave the batch in
                 # _in_flight; the monitor re-dispatches it on restart.
                 pass
+            if traced:
+                batch.sent = time.perf_counter()
 
     # -- collector -----------------------------------------------------
     def _collector_loop(self) -> None:
@@ -995,7 +1086,7 @@ class LocalizationServer:
                     shard.ready.set()
             return
         if kind == "done":
-            _, batch_id, logits, _compute_s = message
+            _, batch_id, logits, _compute_s, timing = message
             with self._lock:
                 batch = self._in_flight.pop(batch_id, None)
                 if batch is None:
@@ -1014,6 +1105,7 @@ class LocalizationServer:
                     logits = np.array(
                         current.ring.view(out_offset, out_shape), copy=True
                     )
+                collected = time.perf_counter() if batch.traced else now
                 self._free_lease(batch)
                 route = self._route_stats.setdefault(batch.key, RouteStats())
                 offset = 0
@@ -1024,6 +1116,8 @@ class LocalizationServer:
                     latency_ms = (now - request.enqueued) * 1e3
                     self._request_latency.add(latency_ms)
                     route.record_complete(latency_ms)
+                    if request.traced:
+                        self._record_trace(request, batch, timing, collected)
                     request.event.set()
                 self._on_batch_done(batch)
             return
@@ -1057,6 +1151,10 @@ class LocalizationServer:
         """Convert a shm batch whose descriptor the worker rejected into a
         pickle batch and re-send it; called under the bookkeeping lock."""
         offset, in_shape, _out_offset, _out_shape = batch.lease
+        # Re-stamp the write for traced batches: the failed shm attempt is
+        # absorbed into this (monotone, contiguous) pickle_write span.
+        if batch.traced:
+            batch.write_started = time.perf_counter()
         batch.images = np.array(shard.ring.view(offset, in_shape), copy=True)
         self._free_lease(batch)
         batch.transport = "pickle"
@@ -1068,9 +1166,12 @@ class LocalizationServer:
             batch.key, RouteStats()
         ).transport.record_spill()
         try:
-            shard.task_queue.put(("batch", batch.id, batch.key, batch.images))
+            shard.task_queue.put(("batch", batch.id, batch.key, batch.images,
+                                  batch.traced))
         except (ValueError, OSError, AttributeError):
             pass  # monitor restart will re-dispatch it
+        if batch.traced:
+            batch.sent = time.perf_counter()
 
     def _on_batch_done(self, batch: _Batch) -> None:
         """Hook, called under the bookkeeping lock after a batch completes;
@@ -1148,6 +1249,8 @@ class LocalizationServer:
             shard.outstanding = sum(b.n for b in redispatched)
             for batch in redispatched:
                 batch.dispatched = time.perf_counter()
+                if batch.traced:
+                    batch.write_started = batch.dispatched
                 if batch.transport == "shm" and batch.lease is not None:
                     offset, in_shape, out_offset, out_shape = batch.lease
                     payload = shm_transport.batch_descriptor(
@@ -1156,9 +1259,133 @@ class LocalizationServer:
                     )
                 else:
                     payload = batch.images
-                shard.task_queue.put(("batch", batch.id, batch.key, payload))
+                shard.task_queue.put(("batch", batch.id, batch.key, payload,
+                                      batch.traced))
+                if batch.traced:
+                    batch.sent = time.perf_counter()
 
     # -- observability -------------------------------------------------
+    def _record_trace(self, request: _Request, batch: _Batch, timing,
+                      collected: float) -> None:
+        """Assemble a traced request's span chain and record it; called
+        under the bookkeeping lock from the collector's done path."""
+        done_at = time.perf_counter()
+        worker = timing[:3] if timing is not None else None
+        phases = timing[3] if timing is not None else None
+        spans = spans_from_stamps(
+            request.enqueued, batch.gathered, batch.write_started,
+            batch.sent, collected, done_at, batch.transport, worker=worker,
+        )
+        trace = RequestTrace(request.id, request.model, request.n,
+                             batch.transport, batch.shard, spans,
+                             compute_phases=phases)
+        self.tracer.record(trace)
+        request.breakdown = trace.to_dict()
+
+    def traces(self, limit: int | None = None) -> list[RequestTrace]:
+        """Buffered request traces, oldest → newest."""
+        with self._lock:
+            return self.tracer.traces(limit)
+
+    def export_traces_json(self, limit: int | None = None) -> str:
+        with self._lock:
+            return self.tracer.export_json(limit)
+
+    def metrics_snapshot(self) -> dict:
+        """The unified metrics registry's JSON snapshot (direct series
+        plus everything the serving collectors emit)."""
+        return self.metrics.snapshot()
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of the metrics registry."""
+        return self.metrics.to_prometheus()
+
+    def _collect_metrics(self) -> list[dict]:
+        """Metrics collector: project the live serving state into labeled
+        series at snapshot/scrape time.  Registered on ``self.metrics``
+        at construction; uses the collector model (not direct series)
+        because per-route stats objects are replaced at runtime (fresh
+        canary windows) and derived values (queue depth) have no
+        mutation site to hook."""
+        series: list[dict] = []
+
+        def emit(name, kind, value, **labels):
+            series.append({"name": name, "labels": labels, "kind": kind,
+                           "value": value})
+
+        def emit_hist(name, reservoir, **labels):
+            series.append({"name": name, "labels": labels,
+                           "kind": "histogram",
+                           "summary": Histogram.summary(reservoir)})
+
+        with self._lock:
+            emit("serve_queue_depth", "gauge", len(self._pending))
+            emit("serve_in_flight_batches", "gauge", len(self._in_flight))
+            emit("serve_requests_total", "counter", self._submitted,
+                 status="submitted")
+            emit("serve_requests_total", "counter", self._completed,
+                 status="completed")
+            emit("serve_requests_total", "counter", self._failed,
+                 status="failed")
+            emit_hist("serve_request_latency_ms", self._request_latency)
+            transport = self._transport_totals
+            emit("serve_transport_batches_total", "counter",
+                 transport.shm_batches, transport="shm")
+            emit("serve_transport_batches_total", "counter",
+                 transport.pickle_batches, transport="pickle")
+            emit("serve_transport_bytes_total", "counter",
+                 transport.shm_bytes, transport="shm")
+            emit("serve_transport_bytes_total", "counter",
+                 transport.pickle_bytes, transport="pickle")
+            emit("serve_transport_spills_total", "counter", transport.spills)
+            for key, route in self._route_stats.items():
+                emit("serve_route_requests_total", "counter",
+                     route.completed, route=key, outcome="completed")
+                emit("serve_route_requests_total", "counter",
+                     route.failed, route=key, outcome="failed")
+                emit("serve_route_requests_total", "counter",
+                     route.retried, route=key, outcome="retried")
+                emit_hist("serve_route_latency_ms", route.latency_ms,
+                          route=key)
+            for key, snapshot_transport in self._transports.items():
+                emit("serve_snapshot_ships_total", "counter",
+                     snapshot_transport.shipped, route=key)
+                emit("serve_snapshot_bytes", "gauge",
+                     snapshot_transport.bytes, route=key)
+            for shard in self._shards:
+                label = str(shard.index)
+                emit("serve_shard_outstanding_samples", "gauge",
+                     shard.outstanding, shard=label)
+                emit("serve_shard_batches_total", "counter",
+                     shard.stats.batches, shard=label)
+                emit("serve_shard_errors_total", "counter",
+                     shard.stats.errors, shard=label)
+                emit("serve_shard_restarts_total", "counter",
+                     shard.stats.restarts, shard=label)
+                emit_hist("serve_shard_service_ms", shard.stats.service_ms,
+                          shard=label)
+                if shard.ring is not None:
+                    ring = shard.ring.stats()
+                    emit("serve_ring_used_bytes", "gauge",
+                         ring["used_bytes"], shard=label)
+                    emit("serve_ring_peak_used_bytes", "gauge",
+                         ring["peak_used_bytes"], shard=label)
+                    emit("serve_ring_wraps_total", "counter",
+                         ring["wraps"], shard=label)
+                    emit("serve_ring_alloc_failures_total", "counter",
+                         ring["alloc_failures"], shard=label)
+            policy = self._policy.summary()
+            if policy["ema_interarrival_ms"] is not None:
+                emit("serve_batcher_ema_interarrival_ms", "gauge",
+                     policy["ema_interarrival_ms"])
+            tracing = self.tracer.summary()
+            emit("serve_traces_sampled_total", "counter", tracing["sampled"])
+            emit("serve_traces_recorded_total", "counter",
+                 tracing["recorded"])
+            emit("serve_traces_dropped_total", "counter", tracing["dropped"])
+            emit("serve_traces_buffered", "gauge", tracing["buffered"])
+        return series
+
     def _snapshot_summary(self) -> dict:
         """Transport accounting: the single-model server reports its one
         snapshot flat (back-compat); multi-tenant servers report per key
@@ -1223,6 +1450,8 @@ class LocalizationServer:
                     for key, stats in self._route_stats.items()
                 },
                 "shards": shards,
+                "batcher": self._policy.summary(),
+                "tracing": self.tracer.summary(),
             }
 
     def __repr__(self) -> str:

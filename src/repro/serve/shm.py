@@ -96,7 +96,7 @@ class RingAllocator:
     lock), which keeps this class unit-testable without shared memory.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, counters: RingCounters | None = None):
         if capacity <= 0:
             raise ValueError(f"ring capacity must be > 0, got {capacity}")
         self.capacity = int(capacity)
@@ -106,7 +106,9 @@ class RingAllocator:
         # inserted pre-freed so tail reclaim walks over them naturally.
         self._order: deque[list] = deque()
         self._by_offset: dict[int, list] = {}
-        self.counters = RingCounters()
+        # Callers may pass shared RingCounters (e.g. a metrics registry's
+        # view of several rings); by default each ring counts alone.
+        self.counters = counters if counters is not None else RingCounters()
 
     @property
     def live_leases(self) -> int:
@@ -189,7 +191,8 @@ class ShmRing:
     survives worker restarts — only :meth:`close` unlinks it.
     """
 
-    def __init__(self, capacity: int, name: str | None = None):
+    def __init__(self, capacity: int, name: str | None = None,
+                 counters: RingCounters | None = None):
         if not HAVE_SHM:
             raise ShmTransportError(
                 "multiprocessing.shared_memory is unavailable on this platform"
@@ -202,7 +205,8 @@ class ShmRing:
         )
         self.name = self._shm.name
         # The OS may round the segment up (page granularity): use it all.
-        self.allocator = RingAllocator(max(capacity, self._shm.size))
+        self.allocator = RingAllocator(max(capacity, self._shm.size),
+                                       counters=counters)
         self._closed = False
 
     @property

@@ -1,39 +1,51 @@
 """Serving-side observability: latency reservoirs and per-shard counters.
 
+Since the ``repro.obs`` PR these classes are thin domain wrappers over
+the unified primitives in :mod:`repro.obs.metrics` — ``LatencyReservoir``
+*is* an :class:`repro.obs.metrics.Histogram` with millisecond-suffixed
+summary keys, and the counter bundles (:class:`TransportStats`,
+:class:`RingCounters`, :class:`RouteStats`, :class:`ShardStats`,
+:class:`SnapshotTransport`) store their tallies in
+:class:`repro.obs.metrics.Counter` cells while keeping their historical
+attribute and ``summary()`` wire shapes (``BENCH_serving.json`` embeds
+them; only additive keys are allowed).
+
 All recording methods are called under the server's bookkeeping lock, so
 the classes themselves stay lock-free; ``summary()`` methods return plain
-dicts ready for JSON serialization (``BENCH_serving.json`` embeds them).
+dicts ready for JSON serialization.
 """
 
 from __future__ import annotations
 
-from collections import deque
-
-import numpy as np
+from repro.obs.metrics import Counter, Histogram
 
 
-class LatencyReservoir:
-    """Sliding reservoir of recent latency samples with percentile summary."""
+class LatencyReservoir(Histogram):
+    """Sliding reservoir of recent latency samples with percentile summary.
+
+    Semantics (explicit since the obs PR): ``count`` in the summary is
+    the **lifetime** number of recorded samples, while the percentiles
+    and mean describe only the most recent ``window`` samples (bounded
+    by ``maxlen``, default 2048).  Both are reported so a reader can
+    tell "p95 over the last 2048 of 1M requests" from "p95 over all 12
+    requests ever".
+    """
 
     def __init__(self, maxlen: int = 2048):
-        self._samples: deque[float] = deque(maxlen=maxlen)
-        self.count = 0
+        super().__init__(window_size=maxlen)
 
     def add(self, latency_ms: float) -> None:
-        self._samples.append(float(latency_ms))
-        self.count += 1
+        self.observe(latency_ms)
 
     def summary(self) -> dict:
-        if not self._samples:
-            return {"count": self.count, "p50_ms": None, "p95_ms": None,
-                    "p99_ms": None, "mean_ms": None}
-        arr = np.asarray(self._samples)
+        base = super().summary()
         return {
-            "count": self.count,
-            "p50_ms": float(np.percentile(arr, 50)),
-            "p95_ms": float(np.percentile(arr, 95)),
-            "p99_ms": float(np.percentile(arr, 99)),
-            "mean_ms": float(arr.mean()),
+            "count": base["count"],
+            "window": base["window"],
+            "p50_ms": base["p50"],
+            "p95_ms": base["p95"],
+            "p99_ms": base["p99"],
+            "mean_ms": base["mean"],
         }
 
 
@@ -53,10 +65,14 @@ class SnapshotTransport:
     def __init__(self, snapshot_format: str | None, snapshot_bytes: int):
         self.format = snapshot_format
         self.bytes = int(snapshot_bytes)
-        self.shipped = 0
+        self._shipped = Counter()
+
+    @property
+    def shipped(self) -> int:
+        return int(self._shipped.value)
 
     def record_ship(self) -> None:
-        self.shipped += 1
+        self._shipped.inc()
 
     def summary(self) -> dict:
         return {
@@ -79,32 +95,31 @@ class TransportStats:
     pickle under backpressure (ring full past the bounded wait).
     """
 
+    _CELLS = ("shm_batches", "shm_bytes", "pickle_batches", "pickle_bytes",
+              "spills")
+
     def __init__(self):
-        self.shm_batches = 0
-        self.shm_bytes = 0
-        self.pickle_batches = 0
-        self.pickle_bytes = 0
-        self.spills = 0
+        self._cells = {name: Counter() for name in self._CELLS}
+
+    def __getattr__(self, name: str):
+        cells = object.__getattribute__(self, "_cells")
+        if name in cells:
+            return int(cells[name].value)
+        raise AttributeError(name)
 
     def record_batch(self, transport: str, payload_bytes: int) -> None:
         if transport == "shm":
-            self.shm_batches += 1
-            self.shm_bytes += int(payload_bytes)
+            self._cells["shm_batches"].inc()
+            self._cells["shm_bytes"].inc(int(payload_bytes))
         else:
-            self.pickle_batches += 1
-            self.pickle_bytes += int(payload_bytes)
+            self._cells["pickle_batches"].inc()
+            self._cells["pickle_bytes"].inc(int(payload_bytes))
 
     def record_spill(self) -> None:
-        self.spills += 1
+        self._cells["spills"].inc()
 
     def summary(self) -> dict:
-        return {
-            "shm_batches": self.shm_batches,
-            "shm_bytes": self.shm_bytes,
-            "pickle_batches": self.pickle_batches,
-            "pickle_bytes": self.pickle_bytes,
-            "spills": self.spills,
-        }
+        return {name: int(self._cells[name].value) for name in self._CELLS}
 
 
 class RingCounters:
@@ -116,25 +131,41 @@ class RingCounters:
     """
 
     def __init__(self):
-        self.allocations = 0
-        self.frees = 0
-        self.wraps = 0
-        self.alloc_failures = 0
+        self._allocations = Counter()
+        self._frees = Counter()
+        self._wraps = Counter()
+        self._alloc_failures = Counter()
         self.peak_used_bytes = 0
 
+    @property
+    def allocations(self) -> int:
+        return int(self._allocations.value)
+
+    @property
+    def frees(self) -> int:
+        return int(self._frees.value)
+
+    @property
+    def wraps(self) -> int:
+        return int(self._wraps.value)
+
+    @property
+    def alloc_failures(self) -> int:
+        return int(self._alloc_failures.value)
+
     def record_alloc(self, used_bytes: int) -> None:
-        self.allocations += 1
+        self._allocations.inc()
         if used_bytes > self.peak_used_bytes:
             self.peak_used_bytes = int(used_bytes)
 
     def record_free(self) -> None:
-        self.frees += 1
+        self._frees.inc()
 
     def record_wrap(self) -> None:
-        self.wraps += 1
+        self._wraps.inc()
 
     def record_alloc_failure(self) -> None:
-        self.alloc_failures += 1
+        self._alloc_failures.inc()
 
     def summary(self) -> dict:
         return {
@@ -159,21 +190,33 @@ class RouteStats:
     """
 
     def __init__(self):
-        self.completed = 0
-        self.failed = 0
-        self.retried = 0
+        self._completed = Counter()
+        self._failed = Counter()
+        self._retried = Counter()
         self.latency_ms = LatencyReservoir(maxlen=1024)
         self.transport = TransportStats()
 
+    @property
+    def completed(self) -> int:
+        return int(self._completed.value)
+
+    @property
+    def failed(self) -> int:
+        return int(self._failed.value)
+
+    @property
+    def retried(self) -> int:
+        return int(self._retried.value)
+
     def record_complete(self, latency_ms: float) -> None:
-        self.completed += 1
+        self._completed.inc()
         self.latency_ms.add(latency_ms)
 
     def record_failure(self) -> None:
-        self.failed += 1
+        self._failed.inc()
 
     def record_retry(self) -> None:
-        self.retried += 1
+        self._retried.inc()
 
     def error_rate(self) -> float:
         """Failures + retries over all finished requests for this route.
@@ -203,26 +246,42 @@ class ShardStats:
     """
 
     def __init__(self):
-        self.batches = 0
-        self.samples = 0
-        self.errors = 0
-        self.restarts = 0
+        self._batches = Counter()
+        self._samples = Counter()
+        self._errors = Counter()
+        self._restarts = Counter()
         self.batch_size_hist: dict[int, int] = {}
         self.service_ms = LatencyReservoir(maxlen=512)
 
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def samples(self) -> int:
+        return int(self._samples.value)
+
+    @property
+    def errors(self) -> int:
+        return int(self._errors.value)
+
+    @property
+    def restarts(self) -> int:
+        return int(self._restarts.value)
+
     def record_dispatch(self, batch_size: int) -> None:
-        self.batches += 1
+        self._batches.inc()
         self.batch_size_hist[batch_size] = self.batch_size_hist.get(batch_size, 0) + 1
 
     def record_complete(self, batch_size: int, service_ms: float) -> None:
-        self.samples += batch_size
+        self._samples.inc(batch_size)
         self.service_ms.add(service_ms)
 
     def record_error(self) -> None:
-        self.errors += 1
+        self._errors.inc()
 
     def record_restart(self) -> None:
-        self.restarts += 1
+        self._restarts.inc()
 
     def mean_batch_size(self) -> float | None:
         if not self.batches:
