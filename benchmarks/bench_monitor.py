@@ -1,0 +1,371 @@
+"""Continuous-monitoring benchmark: sampler overhead + drift-detection drill.
+
+Measures what the ``repro.obs.monitor`` layer costs and proves what it
+detects, then merges the result into ``BENCH_serving.json`` as its
+``"monitoring"`` section (schema ``repro.serve.bench.v5``)::
+
+    PYTHONPATH=src python benchmarks/bench_monitor.py [--quick] [--smoke]
+    PYTHONPATH=src python benchmarks/bench_monitor.py --check
+
+Two experiments:
+
+* **overhead A/B/A** — three arms (monitor off, monitor at the default
+  0.5 s cadence with the default SLO/rule set, monitor off again)
+  interleaved round-robin so OS noise hits them all equally (same
+  min/median-of-rounds discipline as the tracing-overhead gate this
+  mirrors).  Gates: the sampler may cost at most 5% p50 over the
+  disabled median, and the two disabled arms must sit within the
+  measured A/A noise floor of each other.
+
+* **seeded drift drill** — a fully deterministic timeline driven by
+  ``sample_once(now=...)`` over a synthetic latency histogram: the
+  *drift arm* shifts its mean from 4 ms to 8 ms at a known interval, the
+  *calm arm* stays stationary with a different seeded stream.  Both the
+  Page–Hinkley and rolling-mean detectors watch the p95 series.  Gates:
+  every detector flags the shift within ≤ 3 sampling intervals of
+  injection, and fires **zero** alerts across the calm arm's full run —
+  the false-positive budget of the drift-aware self-healing loop this
+  substrate feeds.
+
+``--smoke`` is the CI lane: it starts a real server with the sampler
+attached, injects a latency spike into the reservoir the sampler
+scrapes, and asserts the alert fires end-to-end with a well-formed
+journal line — without touching the committed record.  ``--check``
+re-validates the recorded gates without re-timing.
+"""
+
+import argparse
+import json
+import os
+import random
+import statistics
+import sys
+import tempfile
+import time
+
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+os.environ.setdefault("MKL_NUM_THREADS", "1")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+import numpy as np
+
+from repro.infer.benchmark import thread_config
+from repro.obs import (AlertEngine, DriftRule, EventJournal, MetricsRegistry,
+                       ThresholdRule, Timeline)
+from repro.serve import load_record, make_session, write_benchmark
+from repro.serve.bench import SCHEMA, check_record
+from repro.serve.server import LocalizationServer
+
+#: Default sampling cadence the overhead gate is recorded at (the
+#: ``monitor_interval_s`` default of ``LocalizationServer``).
+DEFAULT_CADENCE_S = 0.5
+
+
+def _images(session, samples: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(
+        (samples, session.image_size, session.image_size, session.channels),
+        dtype=np.float32,
+    )
+
+
+# ---------------------------------------------------------------------------
+# overhead A/B/A
+# ---------------------------------------------------------------------------
+
+
+def _run_arm(monitor: bool, requests: int, request_size: int,
+             workers: int, seed: int) -> float:
+    """One closed-loop arm; returns its p50 request latency (ms)."""
+    session = make_session(seed=seed)
+    images = _images(session, request_size * 4, seed=seed)
+    latencies = []
+    with LocalizationServer(session, workers=workers, max_delay_ms=1.0,
+                            monitor=monitor,
+                            monitor_interval_s=DEFAULT_CADENCE_S) as server:
+        for index in range(4):  # warmup off the clock
+            server.result(server.submit(images[:request_size]), timeout=60.0)
+        for index in range(requests):
+            block = images[(index % 4) * request_size:][:request_size]
+            start = time.perf_counter()
+            server.result(server.submit(block), timeout=60.0)
+            latencies.append((time.perf_counter() - start) * 1e3)
+    return float(np.percentile(np.asarray(latencies), 50))
+
+
+def run_overhead(quick: bool = False, seed: int = 0,
+                 workers: int = 2) -> dict:
+    """Interleaved A/B/A: monitor off, monitor at default cadence, off."""
+    rounds = 2 if quick else 5
+    requests = 20 if quick else 60
+    request_size = 2
+    arms = {"disabled_a": False, "enabled": True, "disabled_b": False}
+    p50s = {name: [] for name in arms}
+    for round_index in range(rounds):
+        for name, monitored in arms.items():
+            p50s[name].append(
+                _run_arm(monitored, requests, request_size, workers,
+                         seed + round_index)
+            )
+    median = {name: statistics.median(values)
+              for name, values in p50s.items()}
+    disabled_p50 = statistics.median([median["disabled_a"],
+                                      median["disabled_b"]])
+    enabled_ratio = median["enabled"] / disabled_p50
+    aa_ratio = max(median["disabled_a"], median["disabled_b"]) \
+        / min(median["disabled_a"], median["disabled_b"])
+    return {
+        "cadence_s": DEFAULT_CADENCE_S,
+        "rounds": rounds,
+        "requests_per_round": requests,
+        "request_size": request_size,
+        "p50_ms": median,
+        "per_round_p50_ms": p50s,
+        "disabled_p50_ms": disabled_p50,
+        "enabled_p50_ratio": enabled_ratio,
+        "disabled_aa_ratio": aa_ratio,
+        "enabled_ok": bool(enabled_ratio <= 1.05),
+        "disabled_ok": bool(aa_ratio <= 1.25),
+    }
+
+
+# ---------------------------------------------------------------------------
+# seeded drift drill
+# ---------------------------------------------------------------------------
+
+_DETECTORS = {
+    # The drill's histogram window equals one interval's samples, so the
+    # p95 points are independent draws — PH can run tighter than its
+    # autocorrelation-hardened default.
+    "page_hinkley": {"delta": 0.3, "lamb": 12.0},
+    "rolling_mean": {"short": 2, "long": 16, "z_threshold": 4.0},
+}
+
+
+def _drill_arm(shift_at: int | None, intervals: int, seed: int) -> dict:
+    """Drive one synthetic arm through the full timeline→detector path.
+
+    Feeds ``samples_per_interval`` latency draws per interval into a real
+    registry histogram, samples the timeline on a synthetic clock, and
+    runs one :class:`DriftRule` per detector over the p95 series.  The
+    mean jumps 4 ms → 8 ms at interval ``shift_at`` (``None`` = calm arm).
+    Returns per-detector detection intervals and total alerts.
+    """
+    interval_s = 0.25
+    samples_per_interval = 40
+    rng = random.Random(seed)
+    registry = MetricsRegistry()
+    # Window = one interval's samples: each sampled p95 point describes
+    # fresh draws, keeping the detector inputs independent.
+    hist = registry.histogram("drill_latency_ms",
+                              window_size=samples_per_interval)
+    timeline = Timeline(registry, interval_s=interval_s, retention=intervals)
+    rules = {
+        name: DriftRule(f"drift_{name}", "drill_latency_ms", field="p95",
+                        detector=name, direction="up", **kwargs)
+        for name, kwargs in _DETECTORS.items()
+    }
+    journal = EventJournal()
+    engine = AlertEngine(timeline, list(rules.values()), journal=journal)
+    detected_at = {name: None for name in rules}
+    t0 = 1_000_000.0
+    for interval in range(intervals):
+        mean = 8.0 if shift_at is not None and interval >= shift_at else 4.0
+        for _ in range(samples_per_interval):
+            hist.observe(rng.gauss(mean, 0.4))
+        now = t0 + interval * interval_s
+        timeline.sample_once(now=now)
+        engine.evaluate(now=now)
+        for name, rule in rules.items():
+            if detected_at[name] is None and rule.detections > 0:
+                detected_at[name] = interval
+    return {
+        "intervals": intervals,
+        "interval_s": interval_s,
+        "samples_per_interval": samples_per_interval,
+        "shift_at": shift_at,
+        "detected_at": detected_at,
+        "alerts": engine.fired,
+        "journal_events": len(journal),
+    }
+
+
+def run_drift_drill(quick: bool = False, seed: int = 0) -> dict:
+    """Drift vs calm arms; gates detection latency and false positives."""
+    intervals = 60 if quick else 200
+    shift_at = intervals // 2
+    drift = _drill_arm(shift_at, intervals, seed=seed)
+    calm = _drill_arm(None, intervals, seed=seed + 1)
+    latencies = {
+        name: (None if at is None else at - shift_at)
+        for name, at in drift["detected_at"].items()
+    }
+    detected_ok = all(lat is not None and 0 <= lat <= 3
+                      for lat in latencies.values())
+    calm_ok = calm["alerts"] == 0
+    return {
+        "drift_arm": drift,
+        "calm_arm": calm,
+        "detection_latency_intervals": latencies,
+        "max_detection_latency_intervals": 3,
+        "calm_alerts": calm["alerts"],
+        "detected_ok": bool(detected_ok),
+        "calm_ok": bool(calm_ok),
+        "ok": bool(detected_ok and calm_ok),
+    }
+
+
+# ---------------------------------------------------------------------------
+# record plumbing
+# ---------------------------------------------------------------------------
+
+
+def run(quick: bool = False, out: str | None = None, seed: int = 0) -> dict:
+    destination = out or os.path.join(REPO_ROOT, "BENCH_serving.json")
+    base = _load_or_skeleton(destination)
+    print("sampler overhead A/B/A (interleaved rounds, default cadence)...")
+    overhead = run_overhead(quick=quick, seed=seed)
+    print(f"  p50 disabled {overhead['disabled_p50_ms']:.3f} ms, enabled "
+          f"{overhead['p50_ms']['enabled']:.3f} ms "
+          f"(ratio {overhead['enabled_p50_ratio']:.4f}), disabled A/A "
+          f"ratio {overhead['disabled_aa_ratio']:.4f}")
+    print("seeded drift drill (drift arm vs calm arm)...")
+    drill = run_drift_drill(quick=quick, seed=seed)
+    print(f"  detection latency {drill['detection_latency_intervals']} "
+          f"intervals, calm-arm alerts {drill['calm_alerts']}")
+    base["monitoring"] = {
+        "quick": quick,
+        "threads": thread_config(),
+        "overhead": overhead,
+        "drift_drill": drill,
+    }
+    base["schema"] = SCHEMA
+    print(f"wrote {write_benchmark(base, destination)}")
+    return base
+
+
+def _load_or_skeleton(path: str) -> dict:
+    if os.path.exists(path):
+        try:
+            return load_record(path)
+        except (ValueError, OSError):
+            pass
+    return {"schema": SCHEMA, "config": {"note": "monitoring-only record"}}
+
+
+def smoke() -> int:
+    """CI lane: real server + sampler, injected latency spike, assert the
+    alert fires and the journal line is well-formed.  Never touches the
+    committed record."""
+    session = make_session(seed=0)
+    images = _images(session, 8, seed=0)
+    journal_path = os.path.join(tempfile.mkdtemp(prefix="obs_monitor_"),
+                                "journal.jsonl")
+    deadline_s = 30.0
+    with LocalizationServer(session, workers=2, max_delay_ms=1.0,
+                            monitor=True, monitor_interval_s=0.1,
+                            journal_path=journal_path) as server:
+        for index in range(24):  # calm traffic establishes the series
+            server.result(server.submit(images[:2]), timeout=60.0)
+        time.sleep(0.3)
+        assert server.monitor.timeline.samples > 0, "sampler never ran"
+        # Spike the reservoir the sampler scrapes: the alert must flow
+        # through the real reservoir→collector→registry→timeline→rule
+        # path, not a synthetic series.
+        with server._lock:
+            for _ in range(256):
+                server._request_latency.add(500.0)
+        fired = False
+        deadline = time.perf_counter() + deadline_s
+        while time.perf_counter() < deadline:
+            if server.monitor.journal.events(kind="alert"):
+                fired = True
+                break
+            time.sleep(0.05)
+        status = server.monitor.status()
+    if not fired:
+        print(f"SMOKE FAIL: no alert within {deadline_s}s of a 500 ms "
+              f"latency spike ({json.dumps(status['alerts'])})")
+        return 1
+    events = EventJournal.read(journal_path, strict=True)
+    alerts = [e for e in events if e["kind"] == "alert"]
+    if not alerts:
+        print("SMOKE FAIL: alert fired in memory but not in the journal")
+        return 1
+    alert = alerts[0]
+    if alert.get("rule") != "latency_p95_high" or alert.get("state") != "firing":
+        print(f"SMOKE FAIL: unexpected alert line {alert}")
+        return 1
+    kinds = [e["kind"] for e in events]
+    if "monitor_started" not in kinds or "server_started" not in kinds:
+        print(f"SMOKE FAIL: lifecycle events missing from journal: {kinds}")
+        return 1
+    print(f"alert fired: {alert['rule']} at value {alert['value']:.1f} ms; "
+          f"{len(events)} well-formed journal lines")
+    print("MONITOR SMOKE OK")
+    return 0
+
+
+def check(out: str | None = None) -> int:
+    destination = out or os.path.join(REPO_ROOT, "BENCH_serving.json")
+    try:
+        record = load_record(destination)
+    except FileNotFoundError:
+        print(f"no recorded baseline at {destination}; run the benchmark "
+              "first (without --check)")
+        return 2
+    if "monitoring" not in record:
+        print("record has no monitoring section; run bench_monitor.py first")
+        return 2
+    problems = check_record(record)
+    if problems:
+        for problem in problems:
+            print(f"GATE FAIL: {problem}")
+        return 1
+    monitoring = record["monitoring"]
+    print(f"monitoring gates OK (sampler p50 ratio "
+          f"{monitoring['overhead']['enabled_p50_ratio']:.4f}, detection "
+          f"latency {monitoring['drift_drill']['detection_latency_intervals']}"
+          f" intervals, calm alerts {monitoring['drift_drill']['calm_alerts']})")
+    return 0
+
+
+def test_monitor_baseline():
+    """Acceptance gates: sampler ≤5% p50 at default cadence, drift
+    detected within ≤3 intervals, zero calm-arm alerts."""
+    quick = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+    merged = run(quick=quick, out="/tmp/bench_monitor_test.json")
+    monitoring = merged["monitoring"]
+    assert monitoring["drift_drill"]["ok"], monitoring["drift_drill"]
+    assert monitoring["overhead"]["disabled_ok"], monitoring["overhead"]
+    if not quick:
+        assert monitoring["overhead"]["enabled_ok"], monitoring["overhead"]
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the load so both experiments run in "
+                             "seconds")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI lane: live spike→alert→journal contract; "
+                             "does not write the record")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the recorded gates without re-timing")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="merged record path "
+                             "(default: <repo>/BENCH_serving.json)")
+    args = parser.parse_args()
+    if args.smoke:
+        sys.exit(smoke())
+    if args.check:
+        sys.exit(check(args.out))
+    merged = run(quick=args.quick, out=args.out, seed=args.seed)
+    monitoring = merged["monitoring"]
+    ok = monitoring["overhead"]["enabled_ok"] \
+        and monitoring["overhead"]["disabled_ok"] \
+        and monitoring["drift_drill"]["ok"]
+    sys.exit(0 if ok else 1)

@@ -13,7 +13,8 @@ Commands
 ``fleet``       versioned model registry + multi-tenant hot-swap serving
                 (``fleet publish|list|serve|swap|gc``)
 ``obs``         observability: per-request span traces, unified metrics,
-                per-phase compute profile (``obs trace|stats|top``)
+                per-phase compute profile, continuous monitoring
+                (``obs trace|stats|top|watch|slo|alerts|journal``)
 
 Every command is deterministic given ``--seed`` (timings aside).
 """
@@ -266,7 +267,7 @@ def _build_parser() -> argparse.ArgumentParser:
     obs = sub.add_parser(
         "obs",
         help="observability demos against a compiled serving stack: span "
-             "traces, metrics snapshots, live tail",
+             "traces, metrics snapshots, live tail, SLO/alert monitoring",
     )
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
 
@@ -303,8 +304,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     otop = obs_sub.add_parser(
         "top",
-        help="live-tail p95 latency / queue depth / trace counters under a "
-             "background closed-loop load",
+        help="live-tail per-interval request/trace rates, p95 latency and "
+             "queue depth under a background closed-loop load",
     )
     _obs_common(otop)
     otop.add_argument("--duration", type=float, default=5.0,
@@ -312,6 +313,60 @@ def _build_parser() -> argparse.ArgumentParser:
     otop.add_argument("--interval", type=float, default=0.5,
                       help="seconds between refresh lines")
     otop.add_argument("--clients", type=int, default=4)
+
+    owatch = obs_sub.add_parser(
+        "watch",
+        help="live monitoring dashboard: per-route latency sparklines, SLO "
+             "error budgets, firing alerts and recent journal events from "
+             "a continuously sampled timeline",
+    )
+    _obs_common(owatch)
+    owatch.add_argument("--duration", type=float, default=6.0,
+                        help="seconds to run the background load")
+    owatch.add_argument("--interval", type=float, default=0.5,
+                        help="dashboard refresh (and timeline sampling) "
+                             "interval in seconds")
+    owatch.add_argument("--clients", type=int, default=4)
+    owatch.add_argument("--journal", default=None,
+                        help="persist the event journal as JSONL here")
+    owatch.add_argument("--spike-at", type=float, default=None,
+                        help="inject a 500 ms latency spike this many "
+                             "seconds in, to demo drift/alert firing")
+
+    oslo = obs_sub.add_parser(
+        "slo",
+        help="run a short load with the monitor attached and print each "
+             "SLO's burn rates and remaining error budget",
+    )
+    _obs_common(oslo)
+    oslo.add_argument("--duration", type=float, default=4.0)
+    oslo.add_argument("--interval", type=float, default=0.25)
+    oslo.add_argument("--clients", type=int, default=4)
+    oslo.add_argument("--json", action="store_true",
+                      help="print the raw SLO reports as JSON")
+
+    oalerts = obs_sub.add_parser(
+        "alerts",
+        help="demo the alert engine: calm load, then an injected latency "
+             "spike; prints rule states and the journal tail",
+    )
+    _obs_common(oalerts)
+    oalerts.add_argument("--duration", type=float, default=6.0)
+    oalerts.add_argument("--interval", type=float, default=0.25)
+    oalerts.add_argument("--clients", type=int, default=4)
+    oalerts.add_argument("--no-spike", action="store_true",
+                         help="skip the injected spike (expect no alerts)")
+
+    ojournal = obs_sub.add_parser(
+        "journal",
+        help="pretty-print a persisted JSONL event journal "
+             "(written via `obs watch --journal` or journal_path=)",
+    )
+    ojournal.add_argument("path", help="journal JSONL file to read")
+    ojournal.add_argument("--limit", type=int, default=None,
+                          help="only the last N events")
+    ojournal.add_argument("--kind", default=None,
+                          help="filter by event kind (alert, drift, swap, ...)")
     return parser
 
 
@@ -919,40 +974,211 @@ def _obs_stats(args) -> int:
     return 0
 
 
-def _obs_top(args) -> int:
+def _background_load(server, pool, args):
+    """Start a closed-loop hammer thread; returns (stop_event, thread)."""
     import threading
-    import time
 
     from repro.serve import closed_loop_load
 
-    server, pool = _obs_server(args, trace_sample=0.1)
     stop = threading.Event()
-    with server:
-        def hammer() -> None:
-            while not stop.is_set():
-                closed_loop_load(server, pool, clients=args.clients,
-                                 requests_per_client=8, request_size=4,
-                                 seed=args.seed)
 
-        load = threading.Thread(target=hammer, daemon=True)
-        load.start()
+    def hammer() -> None:
+        while not stop.is_set():
+            closed_loop_load(server, pool, clients=args.clients,
+                             requests_per_client=8, request_size=4,
+                             seed=args.seed)
+
+    thread = threading.Thread(target=hammer, daemon=True)
+    thread.start()
+    return stop, thread
+
+
+def _obs_top(args) -> int:
+    import time
+
+    server, pool = _obs_server(args, trace_sample=0.1)
+    with server:
+        stop, load = _background_load(server, pool, args)
         print(f"{'time':>6} {'queue':>6} {'inflight':>8} {'p50_ms':>8} "
-              f"{'p95_ms':>8} {'completed':>10} {'traced':>7}")
+              f"{'p95_ms':>8} {'req/s':>8} {'traced/s':>8} {'completed':>10}")
         started = time.perf_counter()
+        # Rates come from diffing consecutive stats() snapshots: lifetime
+        # counters say what the server has done since birth, the per-interval
+        # delta says what it is doing *now*.
+        prev_t = started
+        prev = server.stats()
         while time.perf_counter() - started < args.duration:
             time.sleep(args.interval)
+            now = time.perf_counter()
             stats = server.stats()
+            dt = max(1e-9, now - prev_t)
+            req_rate = (stats["requests"]["completed"]
+                        - prev["requests"]["completed"]) / dt
+            traced_rate = (stats["tracing"]["recorded"]
+                           - prev["tracing"]["recorded"]) / dt
             latency = stats["request_latency_ms"]
-            print(f"{time.perf_counter() - started:>6.1f} "
+            print(f"{now - started:>6.1f} "
                   f"{stats['queue_depth']:>6} "
                   f"{stats['in_flight_batches']:>8} "
                   f"{(latency['p50_ms'] or 0.0):>8.2f} "
                   f"{(latency['p95_ms'] or 0.0):>8.2f} "
-                  f"{stats['requests']['completed']:>10} "
-                  f"{stats['tracing']['recorded']:>7}")
+                  f"{req_rate:>8.1f} "
+                  f"{traced_rate:>8.1f} "
+                  f"{stats['requests']['completed']:>10}")
+            prev, prev_t = stats, now
         stop.set()
         load.join(timeout=30.0)
     print("done")
+    return 0
+
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values, width: int = 24) -> str:
+    """Unicode sparkline of the last ``width`` values."""
+    vals = [v for v in values if v is not None][-width:]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_BLOCKS[0] * len(vals)
+    top = len(_SPARK_BLOCKS) - 1
+    return "".join(
+        _SPARK_BLOCKS[min(top, int((v - lo) / span * top + 0.5))]
+        for v in vals)
+
+
+def _monitored_server(args, **kwargs):
+    return _obs_server(args, trace_sample=0.1, monitor=True,
+                       monitor_interval_s=args.interval, **kwargs)
+
+
+def _obs_watch(args) -> int:
+    import time
+
+    server, pool = _monitored_server(args, journal_path=args.journal)
+    spiked = False
+    with server:
+        stop, load = _background_load(server, pool, args)
+        started = time.perf_counter()
+        while time.perf_counter() - started < args.duration:
+            time.sleep(args.interval)
+            elapsed = time.perf_counter() - started
+            if (args.spike_at is not None and not spiked
+                    and elapsed >= args.spike_at):
+                # Inject straight into the latency reservoir the sampler
+                # scrapes, so the spike flows through the real
+                # reservoir -> registry -> timeline -> alert path.
+                with server._lock:
+                    for _ in range(256):
+                        server._request_latency.add(500.0)
+                spiked = True
+            stats = server.stats()
+            mon = stats["monitor"]
+            timeline = server.monitor.timeline
+            req_rate = timeline.latest("serve_requests_total",
+                                       {"status": "completed"}, "rate") or 0.0
+            print(f"t={elapsed:>5.1f}s  queue {stats['queue_depth']}  "
+                  f"inflight {stats['in_flight_batches']}  "
+                  f"{req_rate:7.1f} req/s")
+            for route in sorted(stats["route_stats"]):
+                series = timeline.values("serve_route_latency_ms",
+                                         {"route": route}, "p95")
+                last = series[-1][1] if series else 0.0
+                print(f"  route {route:<10} p95 {last:>8.2f} ms  "
+                      f"{_sparkline([v for _, v in series])}")
+            for report in mon["slos"]:
+                print(f"  slo {report['slo']:<16} "
+                      f"budget {report['budget_remaining'] * 100:>5.1f}%  "
+                      f"burn {report['fast']['burn_rate']:.1f}x/"
+                      f"{report['slow']['burn_rate']:.1f}x"
+                      f"{'  BREACHING' if report['breaching'] else ''}")
+            firing = [r["rule"] for r in mon["alerts"]["rules"]
+                      if r.get("state") == "firing"]
+            events = server.monitor.journal.events(limit=3)
+            tail = ", ".join(
+                f"{e['kind']}:{e.get('rule', e.get('model', ''))}"
+                for e in events)
+            print(f"  alerts: {', '.join(firing) if firing else 'none firing'}"
+                  f" · {mon['journal']['events']} events ({tail})")
+        stop.set()
+        load.join(timeout=30.0)
+    if args.journal:
+        print(f"journal written to {args.journal}")
+    return 0
+
+
+def _obs_slo(args) -> int:
+    import json
+    import time
+
+    server, pool = _monitored_server(args)
+    with server:
+        stop, load = _background_load(server, pool, args)
+        time.sleep(args.duration)
+        stop.set()
+        load.join(timeout=30.0)
+        reports = server.monitor.slo_engine.last_reports()
+        if args.json:
+            print(json.dumps(reports, indent=2))
+        else:
+            print(f"{'slo':<18} {'kind':<10} {'budget':>7} {'fast':>7} "
+                  f"{'slow':>7} {'state':>10}")
+            for r in reports:
+                state = "BREACHING" if r["breaching"] else "ok"
+                print(f"{r['slo']:<18} {r['kind']:<10} "
+                      f"{r['budget_remaining'] * 100:>6.1f}% "
+                      f"{r['fast']['burn_rate']:>6.1f}x "
+                      f"{r['slow']['burn_rate']:>6.1f}x {state:>10}")
+    return 0
+
+
+def _obs_alerts(args) -> int:
+    import time
+
+    server, pool = _monitored_server(args)
+    with server:
+        stop, load = _background_load(server, pool, args)
+        time.sleep(args.duration / 2)
+        if not args.no_spike:
+            with server._lock:
+                for _ in range(256):
+                    server._request_latency.add(500.0)
+            print(f"[{args.duration / 2:.1f}s] injected 500 ms latency spike")
+        time.sleep(args.duration / 2)
+        stop.set()
+        load.join(timeout=30.0)
+        status = server.monitor.alerts.status()
+        print(f"{'rule':<18} {'type':<14} {'state':>8}  value")
+        for rule in status["rules"]:
+            print(f"{rule['rule']:<18} {rule['type']:<14} "
+                  f"{rule['state']:>8}  {rule.get('value', '-')}")
+        print(f"\n{status['fired']} fired, {status['resolved']} resolved; "
+              "journal tail:")
+        for event in server.monitor.journal.events(limit=8):
+            rule = event.get("rule", event.get("model", ""))
+            print(f"  #{event['seq']} t={event['ts']:.3f} "
+                  f"{event['kind']:<10} {rule} "
+                  f"{event.get('state', '')}")
+    return 0
+
+
+def _obs_journal(args) -> int:
+    from repro.obs import EventJournal
+
+    events = EventJournal.read(args.path, limit=args.limit, kind=args.kind)
+    if not events:
+        print("no events")
+        return 0
+    for event in events:
+        extra = {k: v for k, v in event.items()
+                 if k not in ("schema", "seq", "ts", "kind")}
+        detail = " ".join(f"{k}={v}" for k, v in extra.items()
+                          if not isinstance(v, (dict, list)))
+        print(f"#{event['seq']:>4} ts={event['ts']:.3f} "
+              f"{event['kind']:<14} {detail}")
     return 0
 
 
@@ -961,6 +1187,10 @@ def _cmd_obs(args) -> int:
         "trace": _obs_trace,
         "stats": _obs_stats,
         "top": _obs_top,
+        "watch": _obs_watch,
+        "slo": _obs_slo,
+        "alerts": _obs_alerts,
+        "journal": _obs_journal,
     }
     return handlers[args.obs_command](args)
 

@@ -181,6 +181,8 @@ class FleetServer(LocalizationServer):
         with self._lock:
             self.set_route(model_id, key)
             self._deployed[model_id] = {"key": key, "version": version}
+        self._journal_event("deploy", model=model_id, version=version,
+                            key=key)
         return info
 
     def deployments(self) -> dict:
@@ -261,6 +263,7 @@ class FleetServer(LocalizationServer):
         }
         with self._lock:
             self._swap_log.append(report)
+        self._journal_event("swap", **report)
         return report
 
     def _drain_key(self, key: str, timeout: float = 60.0) -> float:
@@ -323,6 +326,8 @@ class FleetServer(LocalizationServer):
         with self._lock:
             self._route_stats[new_key] = RouteStats()  # fresh comparison window
             self._canaries[model_id] = canary
+        self._journal_event("canary_start", model=model_id, version=version,
+                            key=new_key, fraction=policy.fraction)
         return canary.status()
 
     def canary_status(self, model_id: str) -> dict | None:
@@ -497,6 +502,7 @@ class FleetServer(LocalizationServer):
             with self._lock:
                 self._canaries.pop(model, None)
                 self._canary_log.append(outcome)
+            self._journal_event("canary", **outcome)
             canary.done.set()
 
     # -- observability -------------------------------------------------

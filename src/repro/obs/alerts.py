@@ -1,0 +1,542 @@
+"""Alert rules, statistical drift detectors, and the persisted event journal.
+
+Three rule families watch the :class:`Timeline`:
+
+:class:`ThresholdRule`
+    Classic level alert with ``for``-duration hysteresis: the rule must be
+    violating continuously for ``for_s`` seconds before it transitions
+    ``ok -> pending -> firing``; recovery emits a ``resolved`` event.
+
+:class:`BurnRateRule`
+    Fires when a named :class:`~repro.obs.slo.Slo` reports ``breaching``
+    (both burn windows over the limit), with the same hysteresis.
+
+:class:`DriftRule`
+    Statistical change detection on a series field, using either an online
+    **Page–Hinkley** test (self-normalizing, one-sided or two-sided) or a
+    **rolling-mean shift** test (recent short-window mean vs a frozen
+    reference window, z-scored by the reference std).  Drift detections are
+    instantaneous events, not levels: the rule fires one ``drift`` event,
+    resets its detector, and goes back to watching.
+
+Every state transition is appended to an :class:`EventJournal`: a bounded
+in-memory deque plus (optionally) an append-only JSONL file, the same
+journal the fleet layer uses for deploy/swap/canary lifecycle events.  Each
+line is a self-describing JSON object with ``schema``/``seq``/``ts``/
+``kind`` keys.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections import deque
+
+EVENT_SCHEMA = "repro.obs.events.v1"
+
+_REQUIRED_EVENT_KEYS = ("schema", "seq", "ts", "kind")
+
+_OPS = {
+    "le": lambda v, t: v <= t,
+    "lt": lambda v, t: v < t,
+    "ge": lambda v, t: v >= t,
+    "gt": lambda v, t: v > t,
+}
+
+
+class AlertError(ValueError):
+    """Raised on invalid rule definitions or malformed journal lines."""
+
+
+# ---------------------------------------------------------------------------
+# event journal
+# ---------------------------------------------------------------------------
+
+
+class EventJournal:
+    """Bounded in-memory event log with optional JSONL persistence.
+
+    ``append`` stamps each event with a monotonically increasing ``seq``
+    and wall-clock ``ts``, keeps the last ``capacity`` events in memory,
+    and (when ``path`` is set) appends one JSON line per event to the
+    file, flushing after every write so a crash loses at most the line
+    being written.
+    """
+
+    def __init__(self, path=None, capacity: int = 1024, clock=time.time):
+        self.path = str(path) if path is not None else None
+        self.capacity = int(capacity)
+        self.clock = clock
+        self._events = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._fh = None
+        self._seq = 0
+        self.write_errors = 0
+        if self.path is not None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+
+    def append(self, kind: str, **fields):
+        """Record one event; returns the stamped event dict."""
+        with self._lock:
+            self._seq += 1
+            event = {
+                "schema": EVENT_SCHEMA,
+                "seq": self._seq,
+                "ts": round(self.clock(), 6),
+                "kind": kind,
+            }
+            for k, v in fields.items():
+                if k not in event:
+                    event[k] = v
+            self._events.append(event)
+            if self._fh is not None:
+                try:
+                    self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+                    self._fh.flush()
+                except (OSError, ValueError):
+                    self.write_errors += 1
+            return event
+
+    def events(self, limit=None, kind=None):
+        """Most-recent-last view of buffered events, optionally filtered."""
+        with self._lock:
+            out = list(self._events)
+        if kind is not None:
+            out = [e for e in out if e.get("kind") == kind]
+        if limit is not None:
+            out = out[-int(limit):]
+        return out
+
+    def __len__(self):
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def stats(self):
+        with self._lock:
+            return {
+                "events": len(self._events),
+                "seq": self._seq,
+                "path": self.path,
+                "write_errors": self.write_errors,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                finally:
+                    self._fh = None
+
+    # -- offline side --------------------------------------------------
+
+    @staticmethod
+    def validate_line(line: str):
+        """Parse one journal line, raising :class:`AlertError` if malformed."""
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise AlertError(f"malformed journal line: {exc}") from exc
+        if not isinstance(event, dict):
+            raise AlertError("journal line is not a JSON object")
+        missing = [k for k in _REQUIRED_EVENT_KEYS if k not in event]
+        if missing:
+            raise AlertError(f"journal line missing keys {missing}")
+        if event["schema"] != EVENT_SCHEMA:
+            raise AlertError(f"unexpected journal schema {event['schema']!r}")
+        return event
+
+    @classmethod
+    def read(cls, path, limit=None, kind=None, strict=False):
+        """Read events back from a JSONL journal file.
+
+        Malformed lines are skipped (or raise, with ``strict=True``).
+        """
+        events = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(cls.validate_line(line))
+                except AlertError:
+                    if strict:
+                        raise
+        if kind is not None:
+            events = [e for e in events if e.get("kind") == kind]
+        if limit is not None:
+            events = events[-int(limit):]
+        return events
+
+
+# ---------------------------------------------------------------------------
+# drift detectors
+# ---------------------------------------------------------------------------
+
+
+class PageHinkley:
+    """Online Page–Hinkley change detector with self-normalization.
+
+    Observations are standardized against a running mean/std (Welford)
+    before the PH statistic is updated, so ``delta`` (drift tolerance) and
+    ``lamb`` (alarm threshold) are in units of the series' own sigma —
+    scale-free across millisecond latencies and unit error rates.  With
+    ``direction="up"`` only upward shifts alarm (the right default for
+    latency); ``"down"`` and ``"both"`` are symmetric.
+
+    The defaults are deliberately conservative: sampled serving series are
+    autocorrelated (consecutive percentile points share most of their
+    reservoir window), which inflates the PH cumulative sum relative to
+    the i.i.d. theory — a low ``lamb`` false-fires on calm traffic.
+    Tighten (``lamb≈12``) only for series whose points are independent,
+    e.g. per-interval windows.
+    """
+
+    def __init__(self, delta: float = 0.5, lamb: float = 15.0,
+                 min_samples: int = 20, direction: str = "up",
+                 clamp: float = 10.0):
+        if direction not in ("up", "down", "both"):
+            raise AlertError(f"unknown direction {direction!r}")
+        self.delta = float(delta)
+        self.lamb = float(lamb)
+        self.min_samples = int(min_samples)
+        self.direction = direction
+        self.clamp = float(clamp)
+        self.reset()
+
+    def reset(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._cum_up = 0.0
+        self._min_cum_up = 0.0
+        self._cum_dn = 0.0
+        self._max_cum_dn = 0.0
+
+    @property
+    def statistic(self) -> float:
+        up = self._cum_up - self._min_cum_up
+        dn = self._max_cum_dn - self._cum_dn
+        if self.direction == "up":
+            return up
+        if self.direction == "down":
+            return dn
+        return max(up, dn)
+
+    def update(self, x: float) -> bool:
+        """Feed one observation; returns ``True`` when a shift is detected."""
+        if self.n >= 2:
+            std = math.sqrt(self._m2 / (self.n - 1))
+            z = (x - self._mean) / std if std > 1e-12 else 0.0
+            z = max(-self.clamp, min(self.clamp, z))
+        else:
+            z = 0.0
+        # Welford update with the raw value (baseline keeps adapting slowly)
+        self.n += 1
+        d = x - self._mean
+        self._mean += d / self.n
+        self._m2 += d * (x - self._mean)
+        if self.n <= self.min_samples:
+            return False
+        self._cum_up += z - self.delta
+        self._min_cum_up = min(self._min_cum_up, self._cum_up)
+        self._cum_dn += z + self.delta
+        self._max_cum_dn = max(self._max_cum_dn, self._cum_dn)
+        return self.statistic > self.lamb
+
+
+class RollingMeanShift:
+    """Shift test: recent short-window mean vs a frozen reference window.
+
+    Keeps the last ``long + short`` observations; the oldest ``long`` form
+    the reference, the newest ``short`` the probe.  Alarms when the probe
+    mean deviates from the reference mean by more than ``z_threshold``
+    reference standard deviations (``min_std`` guards constant series).
+    """
+
+    def __init__(self, short: int = 3, long: int = 24,
+                 z_threshold: float = 4.0, direction: str = "up",
+                 min_std: float = 1e-9):
+        if short < 1 or long < 2:
+            raise AlertError("need short >= 1 and long >= 2")
+        if direction not in ("up", "down", "both"):
+            raise AlertError(f"unknown direction {direction!r}")
+        self.short = int(short)
+        self.long = int(long)
+        self.z_threshold = float(z_threshold)
+        self.direction = direction
+        self.min_std = float(min_std)
+        self.reset()
+
+    def reset(self) -> None:
+        self._window = deque(maxlen=self.short + self.long)
+        self.last_z = 0.0
+
+    @property
+    def n(self) -> int:
+        return len(self._window)
+
+    @property
+    def statistic(self) -> float:
+        return self.last_z
+
+    def update(self, x: float) -> bool:
+        self._window.append(x)
+        if len(self._window) < self.short + self.long:
+            return False
+        vals = list(self._window)
+        ref, probe = vals[: self.long], vals[self.long:]
+        ref_mean = sum(ref) / len(ref)
+        ref_var = sum((v - ref_mean) ** 2 for v in ref) / max(1, len(ref) - 1)
+        ref_std = max(math.sqrt(ref_var), self.min_std)
+        z = (sum(probe) / len(probe) - ref_mean) / ref_std
+        self.last_z = z
+        if self.direction == "up":
+            return z > self.z_threshold
+        if self.direction == "down":
+            return z < -self.z_threshold
+        return abs(z) > self.z_threshold
+
+
+# ---------------------------------------------------------------------------
+# rules
+# ---------------------------------------------------------------------------
+
+
+class _Rule:
+    """Shared rule surface: ``check`` returns ``(value, violating)``."""
+
+    #: instantaneous rules emit one event per detection and never latch
+    instantaneous = False
+    event_kind = "alert"
+
+    def __init__(self, name, for_s=0.0, description=""):
+        self.name = name
+        self.for_s = float(for_s)
+        self.description = description
+
+    def check(self, timeline, slo_reports, now):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self):
+        return {"rule": self.name, "type": type(self).__name__,
+                "for_s": self.for_s}
+
+
+class ThresholdRule(_Rule):
+    """Level alert on one series field: ``field op threshold`` ⇒ violating."""
+
+    def __init__(self, name, series, *, field="value", labels=None,
+                 op="gt", threshold=0.0, for_s=0.0, description=""):
+        super().__init__(name, for_s=for_s, description=description)
+        if op not in _OPS:
+            raise AlertError(f"rule {name!r}: unknown op {op!r}")
+        self.series = series
+        self.field = field
+        self.labels = labels
+        self.op = op
+        self.threshold = float(threshold)
+
+    def check(self, timeline, slo_reports, now):
+        value = timeline.latest(self.series, self.labels, self.field)
+        if value is None:
+            return None, False
+        return value, _OPS[self.op](value, self.threshold)
+
+    def describe(self):
+        d = super().describe()
+        d.update(series=self.series, field=self.field, op=self.op,
+                 threshold=self.threshold)
+        return d
+
+
+class BurnRateRule(_Rule):
+    """Fires while the named SLO reports ``breaching`` in its last evaluation."""
+
+    def __init__(self, name, slo_name, *, for_s=0.0, description=""):
+        super().__init__(name, for_s=for_s, description=description)
+        self.slo_name = slo_name
+
+    def check(self, timeline, slo_reports, now):
+        for report in slo_reports:
+            if report.get("slo") == self.slo_name:
+                return report["fast"]["burn_rate"], bool(report["breaching"])
+        return None, False
+
+    def describe(self):
+        d = super().describe()
+        d["slo"] = self.slo_name
+        return d
+
+
+class DriftRule(_Rule):
+    """Statistical drift watch on one series field.
+
+    ``detector="page_hinkley"`` (default) or ``"rolling_mean"``; extra
+    keyword arguments are forwarded to the detector constructor.  The rule
+    consumes only points newer than the last one it has seen, so evaluation
+    cadence and sampling cadence may differ freely.
+    """
+
+    instantaneous = True
+    event_kind = "drift"
+
+    def __init__(self, name, series, *, field="p95", labels=None,
+                 detector="page_hinkley", description="", **detector_kw):
+        super().__init__(name, for_s=0.0, description=description)
+        self.series = series
+        self.field = field
+        self.labels = labels
+        self.detector_name = detector
+        if detector == "page_hinkley":
+            self.detector = PageHinkley(**detector_kw)
+        elif detector == "rolling_mean":
+            self.detector = RollingMeanShift(**detector_kw)
+        else:
+            raise AlertError(f"rule {name!r}: unknown detector {detector!r}")
+        self._last_t = None
+        self.detections = 0
+
+    def check(self, timeline, slo_reports, now):
+        points = timeline.values(self.series, self.labels, self.field,
+                                 since=None)
+        fired = False
+        value = None
+        for t, v in points:
+            if self._last_t is not None and t <= self._last_t:
+                continue
+            self._last_t = t
+            value = v
+            if self.detector.update(v):
+                fired = True
+        if fired:
+            self.detections += 1
+            self.detector.reset()
+        return value, fired
+
+    def describe(self):
+        d = super().describe()
+        d.update(series=self.series, field=self.field,
+                 detector=self.detector_name, detections=self.detections)
+        return d
+
+
+# ---------------------------------------------------------------------------
+# engine
+# ---------------------------------------------------------------------------
+
+
+class AlertEngine:
+    """Evaluates rules against the timeline, tracking pending/firing state.
+
+    Level rules (threshold, burn-rate) follow ``ok -> pending -> firing``:
+    a rule must be violating continuously for its ``for_s`` before firing
+    (``for_s=0`` fires on the first violating evaluation), and a firing
+    rule emits a ``resolved`` event when the condition clears.
+    Instantaneous rules (drift) emit one event per detection and return to
+    ``ok``.  Transitions are appended to the journal (when present) with
+    ``kind="alert"``/``"drift"``.
+    """
+
+    def __init__(self, timeline, rules=(), slo_engine=None, journal=None):
+        self.timeline = timeline
+        self.rules = list(rules)
+        self.slo_engine = slo_engine
+        self.journal = journal
+        self._states = {}  # rule name -> {"state", "since", "value"}
+        self.evaluations = 0
+        self.fired = 0
+        self.resolved = 0
+        self.rule_errors = 0
+
+    def add_rule(self, rule) -> None:
+        self.rules.append(rule)
+
+    def _emit(self, rule, state, value, now, extra=None):
+        if self.journal is None:
+            return
+        event = {"rule": rule.name, "state": state}
+        if value is not None:
+            event["value"] = round(float(value), 6)
+        if rule.description:
+            event["description"] = rule.description
+        event.update(rule.describe())
+        if extra:
+            event.update(extra)
+        self.journal.append(rule.event_kind, **event)
+
+    def evaluate(self, now=None):
+        """Run every rule once; returns the current per-rule status list."""
+        if now is None:
+            now = self.timeline.clock()
+        slo_reports = (
+            self.slo_engine.evaluate(now) if self.slo_engine is not None else []
+        )
+        self.evaluations += 1
+        statuses = []
+        for rule in self.rules:
+            entry = self._states.setdefault(
+                rule.name, {"state": "ok", "since": None, "value": None}
+            )
+            try:
+                value, violating = rule.check(self.timeline, slo_reports, now)
+            except Exception:
+                self.rule_errors += 1
+                value, violating = None, False
+            entry["value"] = value
+            if rule.instantaneous:
+                if violating:
+                    self.fired += 1
+                    self._emit(rule, "fired", value, now)
+            else:
+                state = entry["state"]
+                if violating:
+                    if state == "ok":
+                        entry["since"] = now
+                        state = "pending"
+                    if state == "pending" and now - entry["since"] >= rule.for_s:
+                        state = "firing"
+                        self.fired += 1
+                        self._emit(rule, "firing", value, now,
+                                   {"pending_s": round(now - entry["since"], 3)})
+                else:
+                    if state == "firing":
+                        self.resolved += 1
+                        self._emit(rule, "resolved", value, now)
+                    state = "ok"
+                    entry["since"] = None
+                entry["state"] = state
+            statuses.append(self.status_of(rule))
+        return statuses
+
+    def status_of(self, rule):
+        entry = self._states.get(rule.name, {"state": "ok", "since": None,
+                                             "value": None})
+        status = rule.describe()
+        status["state"] = entry["state"] if not rule.instantaneous else "watch"
+        value = entry.get("value")
+        if value is not None:
+            status["value"] = round(float(value), 6)
+        return status
+
+    def status(self):
+        return {
+            "evaluations": self.evaluations,
+            "fired": self.fired,
+            "resolved": self.resolved,
+            "rule_errors": self.rule_errors,
+            "rules": [self.status_of(rule) for rule in self.rules],
+        }
+
+    def firing(self):
+        """Names of level rules currently in the firing state."""
+        return [name for name, e in self._states.items()
+                if e["state"] == "firing"]

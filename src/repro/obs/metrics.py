@@ -35,11 +35,14 @@ Design notes
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import deque
 from typing import Callable, Iterable, Optional
 
 import numpy as np
+
+_log = logging.getLogger("repro.obs.metrics")
 
 __all__ = [
     "METRICS_SCHEMA",
@@ -110,6 +113,10 @@ class Histogram:
 
     ``count``
         lifetime number of observations (never shrinks);
+    ``sum``
+        lifetime sum of all observed values (never shrinks) — with
+        ``count`` this gives scrape-side rate/mean math the conformant
+        Prometheus summary pair;
     ``window``
         number of samples the percentiles below describe — ``min(count,
         window_size)``;
@@ -148,11 +155,12 @@ class Histogram:
 
     def summary(self) -> dict:
         if not self._samples:
-            return {"count": self.count, "window": 0, "p50": None,
-                    "p95": None, "p99": None, "mean": None}
+            return {"count": self.count, "sum": self.total, "window": 0,
+                    "p50": None, "p95": None, "p99": None, "mean": None}
         data = np.asarray(self._samples)
         return {
             "count": self.count,
+            "sum": self.total,
             "window": int(data.size),
             "p50": float(np.percentile(data, 50)),
             "p95": float(np.percentile(data, 95)),
@@ -192,6 +200,7 @@ class MetricsRegistry:
         self._series: dict[tuple, object] = {}
         self._meta: dict[tuple, tuple] = {}  # key -> (name, labels, kind)
         self._collectors: list[Callable[[], Iterable[dict]]] = []
+        self.collector_errors = 0
 
     # -- direct series ----------------------------------------------------
 
@@ -256,17 +265,28 @@ class MetricsRegistry:
                 out.append(entry)
             collectors = list(self._collectors)
         for fn in collectors:
-            for entry in fn():
-                normalized = {
-                    "name": entry["name"],
-                    "labels": dict(entry.get("labels") or {}),
-                    "kind": entry.get("kind", "gauge"),
-                }
-                if normalized["kind"] == "histogram":
-                    normalized["summary"] = entry["summary"]
-                else:
-                    normalized["value"] = float(entry["value"])
-                out.append(normalized)
+            # One misbehaving collector must not take down the scrape for
+            # every other series: log, count, and skip it.
+            try:
+                collected = []
+                for entry in fn():
+                    normalized = {
+                        "name": entry["name"],
+                        "labels": dict(entry.get("labels") or {}),
+                        "kind": entry.get("kind", "gauge"),
+                    }
+                    if normalized["kind"] == "histogram":
+                        normalized["summary"] = entry["summary"]
+                    else:
+                        normalized["value"] = float(entry["value"])
+                    collected.append(normalized)
+            except Exception:
+                self.collector_errors += 1
+                _log.warning(
+                    "metrics collector %r raised; skipping its series",
+                    getattr(fn, "__qualname__", fn), exc_info=True)
+                continue
+            out.extend(collected)
         out.sort(key=lambda e: (e["name"], sorted(e["labels"].items())))
         return out
 
@@ -278,10 +298,11 @@ class MetricsRegistry:
         """Prometheus text exposition (format 0.0.4).
 
         Counters/gauges emit one sample each.  Histograms emit a summary
-        family: ``name{quantile="0.5"}`` etc. over the window, plus
-        ``name_count`` (lifetime) and ``name_window`` (samples behind
-        the quantiles) — the count/window split mirrors
-        :meth:`Histogram.summary`.
+        family: ``name{quantile="0.5"}`` etc. over the window, plus the
+        conformant ``name_count`` / ``name_sum`` lifetime pair (so
+        scrape-side ``rate(sum)/rate(count)`` mean math works) and
+        ``name_window`` (samples behind the quantiles) — the count/window
+        split mirrors :meth:`Histogram.summary`.
         """
         lines = []
         typed: set = set()
@@ -304,6 +325,9 @@ class MetricsRegistry:
                 base_labels = _prom_labels(entry["labels"])
                 lines.append("%s_count%s %d" % (name, base_labels,
                                                 summ["count"]))
+                if summ.get("sum") is not None:
+                    lines.append("%s_sum%s %s" % (name, base_labels,
+                                                  _prom_value(summ["sum"])))
                 lines.append("%s_window%s %d" % (name, base_labels,
                                                  summ["window"]))
             else:

@@ -1,0 +1,205 @@
+"""`repro.obs.monitor` — the continuous-monitoring facade.
+
+A :class:`Monitor` wires the pieces of this package into one object with a
+server-shaped lifecycle:
+
+* a :class:`~repro.obs.timeline.Timeline` sampling a ``MetricsRegistry`` at
+  fixed cadence on a background thread;
+* a :class:`~repro.obs.slo.SloEngine` evaluating declarative objectives
+  over the timeline;
+* an :class:`~repro.obs.alerts.AlertEngine` running threshold / burn-rate /
+  drift rules after every sample;
+* an :class:`~repro.obs.alerts.EventJournal` receiving every alert plus any
+  lifecycle events pushed in via :meth:`Monitor.event` (the serving and
+  fleet layers journal start/stop, shard restarts, deploys, swaps, and
+  canary verdicts through that hook).
+
+``LocalizationServer(monitor=True)`` builds one of these against its own
+registry with :func:`default_serving_slos` / :func:`default_serving_rules`
+and starts/stops it with the server.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .alerts import AlertEngine, DriftRule, EventJournal, ThresholdRule
+from .slo import Slo, SloEngine
+from .timeline import DEFAULT_INTERVAL_S, DEFAULT_RETENTION, Timeline
+
+MONITOR_SCHEMA = "repro.obs.monitor.v1"
+
+
+def default_serving_slos(
+    latency_threshold_ms: float = 50.0,
+    latency_target: float = 0.95,
+    error_target: float = 0.99,
+    fast_window_s: float = 15.0,
+    slow_window_s: float = 120.0,
+):
+    """The two objectives every serving deployment starts with.
+
+    1. ``request_latency``: p95 of ``serve_request_latency_ms`` at or under
+       ``latency_threshold_ms`` for ``latency_target`` of samples.
+    2. ``request_errors``: at least ``error_target`` of requests complete,
+       from ``serve_requests_total{status=...}`` counter deltas.
+    """
+    common = dict(fast_window_s=fast_window_s, slow_window_s=slow_window_s)
+    return [
+        Slo.latency(
+            "request_latency",
+            latency_threshold_ms,
+            target=latency_target,
+            description=f"p95 request latency <= {latency_threshold_ms} ms",
+            **common,
+        ),
+        Slo.error_rate(
+            "request_errors",
+            target=error_target,
+            description=f"request success rate >= {error_target:.2%}",
+            **common,
+        ),
+    ]
+
+
+def default_serving_rules(
+    latency_spike_ms: float = 250.0,
+    spike_for_s: float = 0.0,
+    trace_loss_for_s: float = 2.0,
+):
+    """Default watch set for a serving deployment.
+
+    * ``latency_p95_high``: hard ceiling on p95 request latency;
+    * ``latency_drift``: Page–Hinkley watch for sustained upward latency
+      shift (the STELLAR-style temporal-drift signal);
+    * ``error_rate_shift``: rolling-mean watch on the failure rate;
+    * ``trace_loss``: sustained tracer buffer eviction, so dropped spans
+      are alertable like any other series.
+    """
+    return [
+        ThresholdRule(
+            "latency_p95_high",
+            "serve_request_latency_ms",
+            field="p95",
+            op="gt",
+            threshold=latency_spike_ms,
+            for_s=spike_for_s,
+            description=f"p95 request latency above {latency_spike_ms} ms",
+        ),
+        DriftRule(
+            "latency_drift",
+            "serve_request_latency_ms",
+            field="p95",
+            detector="page_hinkley",
+            direction="up",
+            description="sustained upward shift in p95 request latency",
+        ),
+        DriftRule(
+            "error_rate_shift",
+            "serve_requests_total",
+            field="rate",
+            labels={"status": "failed"},
+            detector="rolling_mean",
+            direction="up",
+            description="failure rate shifted above its reference window",
+        ),
+        ThresholdRule(
+            "trace_loss",
+            "serve_traces_dropped_total",
+            field="rate",
+            op="gt",
+            threshold=0.0,
+            for_s=trace_loss_for_s,
+            description="tracer evicting spans (buffer too small or unread)",
+        ),
+    ]
+
+
+class Monitor:
+    """Continuous monitoring for one ``MetricsRegistry``.
+
+    Parameters mirror the composed pieces: sampling ``interval_s`` and
+    ``retention`` go to the :class:`Timeline`, ``slos``/``rules`` seed the
+    engines, and ``journal_path`` (or a prebuilt ``journal``) selects JSONL
+    persistence.  After every timeline sample the SLO and alert engines run
+    once, so detection latency is bounded by the sampling cadence.
+    """
+
+    def __init__(
+        self,
+        registry,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        retention: int = DEFAULT_RETENTION,
+        slos=(),
+        rules=(),
+        journal: EventJournal | None = None,
+        journal_path=None,
+        journal_capacity: int = 1024,
+        clock=time.time,
+    ):
+        self.journal = journal if journal is not None else EventJournal(
+            path=journal_path, capacity=journal_capacity, clock=clock
+        )
+        self._owns_journal = journal is None
+        self.timeline = Timeline(
+            registry, interval_s=interval_s, retention=retention, clock=clock
+        )
+        self.slo_engine = SloEngine(self.timeline, slos)
+        self.alerts = AlertEngine(
+            self.timeline,
+            rules,
+            slo_engine=self.slo_engine,
+            journal=self.journal,
+        )
+        self.timeline.add_listener(self._on_sample)
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self.timeline.running
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.journal.append("monitor_started",
+                            interval_s=self.timeline.interval_s)
+        self.timeline.start()
+
+    def stop(self) -> None:
+        was_running = self.running
+        self.timeline.stop(final_sample=True)
+        if was_running:
+            self.journal.append(
+                "monitor_stopped",
+                samples=self.timeline.samples,
+                alerts_fired=self.alerts.fired,
+            )
+        if self._owns_journal:
+            self.journal.close()
+
+    def _on_sample(self, timeline, now) -> None:
+        self.alerts.evaluate(now)
+
+    # -- hooks ---------------------------------------------------------
+
+    def event(self, kind: str, **fields):
+        """Journal an external lifecycle event (deploy, swap, canary, ...)."""
+        return self.journal.append(kind, **fields)
+
+    def tick(self, now=None) -> None:
+        """One manual sample+evaluate step (deterministic driving)."""
+        self.timeline.sample_once(now=now)
+
+    # -- reporting -----------------------------------------------------
+
+    def status(self):
+        """JSON-serializable summary for ``stats()`` / the CLI."""
+        return {
+            "schema": MONITOR_SCHEMA,
+            "running": self.running,
+            "timeline": self.timeline.stats(),
+            "slos": self.slo_engine.last_reports(),
+            "alerts": self.alerts.status(),
+            "journal": self.journal.stats(),
+        }

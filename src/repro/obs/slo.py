@@ -1,0 +1,245 @@
+"""Declarative SLOs evaluated over a :class:`Timeline` with burn rates.
+
+An :class:`Slo` states an objective about served traffic — "p95 request
+latency stays at or under 25 ms for 95% of samples", "at least 99% of
+requests succeed" — and is evaluated continuously against the timeline
+using the multi-window burn-rate model from Prometheus/SRE practice:
+
+* the **error budget** is ``1 - target`` (a 0.95 target leaves a 5% budget);
+* the **bad fraction** of a window is the share of that window that violates
+  the objective;
+* the **burn rate** of a window is ``bad_fraction / budget`` — 1.0 means the
+  budget is being consumed exactly as fast as it accrues, higher means it
+  will be exhausted early;
+* an SLO is **breaching** only when *both* a fast and a slow window burn
+  above ``max_burn_rate``: the slow window filters out blips, the fast
+  window guarantees the problem is still happening now.
+
+Two objective kinds cover the serving stack:
+
+``threshold``
+    Classifies each sampled point of one series field (e.g. the ``p95``
+    field of ``serve_request_latency_ms``) as good/bad against a threshold.
+
+``ratio``
+    Sums per-interval counter deltas of a numerator (bad events) over a
+    denominator (total events) — the natural shape for request error rates,
+    using ``serve_requests_total{status=...}`` deltas from the timeline.
+
+Reports are plain JSON-serializable dicts so they flow straight into
+``stats()``, the CLI, and the event journal.
+"""
+
+from __future__ import annotations
+
+SLO_SCHEMA = "repro.obs.slo.v1"
+
+_OPS = {
+    "le": lambda v, t: v <= t,
+    "lt": lambda v, t: v < t,
+    "ge": lambda v, t: v >= t,
+    "gt": lambda v, t: v > t,
+}
+
+
+class SloError(ValueError):
+    """Raised on invalid SLO definitions."""
+
+
+def _spec_list(spec):
+    """Normalize a series spec into ``[(name, labels-or-None)]``."""
+    if spec is None:
+        return []
+    if isinstance(spec, str):
+        return [(spec, None)]
+    if isinstance(spec, tuple) and len(spec) == 2 and isinstance(spec[0], str):
+        return [spec]
+    return [(s, None) if isinstance(s, str) else tuple(s) for s in spec]
+
+
+class Slo:
+    """One declarative objective with fast/slow burn-rate windows.
+
+    Threshold kind: ``Slo("latency", series="serve_request_latency_ms",
+    field="p95", threshold=25.0, op="le", target=0.95)`` — good when the
+    field satisfies ``op`` vs ``threshold``.
+
+    Ratio kind: ``Slo("errors", numerator=("serve_requests_total",
+    {"status": "failed"}), denominator=[...], target=0.99)`` — the bad
+    fraction is ``sum(numerator deltas) / sum(denominator deltas)`` per
+    window.
+    """
+
+    def __init__(
+        self,
+        name,
+        *,
+        series=None,
+        field="value",
+        labels=None,
+        threshold=None,
+        op="le",
+        target=0.95,
+        numerator=None,
+        denominator=None,
+        fast_window_s=15.0,
+        slow_window_s=120.0,
+        max_burn_rate=2.0,
+        min_samples=3,
+        description="",
+    ):
+        self.name = name
+        self.kind = "ratio" if numerator is not None else "threshold"
+        if self.kind == "threshold":
+            if series is None or threshold is None:
+                raise SloError(
+                    f"slo {name!r}: threshold kind needs series= and threshold="
+                )
+            if op not in _OPS:
+                raise SloError(f"slo {name!r}: unknown op {op!r}")
+        else:
+            if denominator is None:
+                raise SloError(f"slo {name!r}: ratio kind needs denominator=")
+        if not (0.0 < target < 1.0):
+            raise SloError(f"slo {name!r}: target must be in (0, 1), got {target}")
+        if fast_window_s <= 0 or slow_window_s < fast_window_s:
+            raise SloError(
+                f"slo {name!r}: need 0 < fast_window_s <= slow_window_s"
+            )
+        self.series = series
+        self.field = field
+        self.labels = labels
+        self.threshold = threshold
+        self.op = op
+        self.target = float(target)
+        self.numerator = _spec_list(numerator)
+        self.denominator = _spec_list(denominator)
+        self.fast_window_s = float(fast_window_s)
+        self.slow_window_s = float(slow_window_s)
+        self.max_burn_rate = float(max_burn_rate)
+        self.min_samples = int(min_samples)
+        self.description = description
+
+    # -- convenience constructors --------------------------------------
+
+    @classmethod
+    def latency(cls, name, threshold_ms, *, series="serve_request_latency_ms",
+                field="p95", route=None, **kw):
+        """p-quantile latency objective on a (route) latency histogram."""
+        labels = {"route": route} if route is not None else None
+        if route is not None and series == "serve_request_latency_ms":
+            series = "serve_route_latency_ms"
+        return cls(name, series=series, field=field, labels=labels,
+                   threshold=threshold_ms, op="le", **kw)
+
+    @classmethod
+    def error_rate(cls, name, *, target=0.99,
+                   failed=("serve_requests_total", {"status": "failed"}),
+                   total=(("serve_requests_total", {"status": "completed"}),
+                          ("serve_requests_total", {"status": "failed"})),
+                   **kw):
+        """Request success-rate objective from status counter deltas."""
+        return cls(name, numerator=failed, denominator=total, target=target, **kw)
+
+    # -- evaluation ----------------------------------------------------
+
+    def _bad_fraction_threshold(self, timeline, since, until):
+        good = _OPS[self.op]
+        pts = timeline.values(self.series, self.labels, self.field,
+                              since=since, until=until)
+        n = len(pts)
+        bad = sum(1 for _, v in pts if not good(v, self.threshold))
+        return (bad / n if n else 0.0), n
+
+    def _sum_deltas(self, timeline, specs, since, until):
+        total = 0.0
+        for name, labels in specs:
+            for _, d in timeline.values(name, labels, "delta",
+                                        since=since, until=until):
+                total += d
+        return total
+
+    def _bad_fraction_ratio(self, timeline, since, until):
+        num = self._sum_deltas(timeline, self.numerator, since, until)
+        den = self._sum_deltas(timeline, self.denominator, since, until)
+        if den <= 0.0:
+            return 0.0, 0
+        return min(1.0, num / den), int(den)
+
+    def evaluate(self, timeline, now):
+        """Evaluate against the timeline; returns a JSON-serializable report."""
+        budget = 1.0 - self.target
+        windows = {}
+        for label, span in (("fast", self.fast_window_s),
+                            ("slow", self.slow_window_s)):
+            since = now - span
+            if self.kind == "threshold":
+                bad, n = self._bad_fraction_threshold(timeline, since, now)
+            else:
+                bad, n = self._bad_fraction_ratio(timeline, since, now)
+            windows[label] = {
+                "window_s": span,
+                "samples": n,
+                "bad_fraction": round(bad, 6),
+                "burn_rate": round(bad / budget, 4),
+            }
+        fast, slow = windows["fast"], windows["slow"]
+        breaching = (
+            fast["samples"] >= self.min_samples
+            and fast["burn_rate"] >= self.max_burn_rate
+            and slow["burn_rate"] >= self.max_burn_rate
+        )
+        report = {
+            "slo": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "budget": round(budget, 6),
+            "max_burn_rate": self.max_burn_rate,
+            "fast": fast,
+            "slow": slow,
+            # budget remaining over the slow (accounting) window: 1.0 means
+            # untouched, 0.0 means fully consumed at the window's scale
+            "budget_remaining": round(max(0.0, 1.0 - slow["burn_rate"]), 4),
+            "breaching": breaching,
+        }
+        if self.kind == "threshold":
+            report["series"] = self.series
+            report["field"] = self.field
+            report["threshold"] = self.threshold
+            report["op"] = self.op
+            current = timeline.latest(self.series, self.labels, self.field)
+            if current is not None:
+                report["current"] = round(current, 4)
+        if self.description:
+            report["description"] = self.description
+        return report
+
+
+class SloEngine:
+    """Evaluates a set of :class:`Slo` objectives over one timeline."""
+
+    def __init__(self, timeline, slos=()):
+        self.timeline = timeline
+        self.slos = list(slos)
+        self.evaluations = 0
+        self._last_reports = []
+
+    def add(self, slo: Slo) -> None:
+        self.slos.append(slo)
+
+    def evaluate(self, now=None):
+        """Evaluate every SLO; returns (and caches) the list of reports."""
+        if now is None:
+            now = self.timeline.clock()
+        reports = [slo.evaluate(self.timeline, now) for slo in self.slos]
+        self.evaluations += 1
+        self._last_reports = reports
+        return reports
+
+    def last_reports(self):
+        """Reports from the most recent :meth:`evaluate` call."""
+        return list(self._last_reports)
+
+    def breaching(self):
+        """Names of SLOs breaching as of the last evaluation."""
+        return [r["slo"] for r in self._last_reports if r["breaching"]]

@@ -1,0 +1,362 @@
+"""Time-series store sampling a :class:`MetricsRegistry` at fixed cadence.
+
+The :class:`MetricsRegistry` (``repro.obs.metrics``) answers *what is
+happening now*: every ``snapshot()`` is a point-in-time scrape.  The
+:class:`Timeline` turns that into *what has been happening*: a background
+sampler thread scrapes the registry every ``interval_s`` seconds and appends
+one point per series into a bounded ring buffer, deriving the shapes that
+downstream consumers (SLO evaluation, alert rules, drift detectors, the
+``obs watch`` dashboard) actually need:
+
+* **counters** are stored with their lifetime ``value`` plus the per-interval
+  ``delta`` and ``rate`` (per second) against the previous sample, so rules
+  can watch "failures per second" instead of a forever-growing total;
+* **histograms** keep the windowed percentiles (``p50``/``p95``/``p99``/
+  ``mean``) plus the lifetime observation ``count`` with its ``delta``/
+  ``rate``;
+* **gauges** keep the raw ``value``.
+
+Series identity matches the registry: ``(name, sorted(labels))``.  A series
+that disappears from the registry (e.g. a retired route) keeps its recorded
+history but stops growing; a counter that restarts from zero clamps its
+delta at zero rather than reporting a negative rate.
+
+Everything is stdlib-only and thread-safe.  ``sample_once(now=...)`` is
+public so tests and benchmarks can drive the timeline deterministically with
+a synthetic clock instead of the background thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+
+from .metrics import MetricsRegistry
+
+TIMELINE_SCHEMA = "repro.obs.timeline.v1"
+
+DEFAULT_INTERVAL_S = 0.5
+DEFAULT_RETENTION = 600  # points per series (~5 min at default cadence)
+
+_HIST_FIELDS = ("p50", "p95", "p99", "mean")
+
+
+class TimelineError(ValueError):
+    """Raised on invalid timeline queries or configuration."""
+
+
+def _label_key(labels):
+    return tuple(sorted((labels or {}).items()))
+
+
+class _SeriesBuffer:
+    """Ring buffer of sampled points for one ``(name, labels)`` series."""
+
+    __slots__ = ("name", "labels", "kind", "points", "last_value", "last_t")
+
+    def __init__(self, name, labels, kind, retention):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.kind = kind
+        self.points = deque(maxlen=retention)
+        self.last_value = None  # previous lifetime counter/count for deltas
+        self.last_t = None
+
+    def append(self, now, entry):
+        point = {"t": now}
+        if self.kind == "counter":
+            value = float(entry.get("value", 0.0))
+            point["value"] = value
+            point["delta"], point["rate"] = self._step(now, value)
+        elif self.kind == "histogram":
+            summ = entry.get("summary") or {}
+            count = float(summ.get("count", 0.0))
+            point["count"] = count
+            point["delta"], point["rate"] = self._step(now, count)
+            for field in _HIST_FIELDS:
+                if field in summ:
+                    point[field] = summ[field]
+            if "window" in summ:
+                point["window"] = summ["window"]
+        else:  # gauge
+            point["value"] = float(entry.get("value", 0.0))
+        self.points.append(point)
+        self.last_t = now
+
+    def _step(self, now, value):
+        if self.last_value is None:
+            delta = 0.0
+        else:
+            # clamp: a counter reset (worker restart) must not yield a
+            # negative rate
+            delta = max(0.0, value - self.last_value)
+        self.last_value = value
+        if self.last_t is None or now <= self.last_t:
+            rate = 0.0
+        else:
+            rate = delta / (now - self.last_t)
+        return delta, rate
+
+
+class Timeline:
+    """Background sampler turning registry snapshots into ring-buffer series.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`MetricsRegistry` to scrape.
+    interval_s:
+        Sampling cadence for the background thread.
+    retention:
+        Maximum points kept per series (ring buffer length).
+    max_series:
+        Hard bound on distinct series tracked; excess series are counted in
+        ``dropped_series`` and skipped, mirroring the registry's own
+        cardinality bound.
+    clock:
+        Timestamp source (``time.time`` by default); injectable for tests.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        retention: int = DEFAULT_RETENTION,
+        max_series: int = 1024,
+        clock=time.time,
+    ):
+        if interval_s <= 0:
+            raise TimelineError(f"interval_s must be > 0, got {interval_s}")
+        if retention < 2:
+            raise TimelineError(f"retention must be >= 2, got {retention}")
+        self.registry = registry
+        self.interval_s = float(interval_s)
+        self.retention = int(retention)
+        self.max_series = int(max_series)
+        self.clock = clock
+        self._series = {}  # (name, label_key) -> _SeriesBuffer
+        self._listeners = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = None
+        self.samples = 0
+        self.sample_errors = 0
+        self.listener_errors = 0
+        self.dropped_series = 0
+        self.last_sample_ms = 0.0
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start the background sampler thread (idempotent)."""
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="obs-timeline", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, final_sample: bool = True, timeout: float = 5.0) -> None:
+        """Stop the sampler; optionally take one last sample first."""
+        thread = self._thread
+        self._stop.set()
+        if thread is not None:
+            thread.join(timeout)
+            self._thread = None
+        if final_sample:
+            try:
+                self.sample_once()
+            except Exception:
+                self.sample_errors += 1
+
+    def add_listener(self, fn) -> None:
+        """Register ``fn(timeline, now)`` to run after every sample.
+
+        Listener exceptions are counted in ``listener_errors`` and never
+        kill the sampler thread.
+        """
+        self._listeners.append(fn)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            started = time.perf_counter()
+            try:
+                self.sample_once()
+            except Exception:
+                self.sample_errors += 1
+            elapsed = time.perf_counter() - started
+            self._stop.wait(max(0.0, self.interval_s - elapsed))
+
+    # -- sampling ------------------------------------------------------
+
+    def sample_once(self, now: float | None = None) -> int:
+        """Scrape the registry once; returns the number of series sampled.
+
+        ``now`` overrides the timestamp — benchmarks and tests use this to
+        drive the timeline on a deterministic synthetic clock.
+        """
+        if now is None:
+            now = self.clock()
+        started = time.perf_counter()
+        # Snapshot outside the timeline lock: registry collectors may take
+        # other locks (e.g. the serving server's) and must not nest inside
+        # ours.
+        entries = self.registry.snapshot()["series"]
+        sampled = 0
+        with self._lock:
+            for entry in entries:
+                key = (entry["name"], _label_key(entry.get("labels")))
+                buf = self._series.get(key)
+                if buf is None:
+                    if len(self._series) >= self.max_series:
+                        self.dropped_series += 1
+                        continue
+                    buf = _SeriesBuffer(
+                        entry["name"],
+                        entry.get("labels"),
+                        entry.get("kind", "gauge"),
+                        self.retention,
+                    )
+                    self._series[key] = buf
+                buf.append(now, entry)
+                sampled += 1
+            self.samples += 1
+        for fn in list(self._listeners):
+            try:
+                fn(self, now)
+            except Exception:
+                self.listener_errors += 1
+        self.last_sample_ms = (time.perf_counter() - started) * 1000.0
+        return sampled
+
+    # -- queries -------------------------------------------------------
+
+    def series(self):
+        """List tracked series: ``[{name, labels, kind, points}]``."""
+        with self._lock:
+            return [
+                {
+                    "name": buf.name,
+                    "labels": dict(buf.labels),
+                    "kind": buf.kind,
+                    "points": len(buf.points),
+                }
+                for buf in self._series.values()
+            ]
+
+    def _match(self, name, labels):
+        if labels is not None:
+            buf = self._series.get((name, _label_key(labels)))
+            return [buf] if buf is not None else []
+        return [buf for (n, _), buf in self._series.items() if n == name]
+
+    def query(self, name, labels=None, since=None, until=None):
+        """Points for one series, oldest first.
+
+        With ``labels=None`` the name must be unambiguous (exactly one label
+        set); pass explicit labels otherwise.  ``since``/``until`` bound the
+        timestamps (inclusive).
+        """
+        with self._lock:
+            matches = self._match(name, labels)
+            if not matches:
+                return []
+            if len(matches) > 1:
+                sets = [m.labels for m in matches]
+                raise TimelineError(
+                    f"series {name!r} is ambiguous across label sets {sets}; "
+                    "pass labels="
+                )
+            pts = list(matches[0].points)
+        if since is not None:
+            pts = [p for p in pts if p["t"] >= since]
+        if until is not None:
+            pts = [p for p in pts if p["t"] <= until]
+        return pts
+
+    def values(self, name, labels=None, field="value", since=None, until=None):
+        """``[(t, float)]`` for one field of one series, skipping absent fields."""
+        out = []
+        for p in self.query(name, labels, since=since, until=until):
+            v = p.get(field)
+            if v is not None:
+                out.append((p["t"], float(v)))
+        return out
+
+    def latest(self, name, labels=None, field="value"):
+        """Most recent value of a field, or ``None``."""
+        vals = self.values(name, labels, field)
+        return vals[-1][1] if vals else None
+
+    # -- export --------------------------------------------------------
+
+    def stats(self):
+        with self._lock:
+            n = len(self._series)
+        return {
+            "schema": TIMELINE_SCHEMA,
+            "interval_s": self.interval_s,
+            "retention": self.retention,
+            "running": self.running,
+            "series": n,
+            "samples": self.samples,
+            "sample_errors": self.sample_errors,
+            "listener_errors": self.listener_errors,
+            "dropped_series": self.dropped_series,
+            "last_sample_ms": round(self.last_sample_ms, 4),
+        }
+
+    def to_dict(self, since=None):
+        """Full dump: ``{schema, interval_s, series: [{name, labels, kind, points}]}``."""
+        with self._lock:
+            series = [
+                {
+                    "name": buf.name,
+                    "labels": dict(buf.labels),
+                    "kind": buf.kind,
+                    "points": [dict(p) for p in buf.points],
+                }
+                for buf in self._series.values()
+            ]
+        if since is not None:
+            for s in series:
+                s["points"] = [p for p in s["points"] if p["t"] >= since]
+        return {
+            "schema": TIMELINE_SCHEMA,
+            "interval_s": self.interval_s,
+            "series": series,
+        }
+
+    def export_json(self, path=None, since=None):
+        """Serialize :meth:`to_dict` to a JSON string (and optionally a file)."""
+        doc = json.dumps(self.to_dict(since=since), indent=2, sort_keys=True)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(doc + "\n")
+        return doc
+
+    def export_jsonl(self, path, since=None) -> int:
+        """Write one self-describing JSON line per point; returns lines written.
+
+        Each line embeds ``name``/``labels``/``kind`` alongside the point
+        fields so the file streams straight into offline analysis without a
+        side table.
+        """
+        doc = self.to_dict(since=since)
+        written = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for s in doc["series"]:
+                head = {"name": s["name"], "labels": s["labels"], "kind": s["kind"]}
+                for p in s["points"]:
+                    rec = dict(head)
+                    rec.update(p)
+                    fh.write(json.dumps(rec, sort_keys=True) + "\n")
+                    written += 1
+        return written

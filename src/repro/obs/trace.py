@@ -249,6 +249,29 @@ class Tracer:
             "dropped": self.dropped,
         }
 
+    def collect(self, prefix: str = "serve_traces") -> list:
+        """Registry-collector series for this tracer's counters.
+
+        Shaped for :meth:`repro.obs.metrics.MetricsRegistry.add_collector`
+        so sampling decisions, buffer occupancy, and — critically —
+        buffer eviction (``dropped``) are scrapeable/alertable series
+        instead of living only in ``stats()["tracing"]``.
+        """
+        return [
+            {"name": "%s_sampled_total" % prefix, "kind": "counter",
+             "value": self.sampled},
+            {"name": "%s_recorded_total" % prefix, "kind": "counter",
+             "value": self.recorded},
+            {"name": "%s_dropped_total" % prefix, "kind": "counter",
+             "value": self.dropped},
+            {"name": "%s_buffered" % prefix, "kind": "gauge",
+             "value": len(self._buffer)},
+            {"name": "%s_buffer_capacity" % prefix, "kind": "gauge",
+             "value": self.capacity},
+            {"name": "%s_sample_rate" % prefix, "kind": "gauge",
+             "value": self.sample_rate},
+        ]
+
     def export_json(self, limit: Optional[int] = None) -> str:
         doc = {"schema": TRACE_SCHEMA,
                "traces": [t.to_dict() for t in self.traces(limit)]}

@@ -43,18 +43,20 @@ from repro.serve import shm as shm_transport
 from repro.serve.server import LocalizationServer
 
 DEFAULT_OUTPUT = "BENCH_serving.json"
-SCHEMA = "repro.serve.bench.v4"
+SCHEMA = "repro.serve.bench.v5"
 
 #: Record schemas ``--check`` accepts: older records stay valid — v2 only
 #: *added* the optional ``"fleet"`` section (bench_fleet.py), v3 only
-#: adds the optional ``"transport"`` section, and v4 only adds the
-#: optional ``"observability"`` section (bench_obs.py); each section is
+#: adds the optional ``"transport"`` section, v4 only adds the optional
+#: ``"observability"`` section (bench_obs.py), and v5 only adds the
+#: optional ``"monitoring"`` section (bench_monitor.py); each section is
 #: gated only when present.
 ACCEPTED_SCHEMAS = (
     "repro.serve.bench.v1",
     "repro.serve.bench.v2",
     "repro.serve.bench.v3",
     "repro.serve.bench.v4",
+    "repro.serve.bench.v5",
 )
 
 
@@ -530,8 +532,9 @@ def check_record(record: dict) -> list[str]:
     """Validate a recorded benchmark's gates; returns the problems found.
 
     Accepts schema v1 (pre-fleet), v2 (adds ``"fleet"``), v3 (adds
-    ``"transport"``) and v4 (adds ``"observability"``) records — each
-    section is checked only when present, so old records keep passing.
+    ``"transport"``), v4 (adds ``"observability"``) and v5 (adds
+    ``"monitoring"``) records — each section is checked only when
+    present, so old records keep passing.
     """
     problems: list[str] = []
     schema = record.get("schema")
@@ -600,6 +603,28 @@ def check_record(record: dict) -> list[str]:
                 "observability overhead gate failed: the tracing-disabled "
                 "path must be statistically indistinguishable from baseline "
                 f"({overhead.get('disabled_aa_ratio')})"
+            )
+    monitoring = record.get("monitoring")
+    if monitoring is not None:
+        overhead = monitoring.get("overhead", {})
+        if not overhead.get("enabled_ok"):
+            problems.append(
+                "monitoring overhead gate failed: the timeline sampler at "
+                "default cadence must not regress p50 by more than 5% "
+                f"({overhead.get('enabled_p50_ratio')})"
+            )
+        if not overhead.get("disabled_ok"):
+            problems.append(
+                "monitoring overhead gate failed: the monitor-disabled "
+                "arms must sit within the A/A noise floor "
+                f"({overhead.get('disabled_aa_ratio')})"
+            )
+        drill = monitoring.get("drift_drill", {})
+        if not drill.get("ok"):
+            problems.append(
+                "monitoring drift drill failed: detectors must flag the "
+                "injected shift within 3 sampling intervals with zero "
+                f"alerts on the calm arm ({drill})"
             )
     return problems
 

@@ -64,6 +64,8 @@ from repro.infer.session import (
 )
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.profile import SessionProfiler
+from repro.obs.monitor import (Monitor, default_serving_rules,
+                               default_serving_slos)
 from repro.obs.trace import RequestTrace, Tracer, spans_from_stamps
 from repro.serve import shm as shm_transport
 from repro.serve.batcher import AdaptiveBatchPolicy, assemble_images
@@ -312,6 +314,26 @@ class LocalizationServer:
         worker-side session so traced batches additionally report the
         per-phase compute breakdown (``patch_gather``/``embed``/
         ``block{i}``/…) inside their compute span.
+    monitor:
+        ``True`` attaches a :class:`repro.obs.monitor.Monitor` to the
+        server's metrics registry: a background timeline sampler plus SLO
+        burn-rate and alert/drift evaluation after every sample.  The
+        sampler starts with :meth:`start` and stops with :meth:`close`;
+        server/fleet lifecycle events (start, stop, shard restarts,
+        deploys, swaps, canary verdicts) are appended to its event
+        journal.  ``False`` (default) keeps the continuous layer entirely
+        absent — no thread, no per-request cost.
+    monitor_interval_s / monitor_retention:
+        Sampling cadence and per-series ring-buffer length of the
+        timeline (defaults 0.5 s / 600 points ≈ 5 minutes).
+    monitor_slos / monitor_rules:
+        Objective and rule sets; ``None`` installs
+        :func:`repro.obs.monitor.default_serving_slos` /
+        :func:`repro.obs.monitor.default_serving_rules`.  Pass ``()`` to
+        run the timeline without evaluation.
+    journal_path:
+        When set, the monitor's event journal is additionally persisted
+        as append-only JSONL at this path.
     """
 
     def __init__(
@@ -331,6 +353,12 @@ class LocalizationServer:
         trace_sample: float = 0.0,
         trace_buffer: int = 256,
         profile: bool = False,
+        monitor: bool = False,
+        monitor_interval_s: float = 0.5,
+        monitor_retention: int = 600,
+        monitor_slos=None,
+        monitor_rules=None,
+        journal_path=None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -360,6 +388,19 @@ class LocalizationServer:
         self.profile = bool(profile)
         self.metrics = MetricsRegistry()
         self.metrics.add_collector(self._collect_metrics)
+
+        self.monitor = None
+        if monitor:
+            self.monitor = Monitor(
+                self.metrics,
+                interval_s=monitor_interval_s,
+                retention=monitor_retention,
+                slos=(default_serving_slos() if monitor_slos is None
+                      else monitor_slos),
+                rules=(default_serving_rules() if monitor_rules is None
+                       else monitor_rules),
+                journal_path=journal_path,
+            )
 
         if start_method is None:
             start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -499,7 +540,18 @@ class LocalizationServer:
                 raise RuntimeError(
                     f"worker {shard.index} failed to restore: {failures}"
                 )
+        if self.monitor is not None:
+            self.monitor.start()
+            self._journal_event("server_started", workers=self.workers,
+                                transport=self.transport)
         return self
+
+    def _journal_event(self, kind: str, **fields) -> None:
+        """Append a lifecycle event to the monitor's journal (no-op when
+        monitoring is disabled).  Shared with the fleet layer, which
+        journals deploy/swap/canary verdicts through the same hook."""
+        if self.monitor is not None:
+            self.monitor.event(kind, **fields)
 
     # -- shared-memory ring sizing --------------------------------------
     def _batch_bytes(self, info: dict) -> int:
@@ -612,6 +664,11 @@ class LocalizationServer:
                     process.join(timeout=1.0)
             self._teardown_shard(shard, unlink_ring=True)
         self._fail_outstanding("server closed")
+        if self.monitor is not None:
+            self._journal_event("server_stopped",
+                                completed=self._completed,
+                                failed=self._failed)
+            self.monitor.stop()
 
     def _teardown_shard(self, shard: _Shard, unlink_ring: bool = False) -> None:
         """Idempotently release a shard's IPC resources.
@@ -1218,8 +1275,12 @@ class LocalizationServer:
             if self._stopping or shard.failed:
                 return
             shard.stats.record_restart()
+            self._journal_event("shard_restart", shard=shard.index,
+                                restarts=shard.stats.restarts)
             if shard.stats.restarts > self.restart_limit:
                 shard.failed = True
+                self._journal_event("shard_failed", shard=shard.index,
+                                    restart_limit=self.restart_limit)
                 stranded = [b for b in self._in_flight.values()
                             if b.shard == shard.index]
                 for batch in stranded:
@@ -1378,12 +1439,7 @@ class LocalizationServer:
             if policy["ema_interarrival_ms"] is not None:
                 emit("serve_batcher_ema_interarrival_ms", "gauge",
                      policy["ema_interarrival_ms"])
-            tracing = self.tracer.summary()
-            emit("serve_traces_sampled_total", "counter", tracing["sampled"])
-            emit("serve_traces_recorded_total", "counter",
-                 tracing["recorded"])
-            emit("serve_traces_dropped_total", "counter", tracing["dropped"])
-            emit("serve_traces_buffered", "gauge", tracing["buffered"])
+            series.extend(self.tracer.collect(prefix="serve_traces"))
         return series
 
     def _snapshot_summary(self) -> dict:
@@ -1452,6 +1508,8 @@ class LocalizationServer:
                 "shards": shards,
                 "batcher": self._policy.summary(),
                 "tracing": self.tracer.summary(),
+                "monitor": (self.monitor.status()
+                            if self.monitor is not None else None),
             }
 
     def __repr__(self) -> str:

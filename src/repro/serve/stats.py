@@ -41,6 +41,7 @@ class LatencyReservoir(Histogram):
         base = super().summary()
         return {
             "count": base["count"],
+            "sum_ms": base["sum"],
             "window": base["window"],
             "p50_ms": base["p50"],
             "p95_ms": base["p95"],

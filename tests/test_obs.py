@@ -72,8 +72,9 @@ class TestPrimitives:
 
     def test_histogram_empty(self):
         hist = Histogram()
-        assert hist.summary() == {"count": 0, "window": 0, "p50": None,
-                                  "p95": None, "p99": None, "mean": None}
+        assert hist.summary() == {"count": 0, "window": 0, "sum": 0.0,
+                                  "p50": None, "p95": None, "p99": None,
+                                  "mean": None}
         assert hist.percentile(50) is None
 
     def test_histogram_single_sample(self):
@@ -107,16 +108,17 @@ class TestPrimitives:
 class TestLatencyReservoir:
     def test_empty_summary_reports_window(self):
         assert LatencyReservoir().summary() == {
-            "count": 0, "window": 0, "p50_ms": None, "p95_ms": None,
-            "p99_ms": None, "mean_ms": None,
+            "count": 0, "window": 0, "sum_ms": 0.0, "p50_ms": None,
+            "p95_ms": None, "p99_ms": None, "mean_ms": None,
         }
 
     def test_single_sample_percentiles(self):
         reservoir = LatencyReservoir()
         reservoir.add(12.5)
         summary = reservoir.summary()
-        assert summary == {"count": 1, "window": 1, "p50_ms": 12.5,
-                           "p95_ms": 12.5, "p99_ms": 12.5, "mean_ms": 12.5}
+        assert summary == {"count": 1, "window": 1, "sum_ms": 12.5,
+                           "p50_ms": 12.5, "p95_ms": 12.5, "p99_ms": 12.5,
+                           "mean_ms": 12.5}
 
     def test_window_diverges_from_count_after_overflow(self):
         reservoir = LatencyReservoir(maxlen=4)

@@ -86,8 +86,9 @@ class TestAdaptiveBatchPolicy:
 class TestStats:
     def test_empty_reservoir_summary(self):
         summary = LatencyReservoir().summary()
-        assert summary == {"count": 0, "window": 0, "p50_ms": None,
-                           "p95_ms": None, "p99_ms": None, "mean_ms": None}
+        assert summary == {"count": 0, "window": 0, "sum_ms": 0.0,
+                           "p50_ms": None, "p95_ms": None, "p99_ms": None,
+                           "mean_ms": None}
 
     def test_reservoir_percentiles(self):
         reservoir = LatencyReservoir()
