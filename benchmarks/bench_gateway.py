@@ -1,0 +1,124 @@
+"""Gateway benchmark: network load against the TCP/HTTP front door.
+
+Drives :func:`repro.serve.run_gateway_benchmark` — a 2-worker
+:class:`repro.serve.LocalizationServer` behind a
+:class:`repro.serve.GatewayServer`, hit by closed-loop socket clients —
+and merges the result into ``BENCH_serving.json`` as its ``"gateway"``
+section (schema ``repro.serve.bench.v6``).  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py [--quick]
+
+Lanes: the connection-scaling curve (16/64/256 concurrent devices, zero
+lost at every count), the co-location/cache-hit sweep (hit-path p50 must
+be ≥5x lower than the miss path), and the graceful-drain drill (live
+clients during shutdown, zero lost).  ``--smoke`` runs the CI lane
+(concurrent clients incl. one slow reader over a shared fingerprint set);
+``--check`` validates the recorded gates without re-running anything.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+os.environ.setdefault("MKL_NUM_THREADS", "1")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+from repro.serve import (
+    GATEWAY_SCHEMA,
+    attach_gateway_section,
+    format_gateway_summary,
+    gateway_gates_ok,
+    load_record,
+    run_gateway_benchmark,
+    run_gateway_smoke,
+    write_benchmark,
+)
+
+
+def _load_or_skeleton(path: str) -> dict:
+    """Reuse the recorded serving benchmark when present, else start a
+    minimal record the gateway section can live in."""
+    if os.path.exists(path):
+        try:
+            return load_record(path)
+        except (ValueError, OSError):
+            pass
+    return {"schema": GATEWAY_SCHEMA,
+            "config": {"note": "gateway-only record"}}
+
+
+def run(quick: bool = False, out: str | None = None, seed: int = 0) -> dict:
+    destination = out or os.path.join(REPO_ROOT, "BENCH_serving.json")
+    base = _load_or_skeleton(destination)
+    gateway = run_gateway_benchmark(quick=quick, seed=seed)
+    merged = attach_gateway_section(base, gateway)
+    print()
+    print(format_gateway_summary(gateway))
+    print(f"wrote {write_benchmark(merged, destination)}")
+    return merged
+
+
+def check(path: str | None = None) -> int:
+    """Validate the recorded gateway gates (no benchmark run)."""
+    destination = path or os.path.join(REPO_ROOT, "BENCH_serving.json")
+    record = load_record(destination)
+    gateway = record.get("gateway")
+    if not gateway:
+        print(f"{destination}: no gateway section recorded", file=sys.stderr)
+        return 1
+    print(format_gateway_summary(gateway))
+    if not gateway_gates_ok(gateway):
+        print("gateway gates FAILED", file=sys.stderr)
+        return 1
+    print("gateway gates OK")
+    return 0
+
+
+def smoke() -> int:
+    """The CI smoke lane: zero lost responses, warm cache."""
+    result = run_gateway_smoke()
+    print(json.dumps(result, indent=2))
+    for problem in result["problems"]:
+        print(f"SMOKE FAIL: {problem}", file=sys.stderr)
+    return 0 if result["ok"] else 1
+
+
+def test_gateway_baseline():
+    """Acceptance gates: zero lost at every connection count, cache hits
+    ≥5x faster than misses, and a zero-loss graceful drain."""
+    quick = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+    merged = run(quick=quick, out="/tmp/bench_gateway_test.json")
+    gateway = merged["gateway"]
+    for row in gateway["connection_scaling"]:
+        assert row["lost"] == 0, f"scaling lost requests: {row}"
+    cache = gateway["cache_effectiveness"]
+    assert cache["gate_cache_speedup"], f"cache gate failed: {cache}"
+    drain = gateway["drain_drill"]
+    assert drain["gate_drain_zero_lost"], f"drain drill lost: {drain}"
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: fewer clients/requests so the "
+                             "lanes run in seconds")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI lane: concurrent clients incl. a slow "
+                             "reader; asserts 0 lost + cache hits")
+    parser.add_argument("--check", action="store_true",
+                        help="validate recorded gateway gates and exit")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="merged record path "
+                             "(default: <repo>/BENCH_serving.json)")
+    args = parser.parse_args()
+    if args.smoke:
+        sys.exit(smoke())
+    if args.check:
+        sys.exit(check(args.out))
+    merged = run(quick=args.quick, out=args.out, seed=args.seed)
+    sys.exit(0 if gateway_gates_ok(merged["gateway"]) else 1)

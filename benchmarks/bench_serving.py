@@ -3,7 +3,7 @@
 Drives :func:`repro.serve.run_serving_benchmark` — closed-loop clients
 against the sharded multi-process :class:`repro.serve.LocalizationServer` —
 and records the result to ``BENCH_serving.json``
-(schema ``repro.serve.bench.v3``; ``--check`` also accepts ``v1``/``v2``
+(schema ``repro.serve.bench.v6``; ``--check`` also accepts ``v1``–``v5``
 records).  Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_serving.py [--quick]
@@ -46,6 +46,7 @@ from repro.serve import (
     run_transport_parity,
     write_benchmark,
 )
+from repro.serve.bench import merge_preserved_sections
 
 
 def run(quick: bool = False, out: str | None = None,
@@ -55,22 +56,23 @@ def run(quick: bool = False, out: str | None = None,
     print(format_summary(result))
     destination = out or os.path.join(REPO_ROOT, "BENCH_serving.json")
     # A re-run of the serving sweep must not drop the sections other
-    # benches merged into the record (bench_fleet.py, bench_obs.py).
+    # benches merged into the record (bench_fleet.py, bench_obs.py,
+    # bench_monitor.py, bench_gateway.py) — the canonical list lives in
+    # repro.serve.bench.PRESERVED_SECTIONS.
+    previous = None
     if os.path.exists(destination):
         try:
             previous = load_record(destination)
         except (ValueError, OSError):
-            previous = {}
-        for section in ("fleet", "observability"):
-            if section in previous:
-                result[section] = previous[section]
+            previous = None
+    merge_preserved_sections(result, previous)
     print(f"wrote {write_benchmark(result, destination)}")
     return result
 
 
 def check(out: str | None = None) -> int:
-    """Validate the recorded benchmark gates (schema v1 or v2); returns a
-    process exit code."""
+    """Validate the recorded benchmark gates (any accepted schema);
+    returns a process exit code."""
     destination = out or os.path.join(REPO_ROOT, "BENCH_serving.json")
     try:
         record = load_record(destination)
@@ -90,7 +92,7 @@ def check(out: str | None = None) -> int:
         return 1
     sections = [name for name in ("throughput_vs_workers", "deadline_sweep",
                                   "fault_tolerance", "transport", "fleet",
-                                  "observability")
+                                  "observability", "monitoring", "gateway")
                 if name in record]
     print(f"check OK: {destination} (schema {record.get('schema')}, "
           f"sections: {', '.join(sections)})")
@@ -155,7 +157,7 @@ if __name__ == "__main__":
                              "in seconds")
     parser.add_argument("--check", action="store_true",
                         help="validate the recorded JSON gates (accepts "
-                             "schema v1, v2 and v3) instead of re-running")
+                             "schema v1 through v6) instead of re-running")
     parser.add_argument("--parity", action="store_true",
                         help="serve one workload under the shm and pickle "
                              "transports and require bit-identical "

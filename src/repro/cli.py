@@ -15,6 +15,8 @@ Commands
 ``obs``         observability: per-request span traces, unified metrics,
                 per-phase compute profile, continuous monitoring
                 (``obs trace|stats|top|watch|slo|alerts|journal``)
+``gateway``     TCP/HTTP network front door with the quantized-RSSI
+                result cache (``gateway serve|bench``)
 
 Every command is deterministic given ``--seed`` (timings aside).
 """
@@ -332,6 +334,10 @@ def _build_parser() -> argparse.ArgumentParser:
     owatch.add_argument("--spike-at", type=float, default=None,
                         help="inject a 500 ms latency spike this many "
                              "seconds in, to demo drift/alert firing")
+    owatch.add_argument("--gateway", action="store_true",
+                        help="put the TCP gateway in front of the server "
+                             "and drive part of the load over the network; "
+                             "adds a gateway row to the dashboard")
 
     oslo = obs_sub.add_parser(
         "slo",
@@ -367,6 +373,61 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="only the last N events")
     ojournal.add_argument("--kind", default=None,
                           help="filter by event kind (alert, drift, swap, ...)")
+
+    gateway = sub.add_parser(
+        "gateway",
+        help="TCP/HTTP network front door over the serving layer: "
+             "length-prefixed JSON frames + POST /localize, with the "
+             "quantized-RSSI result cache",
+    )
+    gateway_sub = gateway.add_subparsers(dest="gateway_command",
+                                         required=True)
+
+    gserve = gateway_sub.add_parser(
+        "serve",
+        help="serve a compiled session (or a saved snapshot) behind the "
+             "gateway until interrupted",
+    )
+    gserve.add_argument("--host", default="127.0.0.1")
+    gserve.add_argument("--port", type=int, default=0,
+                        help="listen port (0 = ephemeral, printed at start)")
+    gserve.add_argument("--workers", type=int, default=2)
+    gserve.add_argument("--max-batch", type=int, default=32)
+    gserve.add_argument("--image-size", type=int, default=24)
+    gserve.add_argument("--num-classes", type=int, default=32)
+    gserve.add_argument("--seed", type=int, default=0)
+    gserve.add_argument("--snapshot", default=None,
+                        help="serve this saved session snapshot (from "
+                             "`quantize` or `fleet publish`) instead of a "
+                             "random-weight demo session")
+    gserve.add_argument("--max-connections", type=int, default=256)
+    gserve.add_argument("--max-inflight", type=int, default=32,
+                        help="per-connection in-flight window (backpressure)")
+    gserve.add_argument("--cache-step-db", type=float, default=2.0,
+                        help="RSSI quantization step for the result cache")
+    gserve.add_argument("--cache-entries", type=int, default=4096,
+                        help="result-cache LRU capacity (0 disables caching)")
+    gserve.add_argument("--cache-ttl-s", type=float, default=60.0)
+    gserve.add_argument("--request-timeout-s", type=float, default=30.0)
+    gserve.add_argument("--duration", type=float, default=None,
+                        help="stop after this many seconds "
+                             "(default: run until Ctrl-C)")
+
+    gbench = gateway_sub.add_parser(
+        "bench",
+        help="network benchmark: connection-scaling curve, co-location/"
+             "cache-hit sweep, graceful-drain drill → the gateway section "
+             "of BENCH_serving.json",
+    )
+    gbench.add_argument("--quick", action="store_true",
+                        help="smoke mode: fewer clients/requests so the "
+                             "lanes run in seconds")
+    gbench.add_argument("--seed", type=int, default=0)
+    gbench.add_argument("--out", default="BENCH_serving.json",
+                        help="merged record path")
+    gbench.add_argument("--check", action="store_true",
+                        help="validate the recorded gateway gates instead "
+                             "of re-running")
     return parser
 
 
@@ -1055,13 +1116,71 @@ def _monitored_server(args, **kwargs):
                        monitor_interval_s=args.interval, **kwargs)
 
 
+def _format_gateway_row(gw: dict | None) -> str | None:
+    """One dashboard line for a ``stats()["gateway"]`` section; None when
+    no gateway is attached (the watch loop then prints nothing)."""
+    if not gw:
+        return None
+    conns = gw["connections"]
+    requests = gw["requests"]
+    cache = gw["cache"]
+    lookups = cache["hits"] + cache["misses"]
+    hit = gw["latency_ms"]["hit"]["p50_ms"]
+    miss = gw["latency_ms"]["miss"]["p50_ms"]
+    row = (f"  gateway :{gw['listening']['port']}  "
+           f"conns {conns['open']}/{conns['limit']}  "
+           f"inflight {gw['inflight']['current']}  "
+           f"req {requests['responded']}/{requests['received']}  "
+           f"cache {cache['hits']}/{lookups} hits")
+    if hit is not None:
+        row += f"  hit p50 {hit:.2f} ms"
+    if miss is not None:
+        row += f"  miss p50 {miss:.2f} ms"
+    if gw["draining"]:
+        row += "  DRAINING"
+    return row
+
+
+def _gateway_load(gateway, pool, stop):
+    """One network client looping cache-friendly requests through the
+    gateway (repeats from a small fingerprint set → visible hits)."""
+    import threading
+
+    def hammer() -> None:
+        from repro.serve import GatewayClient
+
+        try:
+            client = GatewayClient(gateway.host, gateway.port, timeout=10.0)
+        except OSError:
+            return
+        index = 0
+        with client:
+            while not stop.is_set():
+                try:
+                    client.localize(pool[index % 8])
+                except Exception:
+                    return
+                index += 1
+
+    thread = threading.Thread(target=hammer, daemon=True)
+    thread.start()
+    return thread
+
+
 def _obs_watch(args) -> int:
     import time
 
     server, pool = _monitored_server(args, journal_path=args.journal)
     spiked = False
     with server:
+        gateway = net_thread = None
+        if args.gateway:
+            from repro.serve import GatewayServer
+
+            gateway = GatewayServer(server, max_connections=32).start()
         stop, load = _background_load(server, pool, args)
+        if gateway is not None:
+            net_thread = _gateway_load(gateway, pool, stop)
         started = time.perf_counter()
         while time.perf_counter() - started < args.duration:
             time.sleep(args.interval)
@@ -1103,7 +1222,14 @@ def _obs_watch(args) -> int:
                 for e in events)
             print(f"  alerts: {', '.join(firing) if firing else 'none firing'}"
                   f" · {mon['journal']['events']} events ({tail})")
+            row = _format_gateway_row(stats.get("gateway"))
+            if row:
+                print(row)
         stop.set()
+        if net_thread is not None:
+            net_thread.join(timeout=15.0)
+        if gateway is not None:
+            gateway.close()
         load.join(timeout=30.0)
     if args.journal:
         print(f"journal written to {args.journal}")
@@ -1195,6 +1321,117 @@ def _cmd_obs(args) -> int:
     return handlers[args.obs_command](args)
 
 
+def _gateway_serve(args) -> int:
+    from repro.serve import (
+        GatewayServer,
+        LocalizationServer,
+        make_session,
+    )
+
+    if args.snapshot:
+        from repro.fleet import read_snapshot_file
+        from repro.infer import snapshot_info
+
+        session = read_snapshot_file(args.snapshot)
+        info = snapshot_info(session)
+        print(f"loaded {args.snapshot}: {info['format']} "
+              f"(image={info['image_size']}, channels={info['channels']}, "
+              f"classes={info['num_classes']})")
+    else:
+        session = make_session(args.image_size, args.num_classes,
+                               args.max_batch, args.seed)
+    with LocalizationServer(session, workers=args.workers,
+                            max_batch=args.max_batch,
+                            max_delay_ms=2.0) as server:
+        gateway = GatewayServer(
+            server, host=args.host, port=args.port,
+            max_connections=args.max_connections,
+            max_inflight=args.max_inflight,
+            request_timeout_s=args.request_timeout_s,
+            cache_step_db=args.cache_step_db,
+            cache_entries=args.cache_entries,
+            cache_ttl_s=args.cache_ttl_s if args.cache_ttl_s > 0 else None,
+        ).start()
+        try:
+            info = server.route_info()
+            n = info["image_size"] ** 2 * info["channels"]
+            print(f"gateway listening on {gateway.host}:{gateway.port} "
+                  f"({args.workers} workers, cache step "
+                  f"{args.cache_step_db} dB, {args.cache_entries} entries)")
+            print(f"  framed JSON: 4-byte BE length + "
+                  f'{{"id": 1, "fingerprint": [{n} floats]}}')
+            print(f"  HTTP: curl -s http://{gateway.host}:{gateway.port}"
+                  f"/localize -d '{{\"fingerprint\": [...]}}'")
+            import time
+
+            started = time.monotonic()
+            while args.duration is None \
+                    or time.monotonic() - started < args.duration:
+                time.sleep(0.5)
+        except KeyboardInterrupt:
+            print("\ndraining ...")
+        finally:
+            gateway.close()
+            summary = gateway.summary()
+            requests = summary["requests"]
+            cache = summary["cache"]
+            print(f"served {requests['responded']} responses over "
+                  f"{summary['connections']['total']} connections "
+                  f"({cache['hits']} cache hits, "
+                  f"{requests['timeouts']} timeouts, "
+                  f"{requests['shed']} shed)")
+    return 0
+
+
+def _gateway_bench(args) -> int:
+    import os
+
+    from repro.serve import (
+        GATEWAY_SCHEMA,
+        attach_gateway_section,
+        format_gateway_summary,
+        gateway_gates_ok,
+        load_record,
+        run_gateway_benchmark,
+        write_benchmark,
+    )
+
+    if args.check:
+        try:
+            record = load_record(args.out)
+        except (FileNotFoundError, ValueError) as error:
+            print(f"check failed: {error}")
+            return 1
+        gateway = record.get("gateway")
+        if not gateway:
+            print(f"{args.out}: no gateway section recorded; run "
+                  "`repro gateway bench` first")
+            return 1
+        print(format_gateway_summary(gateway))
+        return 0 if gateway_gates_ok(gateway) else 1
+
+    if os.path.exists(args.out):
+        try:
+            base = load_record(args.out)
+        except (ValueError, OSError):
+            base = {"schema": GATEWAY_SCHEMA,
+                    "config": {"note": "gateway-only record"}}
+    else:
+        base = {"schema": GATEWAY_SCHEMA,
+                "config": {"note": "gateway-only record"}}
+    gateway = run_gateway_benchmark(quick=args.quick, seed=args.seed)
+    merged = attach_gateway_section(base, gateway)
+    print()
+    print(format_gateway_summary(gateway))
+    print(f"wrote {write_benchmark(merged, args.out)}")
+    return 0 if gateway_gates_ok(gateway) else 1
+
+
+def _cmd_gateway(args) -> int:
+    handlers = {"serve": _gateway_serve, "bench": _gateway_bench}
+    return handlers[args.gateway_command](args)
+
+
 def _cmd_buildings(_args) -> int:
     from repro.data import ALL_DEVICES
     from repro.data.buildings import benchmark_buildings
@@ -1211,7 +1448,8 @@ def _cmd_buildings(_args) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    if argv is None and args.command in ("serve", "infer-bench", "obs"):
+    if argv is None and args.command in ("serve", "infer-bench", "obs",
+                                         "gateway"):
         # Real CLI invocation only (never when main() is called with an
         # explicit argv, e.g. from tests): pin BLAS threads for the
         # timing-sensitive benchmark commands via a one-time re-exec.
@@ -1227,6 +1465,7 @@ def main(argv: list[str] | None = None) -> int:
         "quantize": _cmd_quantize,
         "fleet": _cmd_fleet,
         "obs": _cmd_obs,
+        "gateway": _cmd_gateway,
     }
     return handlers[args.command](args)
 

@@ -41,7 +41,7 @@ import threading
 import time
 
 from repro.fleet.registry import ModelRegistry, RegistryError
-from repro.serve.server import LocalizationServer, _Batch
+from repro.serve.server import DEFAULT_MODEL, LocalizationServer, _Batch
 from repro.serve.stats import RouteStats
 
 
@@ -369,6 +369,20 @@ class FleetServer(LocalizationServer):
         return self.wait_canary(model_id)
 
     # -- routing / decision hooks (called by the base server) ----------
+    def cache_route(self, model: str | None = None) -> str | None:
+        """Route key a result cache may file ``model``'s answers under —
+        ``None`` while the model has an active canary.  During a rollout a
+        fraction of traffic must actually reach the candidate to gather
+        promotion evidence; a result cache replaying incumbent answers
+        would starve it, so the gateway skips caching until the canary
+        settles (the journal's ``canary`` event then invalidates)."""
+        model = model if model is not None else DEFAULT_MODEL
+        with self._lock:
+            canary = self._canaries.get(model)
+            if canary is not None and canary.active:
+                return None
+            return self._routes.get(model)
+
     def _resolve_route(self, model: str) -> str:
         # Dispatcher thread only: the fraction accumulator needs no lock.
         canary = self._canaries.get(model)

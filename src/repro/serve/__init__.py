@@ -24,6 +24,11 @@ into an online serving system:
 * :mod:`repro.serve.bench` — the closed-loop load generator and the
   worker-scaling / batching-deadline / fault-tolerance / transport
   benchmark recorded in ``BENCH_serving.json`` (CLI: ``repro serve``).
+* :mod:`repro.serve.gateway` — the network front door: a selectors-based
+  TCP/HTTP gateway (length-prefixed JSON frames + ``POST /localize``)
+  with pipelining, per-connection backpressure, graceful drain, and a
+  quantized-RSSI result cache that answers co-located repeats without
+  touching inference (CLI: ``repro gateway serve|bench``).
 
 Workers hold a *table* of sessions keyed by route, so one pool can serve
 many model versions at once — :mod:`repro.fleet` builds the multi-tenant
@@ -43,6 +48,19 @@ from repro.serve.bench import (
     run_transport_benchmark,
     run_transport_parity,
     write_benchmark,
+)
+from repro.serve.gateway import (
+    GATEWAY_SCHEMA,
+    GatewayClient,
+    GatewayError,
+    GatewayServer,
+    QuantizedResultCache,
+    attach_gateway_section,
+    format_gateway_summary,
+    gateway_gates_ok,
+    http_localize,
+    run_gateway_benchmark,
+    run_gateway_smoke,
 )
 from repro.serve.server import DEFAULT_MODEL, LocalizationServer
 from repro.serve.shm import HAVE_SHM, RingAllocator, ShmRing, ShmTransportError
@@ -81,4 +99,15 @@ __all__ = [
     "run_transport_parity",
     "format_summary",
     "write_benchmark",
+    "GatewayServer",
+    "GatewayClient",
+    "GatewayError",
+    "QuantizedResultCache",
+    "http_localize",
+    "GATEWAY_SCHEMA",
+    "attach_gateway_section",
+    "format_gateway_summary",
+    "gateway_gates_ok",
+    "run_gateway_benchmark",
+    "run_gateway_smoke",
 ]

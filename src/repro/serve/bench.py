@@ -1,7 +1,7 @@
 """Serving benchmark: closed-loop load generation, scaling + deadline sweeps.
 
 Four experiments, recorded to ``BENCH_serving.json``
-(schema ``repro.serve.bench.v3``):
+(schema ``repro.serve.bench.v6``):
 
 * **throughput_vs_workers** — closed-loop clients hammer the server with
   ``max_batch``-sized requests at worker counts 1/2/4; aggregate
@@ -43,13 +43,14 @@ from repro.serve import shm as shm_transport
 from repro.serve.server import LocalizationServer
 
 DEFAULT_OUTPUT = "BENCH_serving.json"
-SCHEMA = "repro.serve.bench.v5"
+SCHEMA = "repro.serve.bench.v6"
 
 #: Record schemas ``--check`` accepts: older records stay valid — v2 only
 #: *added* the optional ``"fleet"`` section (bench_fleet.py), v3 only
 #: adds the optional ``"transport"`` section, v4 only adds the optional
-#: ``"observability"`` section (bench_obs.py), and v5 only adds the
-#: optional ``"monitoring"`` section (bench_monitor.py); each section is
+#: ``"observability"`` section (bench_obs.py), v5 only adds the optional
+#: ``"monitoring"`` section (bench_monitor.py), and v6 only adds the
+#: optional ``"gateway"`` section (bench_gateway.py); each section is
 #: gated only when present.
 ACCEPTED_SCHEMAS = (
     "repro.serve.bench.v1",
@@ -57,7 +58,28 @@ ACCEPTED_SCHEMAS = (
     "repro.serve.bench.v3",
     "repro.serve.bench.v4",
     "repro.serve.bench.v5",
+    "repro.serve.bench.v6",
 )
+
+#: Sections recorded by sibling benchmarks into the same file; a re-run
+#: of the serving sweep must carry them over, not silently drop them.
+PRESERVED_SECTIONS = ("fleet", "observability", "monitoring", "gateway")
+
+
+def merge_preserved_sections(result: dict, previous: dict | None) -> dict:
+    """Carry sibling benchmarks' sections from ``previous`` into a fresh
+    serving-sweep ``result`` (in place; returns ``result``).
+
+    ``bench_fleet.py``, ``bench_obs.py``, ``bench_monitor.py`` and
+    ``bench_gateway.py`` each merge their section into the shared record;
+    re-running ``bench_serving.py`` rebuilds only the core sweep sections,
+    so everything in :data:`PRESERVED_SECTIONS` is copied over when the
+    new run did not produce its own."""
+    if previous is not None:
+        for section in PRESERVED_SECTIONS:
+            if section in previous and section not in result:
+                result[section] = previous[section]
+    return result
 
 
 def make_session(
@@ -626,6 +648,28 @@ def check_record(record: dict) -> list[str]:
                 "injected shift within 3 sampling intervals with zero "
                 f"alerts on the calm arm ({drill})"
             )
+    gateway = record.get("gateway")
+    if gateway is not None:
+        for row in gateway.get("connection_scaling", []):
+            if row.get("lost", 1) != 0:
+                problems.append(
+                    f"gateway connection-scaling lost requests at "
+                    f"{row.get('clients')} clients: {row.get('lost')}"
+                )
+        cache = gateway.get("cache_effectiveness", {})
+        if not cache.get("gate_cache_speedup"):
+            problems.append(
+                "gateway cache gate failed: hit-path p50 must be >= "
+                f"{cache.get('required_speedup', 5.0)}x lower than the "
+                f"miss path (got {cache.get('speedup_hit_vs_miss')}x, "
+                f"hits={cache.get('total_hits')})"
+            )
+        drain = gateway.get("drain_drill", {})
+        if not drain.get("gate_drain_zero_lost"):
+            problems.append(
+                "gateway drain gate failed: graceful shutdown under live "
+                f"clients must complete every accepted request ({drain})"
+            )
     return problems
 
 
@@ -680,6 +724,35 @@ def format_summary(result: dict) -> str:
             + (f"{speedup:.2f}x" if speedup is not None else "n/a")
             + f" → {'OK' if transport['gate_transport'] else 'FAIL'}"
         )
+    gateway = result.get("gateway")
+    if gateway is not None:
+        rows = gateway.get("connection_scaling", [])
+        if rows:
+            lines.append("  gateway connection scaling:")
+            for row in rows:
+                lines.append(
+                    f"    {row['clients']:4d} clients: "
+                    f"{row['requests_per_s']:8.0f} req/s, "
+                    f"p50 {row['latency_ms']['p50_ms']:.2f} ms, "
+                    f"lost={row['lost']}"
+                )
+        cache = gateway.get("cache_effectiveness", {})
+        speedup = cache.get("speedup_hit_vs_miss")
+        if speedup is not None:
+            lines.append(
+                f"  gateway cache: hit p50 {cache.get('hit_p50_ms'):.3f} ms "
+                f"vs miss p50 {cache.get('miss_p50_ms'):.3f} ms "
+                f"({speedup:.1f}x) → "
+                f"{'OK' if cache.get('gate_cache_speedup') else 'FAIL'}"
+            )
+        drain = gateway.get("drain_drill", {})
+        if drain:
+            lines.append(
+                f"  gateway drain: {drain.get('responded', 0)}/"
+                f"{drain.get('accepted', 0)} accepted requests completed, "
+                f"lost={drain.get('lost')} → "
+                f"{'OK' if drain.get('gate_drain_zero_lost') else 'FAIL'}"
+            )
     scaling = result["scaling"]
     if scaling["hardware_limited"]:
         lines.append(

@@ -1,0 +1,153 @@
+"""Quantized-RSSI result cache.
+
+Co-located users submit near-identical fingerprints: device heterogeneity
+and temporal variation perturb RSSI by a few dB between nearby readings
+(STELLAR documents the effect VITAL's augmentation trains against), so
+bucketing each RSSI value to a configurable step (default 2 dB) before
+hashing collapses those repeats onto one cache key.  A hit returns the
+stored logits without touching the inference path at all.
+
+The cache is bounded two ways: **LRU** (``max_entries``) and **TTL**
+(``ttl_s``; an expired entry counts as a miss and is dropped on access).
+Keys are namespaced by *route key* — the content-addressed model version
+actually serving — so a fleet hot swap naturally changes the namespace,
+and :meth:`invalidate_model` / :meth:`invalidate_route` drop the old
+version's entries eagerly when the gateway sees a swap/canary lifecycle
+event.  All methods are thread-safe: lookups run on the gateway's event
+loop while invalidation arrives from fleet control-plane threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["QuantizedResultCache"]
+
+
+class QuantizedResultCache:
+    """LRU+TTL map from (route key, quantized fingerprint) to logits."""
+
+    def __init__(self, step_db: float = 2.0, max_entries: int = 4096,
+                 ttl_s: float | None = 60.0, clock=time.monotonic):
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive or None, got {ttl_s}")
+        self.step_db = float(step_db)
+        self.max_entries = int(max_entries)
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        # key -> (logits, model, route_key, expires_at | None)
+        self._entries: "OrderedDict[bytes, tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def key(self, route_key: str, fingerprint: np.ndarray) -> bytes:
+        """Cache key: blake2b over the route key and the RSSI-bucketed
+        fingerprint.  With ``step_db <= 0`` the raw float32 bytes are
+        hashed (exact-match caching only)."""
+        x = np.asarray(fingerprint, dtype=np.float32)
+        if self.step_db > 0:
+            q = np.rint(x / self.step_db).astype(np.int16)
+            payload = q.tobytes()
+        else:
+            payload = x.tobytes()
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(route_key.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(str(x.shape).encode("ascii"))
+        digest.update(b"\x00")
+        digest.update(payload)
+        return digest.digest()
+
+    def get(self, key: bytes) -> np.ndarray | None:
+        """The cached logits for ``key`` (LRU-touched), or None."""
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            logits, _model, _route, expires = entry
+            if expires is not None and now >= expires:
+                del self._entries[key]
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return logits
+
+    def put(self, key: bytes, logits: np.ndarray, model: str,
+            route_key: str) -> None:
+        """Store ``logits`` under ``key`` (a private copy is kept)."""
+        if not self.enabled:
+            return
+        expires = None if self.ttl_s is None else self._clock() + self.ttl_s
+        value = np.array(logits, dtype=np.float32, copy=True)
+        with self._lock:
+            self._entries[key] = (value, model, route_key, expires)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate_model(self, model: str) -> int:
+        """Drop every entry cached for ``model`` (any route version);
+        returns how many were dropped."""
+        with self._lock:
+            stale = [k for k, e in self._entries.items() if e[1] == model]
+            for k in stale:
+                del self._entries[k]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def invalidate_route(self, route_key: str) -> int:
+        """Drop every entry cached under ``route_key``."""
+        with self._lock:
+            stale = [k for k, e in self._entries.items() if e[2] == route_key]
+            for k in stale:
+                del self._entries[k]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += dropped
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "enabled": self.enabled,
+                "step_db": self.step_db,
+                "max_entries": self.max_entries,
+                "ttl_s": self.ttl_s,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / total) if total else 0.0,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "invalidations": self.invalidations,
+            }

@@ -1,0 +1,151 @@
+"""Wire protocol of the network gateway.
+
+Two encodings share one port:
+
+* **Framed JSON** (the native protocol): each message is a 4-byte
+  big-endian length prefix followed by that many bytes of UTF-8 JSON.
+  Requests carry ``{"id": <int>, "fingerprint": [floats], "model": ...}``
+  (``model`` optional); responses echo the id with either
+  ``{"id", "ok": true, "logits": [...], "cache": "hit"|"miss"}`` or
+  ``{"id", "ok": false, "error": {"code", "message"}}``.  Ids are
+  client-chosen and only need to be unique per connection *in flight* —
+  the gateway completes them out of order (pipelining).
+
+* **HTTP/1.1** (snippet-3 compatibility): a connection whose first bytes
+  look like an HTTP request line is served as HTTP — ``POST /localize``
+  with the same JSON body, ``GET /healthz``, ``GET /stats``.  Detection
+  is per-connection, decided once from the first bytes.
+
+The decoder is incremental and *self-resynchronizing*: a malformed frame
+(bad JSON, oversized declared length) produces a structured error event
+and the stream continues at the next frame boundary — a client bug costs
+one error response, not the connection.  Only a frame whose header is
+unparseable garbage has no recoverable boundary; that surfaces as
+``bad_frame`` and the connection is closed.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+#: Frame header: 4-byte big-endian payload length.
+HEADER = struct.Struct(">I")
+HEADER_BYTES = HEADER.size
+
+#: Default ceiling on a single frame/body, bytes.  Generous for any real
+#: fingerprint (a 224x224x3 float image is ~600 KB as JSON) while bounding
+#: what one client can make the gateway buffer.
+MAX_PAYLOAD_BYTES = 4 * 1024 * 1024
+
+# -- structured error codes (stable wire contract) ----------------------
+E_BAD_FRAME = "bad_frame"            # unrecoverable framing violation
+E_PAYLOAD_TOO_LARGE = "payload_too_large"
+E_BAD_JSON = "bad_json"
+E_BAD_REQUEST = "bad_request"        # JSON fine, schema/values wrong
+E_UNKNOWN_MODEL = "unknown_model"
+E_OVERLOADED = "overloaded"          # shed: write buffer over its hard cap
+E_TIMEOUT = "timeout"                # per-request deadline expired
+E_DRAINING = "draining"             # gateway is shutting down
+E_SERVER_ERROR = "server_error"      # inference failed server-side
+
+ERROR_CODES = (
+    E_BAD_FRAME, E_PAYLOAD_TOO_LARGE, E_BAD_JSON, E_BAD_REQUEST,
+    E_UNKNOWN_MODEL, E_OVERLOADED, E_TIMEOUT, E_DRAINING, E_SERVER_ERROR,
+)
+
+#: HTTP request methods whose first bytes flag a connection as HTTP.
+_HTTP_METHODS = (b"GET ", b"POST", b"HEAD", b"PUT ", b"DELE", b"OPTI")
+
+
+def encode_frame(obj) -> bytes:
+    """One wire frame: length prefix + compact JSON."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    return HEADER.pack(len(body)) + body
+
+
+def error_response(request_id, code: str, message: str) -> dict:
+    """The structured error payload for ``code`` (id may be None when the
+    request id itself could not be parsed)."""
+    return {"id": request_id, "ok": False,
+            "error": {"code": code, "message": message}}
+
+
+def looks_like_http(prefix: bytes) -> bool:
+    """Whether a connection's first bytes are an HTTP request line."""
+    if len(prefix) < 4:
+        return False
+    return prefix[:4] in _HTTP_METHODS
+
+
+class FrameDecoder:
+    """Incremental framed-JSON decoder with per-frame error recovery.
+
+    Feed bytes with :meth:`feed`; it yields ``("msg", obj)`` for each
+    complete frame, ``("error", code, message)`` for recoverable frame
+    faults (the stream resynchronizes at the next frame boundary), and
+    ``("fatal", code, message)`` when the stream cannot continue.
+
+    An oversized declared length is handled without killing the stream:
+    the decoder remembers how many bytes to *discard* and keeps consuming
+    until the bad frame's body has passed, then resumes at the next
+    header — the ISSUE's "clean error response, not a connection kill
+    mid-stream".
+    """
+
+    def __init__(self, max_payload: int = MAX_PAYLOAD_BYTES):
+        self.max_payload = int(max_payload)
+        self._buf = bytearray()
+        self._discard = 0  # bytes of an oversized frame still to swallow
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buf)
+
+    def feed(self, data: bytes):
+        """Consume ``data``; yield decode events (see class docstring)."""
+        self._buf += data
+        while True:
+            if self._discard:
+                drop = min(self._discard, len(self._buf))
+                del self._buf[:drop]
+                self._discard -= drop
+                if self._discard:
+                    return  # need more bytes of the bad body
+            if len(self._buf) < HEADER_BYTES:
+                return
+            (length,) = HEADER.unpack_from(self._buf, 0)
+            if length > self.max_payload:
+                del self._buf[:HEADER_BYTES]
+                self._discard = length
+                yield ("error", E_PAYLOAD_TOO_LARGE,
+                       f"frame of {length} bytes exceeds the "
+                       f"{self.max_payload}-byte limit")
+                continue
+            if len(self._buf) < HEADER_BYTES + length:
+                return
+            body = bytes(self._buf[HEADER_BYTES : HEADER_BYTES + length])
+            del self._buf[: HEADER_BYTES + length]
+            try:
+                obj = json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as error:
+                yield ("error", E_BAD_JSON, f"undecodable frame body: {error}")
+                continue
+            yield ("msg", obj)
+
+
+def parse_request(obj) -> tuple[int, list, str | None]:
+    """Validate a decoded request object; returns ``(id, fingerprint,
+    model)`` or raises ``ValueError`` with a client-facing message."""
+    if not isinstance(obj, dict):
+        raise ValueError("request must be a JSON object")
+    request_id = obj.get("id")
+    if not isinstance(request_id, int) or isinstance(request_id, bool):
+        raise ValueError("request 'id' must be an integer")
+    fingerprint = obj.get("fingerprint")
+    if not isinstance(fingerprint, list) or not fingerprint:
+        raise ValueError("request 'fingerprint' must be a non-empty list")
+    model = obj.get("model")
+    if model is not None and not isinstance(model, str):
+        raise ValueError("request 'model' must be a string when present")
+    return request_id, fingerprint, model

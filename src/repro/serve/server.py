@@ -194,9 +194,11 @@ class _Request:
     """One client request: a micro-batch of images plus its rendezvous."""
 
     __slots__ = ("id", "images", "n", "model", "routed_key", "forced_key",
-                 "enqueued", "event", "result", "error", "traced", "breakdown")
+                 "enqueued", "event", "result", "error", "traced", "breakdown",
+                 "on_done")
 
-    def __init__(self, request_id: int, images: np.ndarray, model: str):
+    def __init__(self, request_id: int, images: np.ndarray, model: str,
+                 on_done=None):
         self.id = request_id
         self.images = images
         self.n = len(images)
@@ -209,6 +211,7 @@ class _Request:
         self.error: str | None = None
         self.traced = False  # sampling decision, made once at submit
         self.breakdown: dict | None = None  # span chain when traced
+        self.on_done = on_done  # completion callback (gateway wakeup)
 
 
 class _Batch:
@@ -441,6 +444,8 @@ class LocalizationServer:
         self._completed = 0
         self._failed = 0
         self._request_latency = LatencyReservoir(maxlen=4096)
+        self._lifecycle_hooks: list = []
+        self._gateway = None  # attached network front end (stats only)
 
         if source is not None:
             session = self._as_session(source)
@@ -547,11 +552,24 @@ class LocalizationServer:
         return self
 
     def _journal_event(self, kind: str, **fields) -> None:
-        """Append a lifecycle event to the monitor's journal (no-op when
-        monitoring is disabled).  Shared with the fleet layer, which
-        journals deploy/swap/canary verdicts through the same hook."""
+        """Fan a lifecycle event out to the monitor's journal (when
+        monitoring is enabled) and to every registered lifecycle hook.
+        Shared with the fleet layer, which journals deploy/swap/canary
+        verdicts through the same hook — the gateway's result cache
+        subscribes here to invalidate on swaps and canary promotions."""
         if self.monitor is not None:
             self.monitor.event(kind, **fields)
+        for hook in list(self._lifecycle_hooks):
+            try:
+                hook(kind, dict(fields))
+            except Exception:
+                pass  # a broken observer must never break serving
+
+    def add_lifecycle_hook(self, hook) -> None:
+        """Register ``hook(kind, fields)`` to be called on every lifecycle
+        event (server start/stop, deploy, swap, canary, shard restart),
+        independent of whether monitoring is enabled."""
+        self._lifecycle_hooks.append(hook)
 
     # -- shared-memory ring sizing --------------------------------------
     def _batch_bytes(self, info: dict) -> int:
@@ -799,10 +817,41 @@ class LocalizationServer:
             self._routes[model] = key
 
     # -- client API ----------------------------------------------------
-    def submit(self, images, model: str | None = None) -> int:
+    def route_info(self, model: str | None = None) -> dict:
+        """Geometry of the route currently serving ``model`` (image_size /
+        channels / num_classes) — what a network front end needs to
+        validate an incoming fingerprint before :meth:`submit`."""
+        model = model if model is not None else DEFAULT_MODEL
+        route = self._routes.get(model)
+        if route is None:
+            known = sorted(self._routes)
+            raise ValueError(f"unknown model {model!r} (deployed: {known})")
+        return dict(self._model_info[route])
+
+    def cache_route(self, model: str | None = None) -> str | None:
+        """Route key under which ``model``'s results may be cached, or
+        ``None`` when caching is unsafe.  The base server always caches
+        under the live route; :class:`repro.fleet.FleetServer` overrides
+        this to return ``None`` while the model has an active canary
+        (a cached incumbent answer must not mask canary traffic)."""
+        model = model if model is not None else DEFAULT_MODEL
+        return self._routes.get(model)
+
+    def attach_gateway(self, gateway) -> None:
+        """Surface an attached network front end in :meth:`stats` (the
+        ``"gateway"`` section); pass ``None`` to detach."""
+        self._gateway = gateway
+
+    def submit(self, images, model: str | None = None, on_done=None) -> int:
         """Enqueue one request (a single image or a small batch of images)
         for ``model`` (default: the single-model route); returns a request
-        id for :meth:`result`."""
+        id for :meth:`result`.
+
+        ``on_done`` (optional) is called exactly once with the request id
+        when the request finishes — success *or* failure — right after its
+        completion event is set.  It runs on a server-internal thread with
+        the bookkeeping lock held, so it must only hand off (enqueue +
+        wake), never block or call back into the server."""
         if not self._started:
             raise RuntimeError("server not started (call start() or use `with`)")
         if self._stopping:
@@ -813,7 +862,7 @@ class LocalizationServer:
             known = sorted(self._routes)
             raise ValueError(f"unknown model {model!r} (deployed: {known})")
         x = self._coerce(images, self._model_info[route])
-        request = _Request(next(self._request_ids), x, model)
+        request = _Request(next(self._request_ids), x, model, on_done=on_done)
         with self._lock:
             self._requests[request.id] = request
             self._submitted += 1
@@ -1167,8 +1216,14 @@ class LocalizationServer:
                 route = self._route_stats.setdefault(batch.key, RouteStats())
                 offset = 0
                 for request in batch.requests:
-                    request.result = logits[offset : offset + request.n]
+                    block = logits[offset : offset + request.n]
                     offset += request.n
+                    if request.event.is_set():
+                        # Cancelled while in flight: the slice is computed
+                        # but the client is gone — drop it without touching
+                        # the completed/failed accounting a second time.
+                        continue
+                    request.result = block
                     self._completed += 1
                     latency_ms = (now - request.enqueued) * 1e3
                     self._request_latency.add(latency_ms)
@@ -1176,6 +1231,7 @@ class LocalizationServer:
                     if request.traced:
                         self._record_trace(request, batch, timing, collected)
                     request.event.set()
+                    self._notify_done(request)
                 self._on_batch_done(batch)
             return
         if kind == "error":
@@ -1252,9 +1308,26 @@ class LocalizationServer:
             self._cond.notify()
 
     def _finish_error(self, request: _Request, message: str) -> None:
+        """Finish ``request`` with ``message``; idempotent — a request that
+        already finished (e.g. cancelled on client timeout while its batch
+        was in flight, then the batch errors) is counted exactly once."""
+        if request.event.is_set():
+            return
         request.error = message
         self._failed += 1
         request.event.set()
+        self._notify_done(request)
+
+    def _notify_done(self, request: _Request) -> None:
+        """Fire the request's completion callback (if any) exactly once;
+        called right after ``request.event`` is set, with the bookkeeping
+        lock held — the callback must only hand off, never block."""
+        callback, request.on_done = request.on_done, None
+        if callback is not None:
+            try:
+                callback(request.id)
+            except Exception:
+                pass  # a broken callback must never poison the collector
 
     # -- health monitor ------------------------------------------------
     def _monitor_loop(self) -> None:
@@ -1510,6 +1583,8 @@ class LocalizationServer:
                 "tracing": self.tracer.summary(),
                 "monitor": (self.monitor.status()
                             if self.monitor is not None else None),
+                "gateway": (self._gateway.summary()
+                            if self._gateway is not None else None),
             }
 
     def __repr__(self) -> str:
