@@ -1,0 +1,136 @@
+"""Overload benchmark: admission control + elastic shares under flood.
+
+Drives :func:`repro.serve.run_overload_drill` (offered load far beyond
+capacity against a QoS-enabled :class:`repro.serve.LocalizationServer`)
+and :func:`repro.serve.run_two_tenant_drill` (a hot tenant borrowing
+shard share from a cold one under the autoscaler), merging both into
+``BENCH_serving.json`` as its ``"overload"`` section (schema
+``repro.serve.bench.v7``).  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_overload.py [--quick]
+
+Gates: goodput under flood ≥80% of clean capacity, zero accepted
+requests lost, batch-class traffic shed while interactive p95 holds its
+SLO, and the two-tenant share moving out and back with ≥2 rebalances.
+``--smoke`` runs the CI lane (tiny pool, short flood, asserts non-zero
+sheds/rejections + zero lost); ``--check`` validates the recorded gates
+without re-running anything.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+os.environ.setdefault("MKL_NUM_THREADS", "1")
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+from repro.serve import (
+    attach_overload_section,
+    format_overload_summary,
+    load_record,
+    overload_gates_ok,
+    run_overload_drill,
+    run_overload_smoke,
+    run_two_tenant_drill,
+    write_benchmark,
+)
+from repro.serve.qos_bench import OVERLOAD_SCHEMA
+
+
+def _load_or_skeleton(path: str) -> dict:
+    """Reuse the recorded serving benchmark when present, else start a
+    minimal record the overload section can live in."""
+    if os.path.exists(path):
+        try:
+            return load_record(path)
+        except (ValueError, OSError):
+            pass
+    return {"schema": OVERLOAD_SCHEMA,
+            "config": {"note": "overload-only record"}}
+
+
+def run(quick: bool = False, out: str | None = None, seed: int = 0) -> dict:
+    destination = out or os.path.join(REPO_ROOT, "BENCH_serving.json")
+    base = _load_or_skeleton(destination)
+    if quick:
+        drill = run_overload_drill(flood_s=2.0, capacity_requests=15,
+                                   seed=seed)
+        tenants = run_two_tenant_drill(hot_s=1.5, cool_s=1.5, seed=seed)
+    else:
+        drill = run_overload_drill(seed=seed)
+        tenants = run_two_tenant_drill(seed=seed)
+    overload = {"overload_drill": drill, "two_tenant_drill": tenants}
+    merged = attach_overload_section(base, overload)
+    print()
+    print(format_overload_summary(overload))
+    print(f"wrote {write_benchmark(merged, destination)}")
+    return merged
+
+
+def check(path: str | None = None) -> int:
+    """Validate the recorded overload gates (no benchmark run)."""
+    destination = path or os.path.join(REPO_ROOT, "BENCH_serving.json")
+    record = load_record(destination)
+    overload = record.get("overload")
+    if not overload:
+        print(f"{destination}: no overload section recorded", file=sys.stderr)
+        return 1
+    print(format_overload_summary(overload))
+    if not overload_gates_ok(overload):
+        print("overload gates FAILED", file=sys.stderr)
+        return 1
+    print("overload gates OK")
+    return 0
+
+
+def smoke() -> int:
+    """The CI lane: short flood on a tiny pool — sheds and rejections
+    must both happen, zero accepted requests may be lost."""
+    result = run_overload_smoke()
+    print(json.dumps({"gates": result["gates"],
+                      "classes": result["classes"],
+                      "shed_counters": result["shed_counters"],
+                      "ok": result["ok"]}, indent=2))
+    if not result["ok"]:
+        for gate, passed in result["gates"].items():
+            if not passed:
+                print(f"SMOKE FAIL: {gate}", file=sys.stderr)
+    return 0 if result["ok"] else 1
+
+
+def test_overload_baseline():
+    """Acceptance gates: predictable degradation under flood and elastic
+    shares that move out and back, with zero lost requests in both."""
+    quick = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+    merged = run(quick=quick, out="/tmp/bench_overload_test.json")
+    overload = merged["overload"]
+    assert overload["overload_drill"]["ok"], overload["overload_drill"]["gates"]
+    assert overload["two_tenant_drill"]["ok"], \
+        overload["two_tenant_drill"]["gates"]
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter flood/burst phases so the drills "
+                             "run in seconds")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI lane: tiny pool + short flood; asserts "
+                             "sheds/rejections happened and 0 lost")
+    parser.add_argument("--check", action="store_true",
+                        help="validate recorded overload gates and exit")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="merged record path "
+                             "(default: <repo>/BENCH_serving.json)")
+    args = parser.parse_args()
+    if args.smoke:
+        sys.exit(smoke())
+    if args.check:
+        sys.exit(check(args.out))
+    merged = run(quick=args.quick, out=args.out, seed=args.seed)
+    sys.exit(0 if overload_gates_ok(merged["overload"]) else 1)

@@ -11,7 +11,7 @@ Commands
 ``serve``       multi-process serving demo / benchmark → BENCH_serving.json
 ``quantize``    calibrate + quantize saved weights → int8 serving snapshot
 ``fleet``       versioned model registry + multi-tenant hot-swap serving
-                (``fleet publish|list|serve|swap|gc``)
+                (``fleet publish|list|serve|swap|gc|qos``)
 ``obs``         observability: per-request span traces, unified metrics,
                 per-phase compute profile, continuous monitoring
                 (``obs trace|stats|top|watch|slo|alerts|journal``)
@@ -124,6 +124,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="batch payload transport: zero-copy shared-memory "
                             "rings (default; auto-falls-back to pickle where "
                             "shared_memory is unavailable) or pickled ndarrays")
+    serve.add_argument("--qos", action="append", default=None,
+                       metavar="MODEL=PRIORITY[:MAX_QUEUE[:DEADLINE_MS]]",
+                       help="per-route QoS admission policy (repeatable): "
+                            "priority class interactive|standard|batch, "
+                            "optional queue bound (samples) and default "
+                            "request deadline")
+    serve.add_argument("--max-queue", type=int, default=4096,
+                       help="server-wide pending-request bound; overload "
+                            "rejects synchronously with a structured error")
     serve.add_argument("--trace-sample", type=float, default=0.0,
                        help="fraction of requests to span-trace (0 disables "
                             "tracing; 1.0 traces everything)")
@@ -251,6 +260,19 @@ def _build_parser() -> argparse.ArgumentParser:
                            "promote/rollback instead of an immediate swap")
     swap.add_argument("--canary-fraction", type=float, default=0.25)
     swap.add_argument("--seed", type=int, default=0)
+
+    fqos = fleet_sub.add_parser(
+        "qos",
+        help="show or set per-model QoS admission policies "
+             "(stored at <registry>/qos.json; `fleet serve` applies them)",
+    )
+    fqos.add_argument("--registry", required=True)
+    fqos.add_argument("--model-id", default=None,
+                      help="model to show or (with --set) configure")
+    fqos.add_argument("--set", default=None,
+                      metavar="PRIORITY[:MAX_QUEUE[:DEADLINE_MS]]",
+                      help="install this policy for --model-id "
+                           "(e.g. interactive:256:500)")
 
     gc = fleet_sub.add_parser(
         "gc",
@@ -640,6 +662,22 @@ def _cmd_serve(args) -> int:
         session = make_session(args.image_size, args.num_classes,
                                args.max_batch, args.seed)
         image_size, channels = args.image_size, 3
+    qos = None
+    if args.qos:
+        from repro.serve import QosPolicy
+
+        qos = {}
+        for spec in args.qos:
+            model, sep, policy = spec.partition("=")
+            if not sep or not model.strip():
+                print(f"bad --qos {spec!r} "
+                      "(want MODEL=PRIORITY[:MAX_QUEUE[:DEADLINE_MS]])")
+                return 2
+            try:
+                qos[model.strip()] = QosPolicy.parse(policy)
+            except ValueError as error:
+                print(f"bad --qos {spec!r}: {error}")
+                return 2
     request_size = args.request_size or args.max_batch
     requests = max(2, args.requests // 4) if args.quick else args.requests
     pool = np.random.default_rng(args.seed + 1).standard_normal(
@@ -651,7 +689,8 @@ def _cmd_serve(args) -> int:
                             max_batch=args.max_batch,
                             max_delay_ms=args.deadline_ms,
                             transport=args.transport,
-                            trace_sample=args.trace_sample) as server:
+                            trace_sample=args.trace_sample,
+                            qos=qos, max_queue=args.max_queue) as server:
         run = closed_loop_load(
             server, pool, clients=args.clients,
             requests_per_client=requests,
@@ -792,6 +831,7 @@ def _fleet_list(args) -> int:
 
 def _fleet_serve(args) -> int:
     import json
+    import os
     import threading
 
     import numpy as np
@@ -813,7 +853,9 @@ def _fleet_serve(args) -> int:
 
     with FleetServer(registry, workers=args.workers,
                      max_batch=args.max_batch,
-                     max_delay_ms=args.deadline_ms) as server:
+                     max_delay_ms=args.deadline_ms,
+                     qos_path=os.path.join(args.registry, "qos.json")
+                     ) as server:
         pools = {}
         for index, (model_id, version) in enumerate(specs):
             info = server.deploy(model_id, version)
@@ -945,6 +987,43 @@ def _fleet_gc(args) -> int:
     return 0
 
 
+def _fleet_qos(args) -> int:
+    """Show or set the per-model admission policies a registry's
+    ``fleet serve`` runs will apply (persisted at <registry>/qos.json)."""
+    import os
+
+    from repro.serve import QosPolicy, load_qos_file, save_qos_file
+
+    qos_path = os.path.join(args.registry, "qos.json")
+    policies = load_qos_file(qos_path)
+    if args.set is not None:
+        if not args.model_id:
+            print("--set needs --model-id")
+            return 2
+        try:
+            policies[args.model_id] = QosPolicy.parse(args.set)
+        except ValueError as error:
+            print(f"bad --set {args.set!r}: {error}")
+            return 2
+        save_qos_file(qos_path, policies)
+        print(f"wrote {qos_path}")
+    shown = policies
+    if args.model_id:
+        if args.model_id not in policies:
+            print(f"no QoS policy for {args.model_id!r}")
+            return 0 if args.set is None else 1
+        shown = {args.model_id: policies[args.model_id]}
+    if not shown:
+        print("no QoS policies recorded")
+        return 0
+    for model_id in sorted(shown):
+        entry = shown[model_id].to_dict()
+        print(f"{model_id}: priority={entry['priority']} "
+              f"max_queue={entry.get('max_queue')} "
+              f"deadline_ms={entry.get('deadline_ms')}")
+    return 0
+
+
 def _cmd_fleet(args) -> int:
     handlers = {
         "publish": _fleet_publish,
@@ -952,6 +1031,7 @@ def _cmd_fleet(args) -> int:
         "serve": _fleet_serve,
         "swap": _fleet_swap,
         "gc": _fleet_gc,
+        "qos": _fleet_qos,
     }
     return handlers[args.fleet_command](args)
 
@@ -1225,6 +1305,24 @@ def _obs_watch(args) -> int:
             row = _format_gateway_row(stats.get("gateway"))
             if row:
                 print(row)
+            admission = stats.get("admission") or {}
+            totals = {"admitted": 0, "rejected": 0, "shed": 0, "expired": 0}
+            for cell in (admission.get("counters") or {}).values():
+                for key in totals:
+                    totals[key] += cell.get(key, 0)
+            line = ("  admission: " + " ".join(
+                f"{key} {value}" for key, value in totals.items()))
+            shares = admission.get("route_shares") or {}
+            if shares:
+                line += "  shares " + " ".join(
+                    f"{model}:{share:.2f}"
+                    for model, share in sorted(shares.items()))
+            shedding = admission.get("shedding") or {}
+            if shedding:
+                line += "  SHEDDING " + " ".join(
+                    f"{model}@{state['fraction']:.2f}"
+                    for model, state in sorted(shedding.items()))
+            print(line)
         stop.set()
         if net_thread is not None:
             net_thread.join(timeout=15.0)
@@ -1301,10 +1399,21 @@ def _obs_journal(args) -> int:
     for event in events:
         extra = {k: v for k, v in event.items()
                  if k not in ("schema", "seq", "ts", "kind")}
-        detail = " ".join(f"{k}={v}" for k, v in extra.items()
-                          if not isinstance(v, (dict, list)))
+        parts = []
+        for key, value in extra.items():
+            if isinstance(value, dict) and all(
+                    not isinstance(inner, (dict, list))
+                    for inner in value.values()):
+                # Flat per-route maps (rebalance shares/loads, shed
+                # counters) render inline instead of being dropped.
+                inner = ",".join(
+                    f"{ik}:{round(iv, 3) if isinstance(iv, float) else iv}"
+                    for ik, iv in sorted(value.items()))
+                parts.append(f"{key}=[{inner}]")
+            elif not isinstance(value, (dict, list)):
+                parts.append(f"{key}={value}")
         print(f"#{event['seq']:>4} ts={event['ts']:.3f} "
-              f"{event['kind']:<14} {detail}")
+              f"{event['kind']:<14} {' '.join(parts)}")
     return 0
 
 

@@ -41,6 +41,7 @@ import threading
 import time
 
 from repro.fleet.registry import ModelRegistry, RegistryError
+from repro.serve.admission import QosPolicy, load_qos_file, save_qos_file
 from repro.serve.server import DEFAULT_MODEL, LocalizationServer, _Batch
 from repro.serve.stats import RouteStats
 
@@ -133,17 +134,29 @@ class FleetServer(LocalizationServer):
         A :class:`repro.fleet.ModelRegistry` (or a path to one) that
         ``deploy``/``swap``/``start_canary`` resolve versions from; omit
         it to deploy explicit snapshots only.
+    qos_path:
+        Optional JSON file of persisted per-model
+        :class:`~repro.serve.admission.QosPolicy` entries (the ``fleet
+        qos`` CLI surface); loaded at construction, written back by
+        :meth:`set_qos_policy`.  Policies are keyed by model id, so they
+        survive every swap and canary (route keys change, model ids
+        don't).
     workers / max_batch / ...:
         Exactly :class:`repro.serve.LocalizationServer` (the pool is
         shared by every deployed model).
     """
 
     def __init__(self, registry: ModelRegistry | str | None = None,
-                 workers: int = 2, max_batch: int = 32, **kwargs):
+                 workers: int = 2, max_batch: int = 32,
+                 qos_path: str | None = None, **kwargs):
         super().__init__(None, workers=workers, max_batch=max_batch, **kwargs)
         if isinstance(registry, str):
             registry = ModelRegistry(registry)
         self.registry = registry
+        self.qos_path = qos_path
+        if qos_path:
+            for model_id, policy in load_qos_file(qos_path).items():
+                self.qos.set_policy(model_id, policy)
         self._deployed: dict[str, dict] = {}  # model id → {key, version}
         self._canaries: dict[str, _Canary] = {}
         self._swap_log: list[dict] = []
@@ -189,6 +202,29 @@ class FleetServer(LocalizationServer):
         """Currently routed versions: model id → {key, version}."""
         with self._lock:
             return {model: dict(entry) for model, entry in self._deployed.items()}
+
+    # -- QoS policies (admission control) -------------------------------
+    def set_qos_policy(self, model_id: str, policy,
+                       persist: bool = True) -> QosPolicy:
+        """Install ``policy`` (a :class:`QosPolicy` or its dict/shorthand
+        form) for ``model_id``'s traffic, persist it to ``qos_path`` when
+        configured, and journal the change.  Takes effect on the next
+        submit — no restart, and (being model-keyed) no interaction with
+        swaps or canaries."""
+        if isinstance(policy, str):
+            policy = QosPolicy.parse(policy)
+        elif not isinstance(policy, QosPolicy):
+            policy = QosPolicy.from_dict(policy)
+        self.qos.set_policy(model_id, policy)
+        if persist and self.qos_path:
+            save_qos_file(self.qos_path, self.qos.policies())
+        self._journal_event("qos_policy", model=model_id, **policy.to_dict())
+        return policy
+
+    def qos_policies(self) -> dict[str, dict]:
+        """Installed per-model policies (model id → policy dict)."""
+        return {model: policy.to_dict()
+                for model, policy in self.qos.policies().items()}
 
     def _require_deployment(self, model_id: str) -> dict:
         entry = self._deployed.get(model_id)

@@ -210,6 +210,11 @@ class Slo:
             current = timeline.latest(self.series, self.labels, self.field)
             if current is not None:
                 report["current"] = round(current, 4)
+        if self.labels:
+            # Attribution for downstream consumers: a route-scoped SLO
+            # (e.g. Slo.latency(route=...)) carries its label set, so
+            # the admission shedder can target the breaching route.
+            report["labels"] = dict(self.labels)
         if self.description:
             report["description"] = self.description
         return report

@@ -30,11 +30,31 @@ into an online serving system:
   quantized-RSSI result cache that answers co-located repeats without
   touching inference (CLI: ``repro gateway serve|bench``).
 
+* :mod:`repro.serve.admission` — the QoS layer between submit and the
+  dispatcher: declarative per-route :class:`QosPolicy` (priority class,
+  queue bound, default deadline) with synchronous
+  :class:`RouteOverloaded` rejection, end-to-end deadlines finished as
+  :class:`DeadlineExpired` instead of burning compute, an SLO-driven
+  token-bucket shedder that drops batch-class traffic first, and the
+  :class:`Autoscaler` moving elastic per-route shard shares with
+  hysteresis (bench: :mod:`repro.serve.qos_bench`, recorded under the
+  ``overload`` section of ``BENCH_serving.json``).
+
 Workers hold a *table* of sessions keyed by route, so one pool can serve
 many model versions at once — :mod:`repro.fleet` builds the multi-tenant
 registry/hot-swap/canary control plane on exactly that protocol.
 """
 
+from repro.serve.admission import (
+    PRIORITIES,
+    AdmissionController,
+    Autoscaler,
+    DeadlineExpired,
+    QosPolicy,
+    RouteOverloaded,
+    load_qos_file,
+    save_qos_file,
+)
 from repro.serve.batcher import AdaptiveBatchPolicy, assemble_images
 from repro.serve.bench import (
     ACCEPTED_SCHEMAS,
@@ -61,6 +81,14 @@ from repro.serve.gateway import (
     http_localize,
     run_gateway_benchmark,
     run_gateway_smoke,
+)
+from repro.serve.qos_bench import (
+    attach_overload_section,
+    format_overload_summary,
+    overload_gates_ok,
+    run_overload_drill,
+    run_overload_smoke,
+    run_two_tenant_drill,
 )
 from repro.serve.server import DEFAULT_MODEL, LocalizationServer
 from repro.serve.shm import HAVE_SHM, RingAllocator, ShmRing, ShmTransportError
@@ -110,4 +138,18 @@ __all__ = [
     "gateway_gates_ok",
     "run_gateway_benchmark",
     "run_gateway_smoke",
+    "PRIORITIES",
+    "QosPolicy",
+    "RouteOverloaded",
+    "DeadlineExpired",
+    "AdmissionController",
+    "Autoscaler",
+    "load_qos_file",
+    "save_qos_file",
+    "attach_overload_section",
+    "format_overload_summary",
+    "overload_gates_ok",
+    "run_overload_drill",
+    "run_overload_smoke",
+    "run_two_tenant_drill",
 ]

@@ -92,16 +92,24 @@ class AdaptiveBatchPolicy:
                 self.ema_interarrival_s += self.ema_alpha * (gap - self.ema_interarrival_s)
         self._last_arrival = now
 
-    def wait_budget(self, pending_samples: int, oldest_age_s: float) -> float:
+    def wait_budget(self, pending_samples: int, oldest_age_s: float,
+                    deadline_slack_s: float | None = None) -> float:
         """Seconds the dispatcher may keep waiting for more requests.
 
         ``pending_samples`` is the queued sample count, ``oldest_age_s``
-        how long ago the oldest pending request arrived.  Returns 0 when
-        the batch should be dispatched immediately.
+        how long ago the oldest pending request arrived.
+        ``deadline_slack_s`` (optional) is the smallest remaining
+        QoS-deadline slack among the queued requests: the batching delay
+        is clamped to half of it, so a request near its deadline
+        dispatches (possibly in a partial batch) instead of expiring in
+        the coalescing wait.  Returns 0 when the batch should be
+        dispatched immediately.
         """
         if pending_samples >= self.max_batch:
             return 0.0  # full batch — never wait
         remaining = self.max_delay_s - oldest_age_s
+        if deadline_slack_s is not None:
+            remaining = min(remaining, deadline_slack_s * 0.5)
         if remaining <= self.MIN_WAIT_S:
             return 0.0  # deadline hit
         if self.ema_interarrival_s is None:

@@ -1,7 +1,7 @@
 """Serving benchmark: closed-loop load generation, scaling + deadline sweeps.
 
 Four experiments, recorded to ``BENCH_serving.json``
-(schema ``repro.serve.bench.v6``):
+(schema ``repro.serve.bench.v7``):
 
 * **throughput_vs_workers** — closed-loop clients hammer the server with
   ``max_batch``-sized requests at worker counts 1/2/4; aggregate
@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import signal
 import threading
 import time
 
@@ -43,15 +44,16 @@ from repro.serve import shm as shm_transport
 from repro.serve.server import LocalizationServer
 
 DEFAULT_OUTPUT = "BENCH_serving.json"
-SCHEMA = "repro.serve.bench.v6"
+SCHEMA = "repro.serve.bench.v7"
 
 #: Record schemas ``--check`` accepts: older records stay valid — v2 only
 #: *added* the optional ``"fleet"`` section (bench_fleet.py), v3 only
 #: adds the optional ``"transport"`` section, v4 only adds the optional
 #: ``"observability"`` section (bench_obs.py), v5 only adds the optional
-#: ``"monitoring"`` section (bench_monitor.py), and v6 only adds the
-#: optional ``"gateway"`` section (bench_gateway.py); each section is
-#: gated only when present.
+#: ``"monitoring"`` section (bench_monitor.py), v6 only adds the
+#: optional ``"gateway"`` section (bench_gateway.py), and v7 only adds
+#: the optional ``"overload"`` section (bench_overload.py); each section
+#: is gated only when present.
 ACCEPTED_SCHEMAS = (
     "repro.serve.bench.v1",
     "repro.serve.bench.v2",
@@ -59,11 +61,13 @@ ACCEPTED_SCHEMAS = (
     "repro.serve.bench.v4",
     "repro.serve.bench.v5",
     "repro.serve.bench.v6",
+    "repro.serve.bench.v7",
 )
 
 #: Sections recorded by sibling benchmarks into the same file; a re-run
 #: of the serving sweep must carry them over, not silently drop them.
-PRESERVED_SECTIONS = ("fleet", "observability", "monitoring", "gateway")
+PRESERVED_SECTIONS = ("fleet", "observability", "monitoring", "gateway",
+                      "overload")
 
 
 def merge_preserved_sections(result: dict, previous: dict | None) -> dict:
@@ -180,7 +184,16 @@ def run_fault_tolerance_drill(
     under the shm transport, that every ring lease the crashed worker
     was holding has been reclaimed (``ring_leases_after == 0``): a crash
     must neither lose requests nor leak ring segments.
+
+    The drill ends with an *expired-lease probe*: every worker is
+    SIGSTOPped, one deadline-carrying request is dispatched (its payload
+    now sits in a ring lease), the deadline passes, and the holding
+    worker is SIGKILLed.  The restart path must recognise the batch as
+    all-expired — free the lease and complete the request as
+    ``DeadlineExpired`` instead of re-dispatching dead work.
     """
+    from repro.serve.admission import DeadlineExpired
+
     rng = np.random.default_rng(7)
     with LocalizationServer(session, workers=workers, max_delay_ms=1.0,
                             health_interval_s=0.05,
@@ -202,12 +215,49 @@ def run_fault_tolerance_drill(
                 completed += 1
             except Exception as error:
                 failures.append(str(error))
+
+        # -- expired-lease probe -------------------------------------
+        probe: dict = {"dispatched": False, "deadline_expired": False}
+        for shard in server._shards:
+            os.kill(shard.process.pid, signal.SIGSTOP)
+        try:
+            probe_id = server.submit(images[:request_size],
+                                     deadline_ms=400.0)
+            deadline = time.perf_counter() + 5.0
+            holder = None
+            while time.perf_counter() < deadline:
+                for batch in list(server._in_flight.values()):
+                    if any(r.id == probe_id for r in batch.requests):
+                        holder = batch.shard
+                        break
+                if holder is not None:
+                    break
+                time.sleep(0.005)
+            probe["dispatched"] = holder is not None
+            time.sleep(0.6)  # let the probe's deadline lapse in flight
+            if holder is not None:
+                os.kill(server._shards[holder].process.pid, signal.SIGKILL)
+        finally:
+            for shard in server._shards:
+                try:
+                    os.kill(shard.process.pid, signal.SIGCONT)
+                except (OSError, ValueError):
+                    pass  # the killed holder, or already restarted
+        try:
+            server.result(probe_id, timeout=timeout)
+        except DeadlineExpired:
+            probe["deadline_expired"] = True
+        except Exception as error:
+            probe["error"] = str(error)
         stats = server.stats()
     restarts = sum(shard["restarts"] for shard in stats["shards"])
     leases_after = sum(
         ring["live_leases"]
         for ring in stats["transport"]["rings"] if ring is not None
     )
+    probe["ring_leases_after"] = leases_after
+    probe["ok"] = bool(probe["dispatched"] and probe["deadline_expired"]
+                       and leases_after == 0)
     return {
         "requests": requests,
         "completed": completed,
@@ -216,7 +266,9 @@ def run_fault_tolerance_drill(
         "restarts": restarts,
         "transport": stats["transport"]["mode"],
         "ring_leases_after": leases_after,
-        "ok": completed == requests and restarts >= 1 and leases_after == 0,
+        "expired_lease_probe": probe,
+        "ok": (completed == requests and restarts >= 1
+               and leases_after == 0 and probe["ok"]),
     }
 
 
@@ -670,6 +722,25 @@ def check_record(record: dict) -> list[str]:
                 "gateway drain gate failed: graceful shutdown under live "
                 f"clients must complete every accepted request ({drain})"
             )
+    overload = record.get("overload")
+    if overload is not None:
+        drill = overload.get("overload_drill", {})
+        for gate, passed in drill.get("gates", {}).items():
+            if not passed:
+                problems.append(
+                    f"overload drill {gate} failed: admission control must "
+                    "keep goodput within 80% of capacity, shed batch-class "
+                    "first, hold interactive p95 inside its SLO and lose "
+                    f"zero accepted requests ({drill.get('classes')})"
+                )
+        tenants = overload.get("two_tenant_drill", {})
+        for gate, passed in tenants.get("gates", {}).items():
+            if not passed:
+                problems.append(
+                    f"two-tenant drill {gate} failed: a hot route must "
+                    "borrow shard share and return it after the burst with "
+                    f"zero lost requests ({tenants})"
+                )
     return problems
 
 
@@ -753,6 +824,12 @@ def format_summary(result: dict) -> str:
                 f"lost={drain.get('lost')} → "
                 f"{'OK' if drain.get('gate_drain_zero_lost') else 'FAIL'}"
             )
+    overload = result.get("overload")
+    if overload is not None:
+        from repro.serve.qos_bench import format_overload_summary
+
+        for line in format_overload_summary(overload).splitlines():
+            lines.append("  " + line)
     scaling = result["scaling"]
     if scaling["hardware_limited"]:
         lines.append(

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
+import time
 
 import numpy as np
 
@@ -25,22 +27,43 @@ from repro.serve.gateway import protocol
 
 __all__ = ["GatewayClient", "GatewayError", "http_localize"]
 
+#: Wire codes a retrying client may safely resubmit after backing off —
+#: the request never entered the serving queue.
+RETRYABLE_CODES = (protocol.E_OVERLOADED, protocol.E_DRAINING)
+
 
 class GatewayError(RuntimeError):
-    """A structured gateway error response (``.code`` is the wire code)."""
+    """A structured gateway error response (``.code`` is the wire code;
+    ``.retry_after_s`` is the server's back-off hint when it sent one)."""
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str,
+                 retry_after_s: float | None = None):
         super().__init__(f"[{code}] {message}")
         self.code = code
+        self.retry_after_s = retry_after_s
 
 
 class GatewayClient:
-    """One framed-JSON connection to a :class:`GatewayServer`."""
+    """One framed-JSON connection to a :class:`GatewayServer`.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    ``max_retries`` (default 0 — off) lets :meth:`localize` retry
+    ``overloaded``/``draining`` responses with exponential backoff plus
+    jitter, honoring the server's ``retry_after_s`` hint as the floor of
+    each sleep.  Only admission rejections are retried — they are
+    guaranteed to never have entered the serving queue — so a retry can
+    never duplicate work."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 max_retries: int = 0, backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 2.0, backoff_jitter: float = 0.25):
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.timeout = timeout
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.backoff_jitter = float(backoff_jitter)
+        self.retries = 0  # total backoff retries this connection performed
         self._decoder = protocol.FrameDecoder()
         self._responses: dict[int, dict] = {}
         self._anonymous: list[dict] = []  # id-less errors (bad frame/json)
@@ -63,8 +86,10 @@ class GatewayClient:
 
     # -- pipelined API ---------------------------------------------------
     def submit(self, fingerprint, model: str | None = None,
-               request_id: int | None = None) -> int:
-        """Send one request without waiting; returns its id."""
+               request_id: int | None = None, priority: str | None = None,
+               deadline_ms: float | None = None) -> int:
+        """Send one request without waiting; returns its id.  ``priority``
+        and ``deadline_ms`` override the route's QoS policy defaults."""
         if request_id is None:
             self._ids += 1
             request_id = self._ids
@@ -73,6 +98,10 @@ class GatewayClient:
                                              dtype=np.float32).ravel().tolist()}
         if model is not None:
             payload["model"] = model
+        if priority is not None:
+            payload["priority"] = priority
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
         self.send_raw(protocol.encode_frame(payload))
         return request_id
 
@@ -123,18 +152,41 @@ class GatewayClient:
             return self._anonymous.pop(0)
         return self._responses.pop(next(iter(self._responses)))
 
+    def _backoff_s(self, attempt: int, hint: float | None) -> float:
+        """Sleep before retry ``attempt`` (1-based): exponential growth
+        with jitter, floored at the server's ``Retry-After`` hint."""
+        delay = min(self.backoff_cap_s,
+                    self.backoff_base_s * (2.0 ** (attempt - 1)))
+        delay *= 1.0 + random.uniform(-self.backoff_jitter,
+                                      self.backoff_jitter)
+        if hint is not None:
+            delay = max(delay, float(hint))
+        return delay
+
     # -- one-shot convenience ---------------------------------------------
     def localize(self, fingerprint, model: str | None = None,
-                 timeout: float | None = None) -> dict:
+                 timeout: float | None = None, priority: str | None = None,
+                 deadline_ms: float | None = None) -> dict:
         """Submit one fingerprint and wait for its response; raises
-        :class:`GatewayError` on a structured error."""
-        rid = self.submit(fingerprint, model=model)
-        response = self.result(rid, timeout=timeout)
-        if not response.get("ok"):
+        :class:`GatewayError` on a structured error.  With
+        ``max_retries > 0``, ``overloaded``/``draining`` errors are
+        retried after a jittered exponential backoff (honoring the
+        server's ``retry_after_s``) before the last one surfaces."""
+        attempt = 0
+        while True:
+            rid = self.submit(fingerprint, model=model, priority=priority,
+                              deadline_ms=deadline_ms)
+            response = self.result(rid, timeout=timeout)
+            if response.get("ok"):
+                return response
             error = response.get("error") or {}
-            raise GatewayError(error.get("code", "unknown"),
-                              error.get("message", ""))
-        return response
+            code = error.get("code", "unknown")
+            attempt += 1
+            if code not in RETRYABLE_CODES or attempt > self.max_retries:
+                raise GatewayError(code, error.get("message", ""),
+                                   retry_after_s=error.get("retry_after_s"))
+            self.retries += 1
+            time.sleep(self._backoff_s(attempt, error.get("retry_after_s")))
 
 
 def http_localize(host: str, port: int, fingerprint,

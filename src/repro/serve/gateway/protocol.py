@@ -64,11 +64,17 @@ def encode_frame(obj) -> bytes:
     return HEADER.pack(len(body)) + body
 
 
-def error_response(request_id, code: str, message: str) -> dict:
+def error_response(request_id, code: str, message: str,
+                   retry_after_s: float | None = None) -> dict:
     """The structured error payload for ``code`` (id may be None when the
-    request id itself could not be parsed)."""
-    return {"id": request_id, "ok": False,
-            "error": {"code": code, "message": message}}
+    request id itself could not be parsed).  ``retry_after_s`` rides along
+    for retryable conditions (``overloaded``/``draining``) — the framed
+    protocol carries it in the error object, the HTTP flavor additionally
+    maps it to a ``Retry-After`` header on 503."""
+    error = {"code": code, "message": message}
+    if retry_after_s is not None:
+        error["retry_after_s"] = round(float(retry_after_s), 3)
+    return {"id": request_id, "ok": False, "error": error}
 
 
 def looks_like_http(prefix: bytes) -> bool:
@@ -149,3 +155,30 @@ def parse_request(obj) -> tuple[int, list, str | None]:
     if model is not None and not isinstance(model, str):
         raise ValueError("request 'model' must be a string when present")
     return request_id, fingerprint, model
+
+
+#: QoS priority classes accepted on the wire (mirror of
+#: :data:`repro.serve.admission.PRIORITIES`; duplicated here so the wire
+#: module stays importable without the serving layer).
+WIRE_PRIORITIES = ("interactive", "standard", "batch")
+
+
+def parse_qos(obj) -> tuple[str | None, float | None]:
+    """Validate a request's optional QoS fields; returns ``(priority,
+    deadline_ms)`` (each ``None`` when absent — the route's policy
+    defaults apply) or raises ``ValueError`` with a client-facing
+    message."""
+    priority = obj.get("priority")
+    if priority is not None:
+        if not isinstance(priority, str) or priority not in WIRE_PRIORITIES:
+            raise ValueError(
+                f"request 'priority' must be one of {WIRE_PRIORITIES}"
+            )
+    deadline_ms = obj.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) \
+                or not isinstance(deadline_ms, (int, float)) \
+                or not deadline_ms > 0:
+            raise ValueError("request 'deadline_ms' must be a positive number")
+        deadline_ms = float(deadline_ms)
+    return priority, deadline_ms

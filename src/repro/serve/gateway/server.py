@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.obs.metrics import Histogram
 from repro.obs.trace import RequestTrace, Span, Tracer
+from repro.serve.admission import DeadlineExpired, RouteOverloaded
 from repro.serve.gateway import protocol
 from repro.serve.gateway.cache import QuantizedResultCache
 from repro.serve.stats import LatencyReservoir
@@ -188,6 +189,7 @@ class GatewayServer:
         self.requests_responded = 0
         self.wire_errors = 0
         self.shed = 0
+        self.overloaded = 0  # admission rejections (RouteOverloaded)
         self.timeouts = 0
         self.window_stalls = 0
         self.force_closed = 0
@@ -617,6 +619,7 @@ class GatewayServer:
             return
         try:
             client_id, fingerprint, model = protocol.parse_request(obj)
+            priority, deadline_ms = protocol.parse_qos(obj)
         except ValueError as error:
             self._queue_response(conn, protocol.error_response(
                 client_id, protocol.E_BAD_REQUEST, str(error)))
@@ -677,10 +680,20 @@ class GatewayServer:
                     if self.request_timeout_s else None)
         try:
             sid = self.server.submit(x, model=model,
-                                     on_done=self._on_server_done)
+                                     on_done=self._on_server_done,
+                                     priority=priority,
+                                     deadline_ms=deadline_ms)
         except ValueError as error:
             self._queue_response(conn, protocol.error_response(
                 client_id, protocol.E_UNKNOWN_MODEL, str(error)))
+            return
+        except RouteOverloaded as error:
+            # Admission rejection: the request never entered the queue —
+            # a small structured 503 with the server's back-off hint.
+            self.overloaded += 1
+            self._queue_response(conn, protocol.error_response(
+                client_id, protocol.E_OVERLOADED, str(error),
+                retry_after_s=error.retry_after_s))
             return
         except RuntimeError as error:
             code = (protocol.E_DRAINING if "shutting down" in str(error)
@@ -708,6 +721,10 @@ class GatewayServer:
             payload = None
             try:
                 logits = self.server.result(sid, timeout=1.0)
+            except DeadlineExpired as error:
+                self.timeouts += 1
+                payload = protocol.error_response(
+                    entry.client_id, protocol.E_TIMEOUT, str(error))
             except (RuntimeError, KeyError, TimeoutError) as error:
                 payload = protocol.error_response(
                     entry.client_id, protocol.E_SERVER_ERROR, str(error))
@@ -777,17 +794,24 @@ class GatewayServer:
 
     def _http_bytes(self, obj: dict) -> bytes:
         status = 200
+        error = obj.get("error") or {}
         if not obj.get("ok", False):
-            status = _HTTP_STATUS.get(
-                (obj.get("error") or {}).get("code"), 500)
+            status = _HTTP_STATUS.get(error.get("code"), 500)
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   413: "Payload Too Large", 500: "Internal Server Error",
                   503: "Service Unavailable",
                   504: "Gateway Timeout"}.get(status, "Error")
         body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+        retry_after = ""
+        if status == 503:
+            # Retry-After is integral seconds per RFC 9110; round up so
+            # "0.5" does not become "retry immediately".
+            hint = error.get("retry_after_s", 1.0)
+            retry_after = f"Retry-After: {max(1, int(-(-hint // 1)))}\r\n"
         head = (f"HTTP/1.1 {status} {reason}\r\n"
                 f"Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{retry_after}"
                 f"Connection: keep-alive\r\n\r\n").encode("ascii")
         return head + body
 
@@ -849,6 +873,7 @@ class GatewayServer:
                 "received": self.requests_received,
                 "responded": self.requests_responded,
                 "shed": self.shed,
+                "overloaded": self.overloaded,
                 "wire_errors": self.wire_errors,
                 "timeouts": self.timeouts,
             },
@@ -886,6 +911,8 @@ class GatewayServer:
         emit("gateway_requests_total", "counter", self.requests_responded,
              status="responded")
         emit("gateway_requests_total", "counter", self.shed, status="shed")
+        emit("gateway_requests_total", "counter", self.overloaded,
+             status="overloaded")
         emit("gateway_requests_total", "counter", self.wire_errors,
              status="wire_error")
         emit("gateway_requests_total", "counter", self.timeouts,

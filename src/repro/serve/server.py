@@ -68,6 +68,14 @@ from repro.obs.monitor import (Monitor, default_serving_rules,
                                default_serving_slos)
 from repro.obs.trace import RequestTrace, Tracer, spans_from_stamps
 from repro.serve import shm as shm_transport
+from repro.serve.admission import (
+    PRIORITIES,
+    AdmissionController,
+    Autoscaler,
+    DeadlineExpired,
+    QosPolicy,
+    RouteOverloaded,
+)
 from repro.serve.batcher import AdaptiveBatchPolicy, assemble_images
 from repro.serve.stats import (
     LatencyReservoir,
@@ -194,11 +202,12 @@ class _Request:
     """One client request: a micro-batch of images plus its rendezvous."""
 
     __slots__ = ("id", "images", "n", "model", "routed_key", "forced_key",
-                 "enqueued", "event", "result", "error", "traced", "breakdown",
-                 "on_done")
+                 "enqueued", "event", "result", "error", "error_code",
+                 "traced", "breakdown", "on_done", "priority", "deadline")
 
     def __init__(self, request_id: int, images: np.ndarray, model: str,
-                 on_done=None):
+                 on_done=None, priority: str = "standard",
+                 deadline: float | None = None):
         self.id = request_id
         self.images = images
         self.n = len(images)
@@ -209,9 +218,12 @@ class _Request:
         self.event = threading.Event()
         self.result: np.ndarray | None = None
         self.error: str | None = None
+        self.error_code: str | None = None  # wire code ("timeout", …)
         self.traced = False  # sampling decision, made once at submit
         self.breakdown: dict | None = None  # span chain when traced
         self.on_done = on_done  # completion callback (gateway wakeup)
+        self.priority = priority  # QoS class (admission.PRIORITIES)
+        self.deadline = deadline  # absolute perf_counter deadline, or None
 
 
 class _Batch:
@@ -337,6 +349,23 @@ class LocalizationServer:
     journal_path:
         When set, the monitor's event journal is additionally persisted
         as append-only JSONL at this path.
+    qos:
+        Optional ``{model id → QosPolicy-or-dict}`` admission policies
+        (see :class:`repro.serve.admission.QosPolicy`): per-route
+        priority class, queue bound and default deadline.  Policies are
+        keyed by model id, so they survive hot swaps and canaries.
+        More can be set later via ``server.qos.set_policy``.
+    max_queue:
+        Server-wide bound on pending (not yet dispatched) requests,
+        enforced on *every* submit — including shard-restart windows;
+        a full queue rejects with
+        :class:`repro.serve.admission.RouteOverloaded`.
+    autoscale:
+        ``True`` starts a background
+        :class:`repro.serve.admission.Autoscaler` that elastically moves
+        each route's soft share of the shard pool toward its observed
+        load (``autoscale_interval_s`` cadence), with hysteresis;
+        shares feed per-route concurrency caps in the dispatcher.
     """
 
     def __init__(
@@ -362,6 +391,10 @@ class LocalizationServer:
         monitor_slos=None,
         monitor_rules=None,
         journal_path=None,
+        qos=None,
+        max_queue: int = 4096,
+        autoscale: bool = False,
+        autoscale_interval_s: float = 0.25,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -446,6 +479,37 @@ class LocalizationServer:
         self._request_latency = LatencyReservoir(maxlen=4096)
         self._lifecycle_hooks: list = []
         self._gateway = None  # attached network front end (stats only)
+
+        # -- admission control / QoS ------------------------------------
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.max_queue = int(max_queue)
+        self.qos = AdmissionController(resolve_model=self._model_for_key,
+                                       on_event=self._journal_event)
+        if qos:
+            for model_id, policy in qos.items():
+                if not isinstance(policy, QosPolicy):
+                    policy = QosPolicy.from_dict(policy)
+                self.qos.set_policy(model_id, policy)
+        self._rejected = 0  # admission rejections (never entered the queue)
+        #: Pending samples per model id — guarded by _cond alongside
+        #: _pending; feeds per-route queue bounds and autoscaler load.
+        self._pending_by_model: dict[str, int] = {}
+        #: How many queued requests carry a deadline (guarded by _cond);
+        #: zero keeps the expiry cull entirely off the dispatch path.
+        self._deadline_count = 0
+        #: Dispatched-but-unfinished samples per model id (guarded by
+        #: _lock; read without it by the dispatcher's share-cap check,
+        #: which is a heuristic and tolerates stale values).
+        self._route_outstanding: dict[str, int] = {}
+        #: Soft shares of the shard pool per model id (empty → no caps).
+        self._route_shares: dict[str, float] = {}
+        self.autoscaler = (Autoscaler(self, interval_s=autoscale_interval_s)
+                           if autoscale else None)
+        if self.monitor is not None:
+            # Registered after the Monitor's own listener, so each sample
+            # refreshes the SLO reports before the shedder reads them.
+            self.monitor.timeline.add_listener(self._on_monitor_sample)
 
         if source is not None:
             session = self._as_session(source)
@@ -549,6 +613,8 @@ class LocalizationServer:
             self.monitor.start()
             self._journal_event("server_started", workers=self.workers,
                                 transport=self.transport)
+        if self.autoscaler is not None:
+            self.autoscaler.start()
         return self
 
     def _journal_event(self, kind: str, **fields) -> None:
@@ -661,6 +727,8 @@ class LocalizationServer:
                     break
                 time.sleep(0.01)
         self._stopping = True
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
         with self._cond:
             self._cond.notify_all()
         with self._ring_cond:
@@ -733,6 +801,9 @@ class LocalizationServer:
             with self._cond:
                 pending = list(self._pending)
                 self._pending.clear()
+                self._pending_by_model.clear()
+                self._deadline_count = 0
+            self._route_outstanding.clear()
             for batch in batches:
                 self._free_lease(batch)
                 for request in batch.requests:
@@ -816,6 +887,41 @@ class LocalizationServer:
                 raise ValueError(f"cannot route {model!r} to unloaded key {key!r}")
             self._routes[model] = key
 
+    def _model_for_key(self, key: str) -> str:
+        """Reverse route lookup (route key → model id), used to attribute
+        route-labeled SLO reports to the model whose policy sheds.  Falls
+        back to the ``model@vN`` key convention for retired keys."""
+        with self._lock:
+            for model, route in self._routes.items():
+                if route == key:
+                    return model
+        return key.split("@", 1)[0]
+
+    # -- elastic shard shares (driven by the Autoscaler) ----------------
+    def route_shares(self) -> dict[str, float]:
+        """Current soft shares of the shard pool per model id (empty when
+        elastic scaling never engaged)."""
+        with self._lock:
+            return dict(self._route_shares)
+
+    def set_route_shares(self, shares: dict[str, float]) -> None:
+        """Replace the soft share table (the dispatcher picks the new
+        caps up on its next gather; in-flight work is untouched, so a
+        rebalance can never lose a request)."""
+        table = {model: float(share) for model, share in shares.items()}
+        with self._lock:
+            self._route_shares = table
+
+    def _on_monitor_sample(self, timeline, now) -> None:
+        """Timeline listener (sampler thread), registered *after* the
+        monitor's own — each sample refreshes the SLO burn-rate reports
+        first, then this feeds them to the admission shedder."""
+        monitor = self.monitor
+        if monitor is None or self._stopping:
+            return
+        with self._cond:  # shed state is read by submit under _cond
+            self.qos.update_shedding(monitor.slo_engine.last_reports())
+
     # -- client API ----------------------------------------------------
     def route_info(self, model: str | None = None) -> dict:
         """Geometry of the route currently serving ``model`` (image_size /
@@ -842,10 +948,22 @@ class LocalizationServer:
         ``"gateway"`` section); pass ``None`` to detach."""
         self._gateway = gateway
 
-    def submit(self, images, model: str | None = None, on_done=None) -> int:
+    def submit(self, images, model: str | None = None, on_done=None,
+               priority: str | None = None,
+               deadline_ms: float | None = None) -> int:
         """Enqueue one request (a single image or a small batch of images)
         for ``model`` (default: the single-model route); returns a request
         id for :meth:`result`.
+
+        ``priority`` / ``deadline_ms`` override the model's
+        :class:`~repro.serve.admission.QosPolicy` defaults per request.
+        Admission is synchronous: a full queue (server-wide or the
+        route's own bound) or an SLO-shed decision raises
+        :class:`~repro.serve.admission.RouteOverloaded` *here* instead of
+        queueing forever, and a request whose deadline lapses before it
+        is served fails with
+        :class:`~repro.serve.admission.DeadlineExpired` from
+        :meth:`result`.
 
         ``on_done`` (optional) is called exactly once with the request id
         when the request finishes — success *or* failure — right after its
@@ -861,8 +979,20 @@ class LocalizationServer:
         if route is None:
             known = sorted(self._routes)
             raise ValueError(f"unknown model {model!r} (deployed: {known})")
+        policy = self.qos.get_policy(model)
+        if priority is None:
+            priority = policy.priority
+        elif priority not in PRIORITIES:
+            raise ValueError(
+                f"priority must be one of {PRIORITIES}, got {priority!r}"
+            )
+        if deadline_ms is None:
+            deadline_ms = policy.deadline_ms
         x = self._coerce(images, self._model_info[route])
-        request = _Request(next(self._request_ids), x, model, on_done=on_done)
+        deadline = (time.perf_counter() + float(deadline_ms) / 1e3
+                    if deadline_ms is not None else None)
+        request = _Request(next(self._request_ids), x, model, on_done=on_done,
+                           priority=priority, deadline=deadline)
         with self._lock:
             self._requests[request.id] = request
             self._submitted += 1
@@ -870,10 +1000,53 @@ class LocalizationServer:
             # the disabled path.
             if self.tracer.enabled:
                 request.traced = self.tracer.sample()
+        reject = None
         with self._cond:
-            self._pending.append(request)
-            self._policy.observe_arrival(time.perf_counter())
-            self._cond.notify()
+            now = time.perf_counter()
+            queued = self._pending_by_model.get(model, 0)
+            if len(self._pending) >= self.max_queue:
+                # Server-wide bound: holds unconditionally — including
+                # shard-restart windows, when dispatch stalls but submits
+                # keep arriving (the queue must stay bounded, not absorb
+                # the outage).
+                self.qos.record_rejected(model)
+                reject = RouteOverloaded(
+                    f"server queue full ({len(self._pending)} pending "
+                    f"requests, bound {self.max_queue})",
+                    model=model, retry_after_s=0.5,
+                )
+            elif policy.max_queue is not None \
+                    and queued + request.n > policy.max_queue:
+                self.qos.record_rejected(model)
+                reject = RouteOverloaded(
+                    f"route {model!r} queue full ({queued} pending samples, "
+                    f"bound {policy.max_queue})",
+                    model=model, retry_after_s=0.25,
+                )
+            elif queued > self.max_batch \
+                    and self.qos.should_shed(model, priority, now=now):
+                # Work-conserving: shedding relieves *queueing* pressure,
+                # so it only applies once the route has a real backlog —
+                # a near-empty queue means the pool can absorb the work
+                # now, and shedding it would idle shards while the SLO
+                # recovers.
+                reject = RouteOverloaded(
+                    f"route {model!r} is shedding {priority}-class traffic "
+                    f"(SLO breach)",
+                    model=model, retry_after_s=0.5, shed=True,
+                )
+            else:
+                self.qos.record_admitted(model, now=now)
+                self._account_pending(request)
+                self._pending.append(request)
+                self._policy.observe_arrival(now)
+                self._cond.notify()
+        if reject is not None:
+            with self._lock:
+                self._requests.pop(request.id, None)
+                self._submitted -= 1
+                self._rejected += 1
+            raise reject
         return request.id
 
     def result(self, request_id: int, timeout: float | None = None) -> np.ndarray:
@@ -893,8 +1066,19 @@ class LocalizationServer:
         with self._lock:
             self._requests.pop(request_id, None)
         if request.error is not None:
-            raise RuntimeError(f"request {request_id} failed: {request.error}")
+            self._raise_request_error(request_id, request)
         return request.result
+
+    @staticmethod
+    def _raise_request_error(request_id: int, request: _Request):
+        """Map a finished request's error onto the client exception:
+        deadline expiry gets its own type (wire code ``timeout``),
+        everything else stays a ``RuntimeError``."""
+        if request.error_code == "timeout":
+            raise DeadlineExpired(
+                f"request {request_id} {request.error}", model=request.model
+            )
+        raise RuntimeError(f"request {request_id} failed: {request.error}")
 
     def result_with_breakdown(
         self, request_id: int, timeout: float | None = None
@@ -912,7 +1096,7 @@ class LocalizationServer:
         with self._lock:
             self._requests.pop(request_id, None)
         if request.error is not None:
-            raise RuntimeError(f"request {request_id} failed: {request.error}")
+            self._raise_request_error(request_id, request)
         return request.result, request.breakdown
 
     def cancel(self, request_id: int) -> bool:
@@ -931,6 +1115,8 @@ class LocalizationServer:
                 self._pending.remove(request)
             except ValueError:
                 pass  # already dispatched (or completed)
+            else:
+                self._unaccount_pending(request)
         return True
 
     def predict_many(self, images, timeout: float | None = None,
@@ -998,24 +1184,128 @@ class LocalizationServer:
         this to split a canary fraction off to a candidate version."""
         return self._routes[model]
 
+    def _account_pending(self, request: _Request) -> None:
+        """Bookkeeping for a request entering ``_pending`` (under _cond)."""
+        self._pending_by_model[request.model] = \
+            self._pending_by_model.get(request.model, 0) + request.n
+        if request.deadline is not None:
+            self._deadline_count += 1
+
+    def _unaccount_pending(self, request: _Request) -> None:
+        """Bookkeeping for a request leaving ``_pending`` (under _cond)."""
+        left = self._pending_by_model.get(request.model, 0) - request.n
+        if left > 0:
+            self._pending_by_model[request.model] = left
+        else:
+            self._pending_by_model.pop(request.model, None)
+        if request.deadline is not None:
+            self._deadline_count = max(0, self._deadline_count - 1)
+
+    def _cull_expired(self, now: float) -> None:
+        """Finish every queued request whose deadline already lapsed with
+        the ``timeout`` error code (under _cond) — an expired request
+        never costs a batch slot.  Free when no queued request carries a
+        deadline (``_deadline_count`` keeps the scan off that path)."""
+        if not self._deadline_count:
+            return
+        kept: deque[_Request] = deque()
+        for request in self._pending:
+            if request.deadline is not None and now >= request.deadline \
+                    and not request.event.is_set():
+                self._unaccount_pending(request)
+                self.qos.record_expired(request.model)
+                self._finish_error(request, "deadline expired in queue",
+                                   code="timeout")
+            else:
+                kept.append(request)
+        self._pending = kept
+
+    def _share_cap(self, model: str) -> int | None:
+        """Soft concurrency cap (in samples) for ``model`` under the
+        elastic shares, or ``None`` when the model has no share.  Floored
+        at one full batch so every route always makes progress."""
+        share = self._route_shares.get(model)
+        if share is None:
+            return None
+        alive = sum(1 for s in self._shards if not s.failed) or 1
+        return max(self.max_batch, int(share * alive * self.max_batch))
+
+    def _prefer_under_share(self, head: _Request) -> _Request:
+        """Elastic-share scheduling: when the popped head's route is over
+        its share of the pool and an under-share route has queued work
+        (bounded scan), serve that route first.  Soft caps — with no
+        under-share work queued, the over-share head still dispatches,
+        so the pool stays work-conserving.  ``_route_outstanding`` is
+        read without the bookkeeping lock: stale values only soften the
+        preference, never lose a request."""
+        if not self._route_shares or not self._pending:
+            return head
+        cap = self._share_cap(head.model)
+        if cap is None or self._route_outstanding.get(head.model, 0) < cap:
+            return head
+        for index, request in enumerate(self._pending):
+            if index >= 64:
+                break
+            other = self._share_cap(request.model)
+            if other is None \
+                    or self._route_outstanding.get(request.model, 0) < other:
+                del self._pending[index]
+                self._pending.appendleft(head)
+                return request
+        return head
+
+    def _nearest_deadline_slack(self, now: float) -> float | None:
+        """Smallest remaining deadline slack among the first queued
+        requests (bounded scan, under _cond) — the batcher must not wait
+        out a deadline it could have met."""
+        if not self._deadline_count:
+            return None
+        slack = None
+        for index, request in enumerate(self._pending):
+            if index >= 32:
+                break
+            if request.deadline is None:
+                continue
+            remaining = request.deadline - now
+            if slack is None or remaining < slack:
+                slack = remaining
+        return slack
+
     def _gather_batch(self) -> tuple[str | None, list[_Request]]:
         """Coalesce pending same-route requests per the adaptive policy;
-        blocks until there is something to dispatch or the server stops."""
+        blocks until there is something to dispatch or the server stops.
+
+        Admission-control duties on the way: already-expired requests
+        are culled before they cost a batch slot, the batching delay is
+        clamped to the nearest queued deadline, and under elastic shares
+        an over-share head yields to queued under-share work."""
         with self._cond:
-            while not self._pending and not self._stopping:
-                self._cond.wait(timeout=0.1)
-            if self._stopping:
-                return None, []
             while True:
+                while not self._pending and not self._stopping:
+                    self._cond.wait(timeout=0.1)
+                if self._stopping:
+                    return None, []
+                self._cull_expired(time.perf_counter())
+                if self._pending:
+                    break
+            while True:
+                now = time.perf_counter()
                 pending_samples = sum(r.n for r in self._pending)
-                oldest_age = time.perf_counter() - self._pending[0].enqueued
-                budget = self._policy.wait_budget(pending_samples, oldest_age)
+                oldest_age = now - self._pending[0].enqueued
+                budget = self._policy.wait_budget(
+                    pending_samples, oldest_age,
+                    deadline_slack_s=self._nearest_deadline_slack(now),
+                )
                 if budget <= 0.0:
                     break
                 self._cond.wait(timeout=budget)
-                if self._stopping or not self._pending:
+                if self._stopping:
                     return None, []
-            head = self._pending.popleft()
+                self._cull_expired(time.perf_counter())
+                if not self._pending:
+                    return None, []
+            head = self._prefer_under_share(self._pending.popleft())
+            self._unaccount_pending(head)
             key = self._route_for(head)
             if key not in self._snapshots:
                 self._finish_error(head, f"model route {key!r} is not loaded")
@@ -1035,6 +1325,7 @@ class LocalizationServer:
                 if total + request.n > self.max_batch:
                     skipped.append(request)
                     break
+                self._unaccount_pending(request)
                 taken.append(request)
                 total += request.n
             self._pending.extendleft(reversed(skipped))
@@ -1130,6 +1421,7 @@ class LocalizationServer:
             batch.write_started = write_started
             self._in_flight[batch.id] = batch
             self._staged = []  # same lock hold: staged→in-flight is atomic
+            self._track_outstanding(requests, +1)
             shard.outstanding += batch.n
             shard.stats.record_dispatch(batch.n)
             self._transport_totals.record_batch(transport, payload_bytes)
@@ -1199,6 +1491,7 @@ class LocalizationServer:
                     return  # duplicate after a crash re-dispatch
                 current = self._shards[batch.shard]
                 current.outstanding = max(0, current.outstanding - batch.n)
+                self._track_outstanding(batch.requests, -1)
                 now = time.perf_counter()
                 current.stats.record_complete(
                     batch.n, (now - batch.dispatched) * 1e3
@@ -1242,6 +1535,7 @@ class LocalizationServer:
                     return
                 current = self._shards[batch.shard]
                 current.outstanding = max(0, current.outstanding - batch.n)
+                self._track_outstanding(batch.requests, -1)
                 current.stats.record_error()
                 if batch.transport == "shm" \
                         and text.startswith("ShmTransportError") \
@@ -1273,6 +1567,7 @@ class LocalizationServer:
         batch.transport = "pickle"
         batch.dispatched = time.perf_counter()
         self._in_flight[batch.id] = batch
+        self._track_outstanding(batch.requests, +1)
         shard.outstanding += batch.n
         self._transport_totals.record_spill()
         self._route_stats.setdefault(
@@ -1297,6 +1592,18 @@ class LocalizationServer:
         the requests."""
         return False
 
+    def _track_outstanding(self, requests: list[_Request], sign: int) -> None:
+        """Maintain dispatched-but-unfinished samples per model id; called
+        under the bookkeeping lock at dispatch (+1) and batch completion /
+        failure / strand (−1)."""
+        for request in requests:
+            value = self._route_outstanding.get(request.model, 0) \
+                + sign * request.n
+            if value > 0:
+                self._route_outstanding[request.model] = value
+            else:
+                self._route_outstanding.pop(request.model, None)
+
     def _requeue(self, requests: list[_Request], forced_key: str | None) -> None:
         """Put requests back at the head of the pending queue (canary
         retry / swap-drain path); called with the bookkeeping lock held."""
@@ -1305,15 +1612,20 @@ class LocalizationServer:
                 request.routed_key = None
                 request.forced_key = forced_key
                 self._pending.appendleft(request)
+                self._account_pending(request)
             self._cond.notify()
 
-    def _finish_error(self, request: _Request, message: str) -> None:
+    def _finish_error(self, request: _Request, message: str,
+                      code: str | None = None) -> None:
         """Finish ``request`` with ``message``; idempotent — a request that
         already finished (e.g. cancelled on client timeout while its batch
-        was in flight, then the batch errors) is counted exactly once."""
+        was in flight, then the batch errors) is counted exactly once.
+        ``code`` is the wire error code the failure maps to (``"timeout"``
+        turns into :class:`DeadlineExpired` at :meth:`result`)."""
         if request.event.is_set():
             return
         request.error = message
+        request.error_code = code
         self._failed += 1
         request.event.set()
         self._notify_done(request)
@@ -1359,6 +1671,7 @@ class LocalizationServer:
                 for batch in stranded:
                     self._in_flight.pop(batch.id, None)
                     self._free_lease(batch)  # reclaim, don't leak the ring
+                    self._track_outstanding(batch.requests, -1)
                     for request in batch.requests:
                         self._finish_error(
                             request,
@@ -1380,6 +1693,33 @@ class LocalizationServer:
             # replacement worker's generation.
             redispatched = [b for b in self._in_flight.values()
                             if b.shard == shard.index]
+            # A batch whose every request already expired (or was
+            # cancelled) while the worker was down is not worth the
+            # replacement's compute: free its ring lease and finish the
+            # requests with the timeout code instead of re-dispatching.
+            now = time.perf_counter()
+            survivors = []
+            for batch in redispatched:
+                dead = all(
+                    request.event.is_set()
+                    or (request.deadline is not None
+                        and now >= request.deadline)
+                    for request in batch.requests
+                )
+                if not dead:
+                    survivors.append(batch)
+                    continue
+                self._in_flight.pop(batch.id, None)
+                self._free_lease(batch)
+                self._track_outstanding(batch.requests, -1)
+                for request in batch.requests:
+                    if not request.event.is_set():
+                        self.qos.record_expired(request.model)
+                    self._finish_error(
+                        request, "deadline expired during shard restart",
+                        code="timeout",
+                    )
+            redispatched = survivors
             shard.outstanding = sum(b.n for b in redispatched)
             for batch in redispatched:
                 batch.dispatched = time.perf_counter()
@@ -1461,7 +1801,18 @@ class LocalizationServer:
                  status="completed")
             emit("serve_requests_total", "counter", self._failed,
                  status="failed")
+            emit("serve_requests_total", "counter", self._rejected,
+                 status="rejected")
             emit_hist("serve_request_latency_ms", self._request_latency)
+            for model, cell in self.qos.all_counters().items():
+                for outcome, value in cell.items():
+                    emit("serve_admission_total", "counter", value,
+                         route=model, outcome=outcome)
+            for model, share in self._route_shares.items():
+                emit("serve_route_share", "gauge", round(share, 4),
+                     route=model)
+            for model, depth in self._pending_by_model.items():
+                emit("serve_route_queue_depth", "gauge", depth, route=model)
             transport = self._transport_totals
             emit("serve_transport_batches_total", "counter",
                  transport.shm_batches, transport="shm")
@@ -1585,6 +1936,18 @@ class LocalizationServer:
                             if self.monitor is not None else None),
                 "gateway": (self._gateway.summary()
                             if self._gateway is not None else None),
+                "admission": {
+                    **self.qos.summary(),
+                    "max_queue": self.max_queue,
+                    "rejected": self._rejected,
+                    "route_queue_depth": dict(self._pending_by_model),
+                    "route_outstanding": dict(self._route_outstanding),
+                    "route_shares": {model: round(share, 4)
+                                     for model, share
+                                     in self._route_shares.items()},
+                    "autoscaler": (self.autoscaler.summary()
+                                   if self.autoscaler is not None else None),
+                },
             }
 
     def __repr__(self) -> str:

@@ -608,7 +608,8 @@ class TestBenchRecord:
         }
 
     def test_attach_bumps_schema_never_downgrades(self):
-        assert GATEWAY_SCHEMA == SCHEMA == "repro.serve.bench.v6"
+        assert GATEWAY_SCHEMA == "repro.serve.bench.v6"
+        assert SCHEMA == "repro.serve.bench.v7"  # overload section's bump
         old = {"schema": "repro.serve.bench.v2", "fleet": {"x": 1}}
         merged = attach_gateway_section(old, self._gateway_section())
         assert merged["schema"] == GATEWAY_SCHEMA
